@@ -1,0 +1,256 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation as testing.B benchmarks. Each iteration runs the
+// corresponding experiment on the simulated testbed; the quantities the
+// paper reports are attached via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints, next to the usual ns/op, the airtime shares, Jain indices,
+// latency medians, throughput and MOS values to compare with the paper
+// (see EXPERIMENTS.md for the mapping and the recorded shape agreement).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/mac"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// benchRun keeps per-iteration cost moderate; cmd/paper-figures runs the
+// paper-scale versions.
+func benchRun(i int) exp.RunConfig {
+	return exp.RunConfig{
+		Seed:     uint64(i) + 1,
+		Duration: 8 * sim.Second,
+		Warmup:   3 * sim.Second,
+		Reps:     1,
+	}
+}
+
+// BenchmarkFig01LatencyTeaser reproduces Figure 1: ping latency under TCP
+// download, unmodified stack vs the full solution.
+func BenchmarkFig01LatencyTeaser(b *testing.B) {
+	var fifoMed, airMed float64
+	for i := 0; i < b.N; i++ {
+		fifo := exp.RunLatency(exp.LatencyConfig{Run: benchRun(i), Scheme: mac.SchemeFIFO})
+		air := exp.RunLatency(exp.LatencyConfig{Run: benchRun(i), Scheme: mac.SchemeAirtimeFQ})
+		fifoMed += fifo.Slow.Median()
+		airMed += air.Slow.Median()
+	}
+	b.ReportMetric(fifoMed/float64(b.N), "fifo-slow-med-ms")
+	b.ReportMetric(airMed/float64(b.N), "airtime-slow-med-ms")
+}
+
+// BenchmarkTable1ModelVsMeasured reproduces Table 1: the analytical model
+// fed with measured aggregation levels against measured UDP throughput.
+func BenchmarkTable1ModelVsMeasured(b *testing.B) {
+	var fairTotal, baseTotal float64
+	for i := 0; i < b.N; i++ {
+		t := exp.RunTable1(benchRun(i))
+		for _, r := range t.Baseline {
+			baseTotal += r.ExpMbps
+		}
+		for _, r := range t.Fair {
+			fairTotal += r.ExpMbps
+		}
+	}
+	b.ReportMetric(baseTotal/float64(b.N), "baseline-total-Mbps")
+	b.ReportMetric(fairTotal/float64(b.N), "fair-total-Mbps")
+}
+
+// BenchmarkFig04LatencyCDF reproduces Figure 4's four latency
+// distributions (medians reported).
+func BenchmarkFig04LatencyCDF(b *testing.B) {
+	for _, scheme := range []mac.Scheme{mac.SchemeFIFO, mac.SchemeFQCoDel, mac.SchemeFQMAC} {
+		scheme := scheme
+		b.Run(scheme.String(), func(b *testing.B) {
+			var fast, slow float64
+			for i := 0; i < b.N; i++ {
+				r := exp.RunLatency(exp.LatencyConfig{Run: benchRun(i), Scheme: scheme})
+				fast += r.Fast.Median()
+				slow += r.Slow.Median()
+			}
+			b.ReportMetric(fast/float64(b.N), "fast-med-ms")
+			b.ReportMetric(slow/float64(b.N), "slow-med-ms")
+		})
+	}
+}
+
+// BenchmarkFig05AirtimeUDP reproduces Figure 5: per-station airtime shares
+// under one-way UDP for all four schemes (slow station's share reported).
+func BenchmarkFig05AirtimeUDP(b *testing.B) {
+	for _, scheme := range mac.Schemes {
+		scheme := scheme
+		b.Run(scheme.String(), func(b *testing.B) {
+			var slowShare, total float64
+			for i := 0; i < b.N; i++ {
+				r := exp.RunUDP(exp.UDPConfig{Run: benchRun(i), Scheme: scheme})
+				slowShare += r.Shares[2]
+				total += r.TotalBps / 1e6
+			}
+			b.ReportMetric(slowShare/float64(b.N), "slow-airtime-share")
+			b.ReportMetric(total/float64(b.N), "total-Mbps")
+		})
+	}
+}
+
+// BenchmarkFig06JainIndex reproduces Figure 6: Jain's fairness index for
+// UDP, TCP download and bidirectional TCP.
+func BenchmarkFig06JainIndex(b *testing.B) {
+	for _, scheme := range mac.Schemes {
+		for _, tr := range exp.TrafficKinds {
+			scheme, tr := scheme, tr
+			b.Run(scheme.String()+"/"+tr.String(), func(b *testing.B) {
+				var jain float64
+				for i := 0; i < b.N; i++ {
+					r := exp.RunFairness(exp.FairnessConfig{Run: benchRun(i), Scheme: scheme, Traffic: tr})
+					jain += r.Jain
+				}
+				b.ReportMetric(jain/float64(b.N), "jain")
+			})
+		}
+	}
+}
+
+// BenchmarkFig07TCPThroughput reproduces Figure 7: per-station TCP
+// download throughput (average reported per scheme).
+func BenchmarkFig07TCPThroughput(b *testing.B) {
+	for _, scheme := range mac.Schemes {
+		scheme := scheme
+		b.Run(scheme.String(), func(b *testing.B) {
+			var avg, slow float64
+			for i := 0; i < b.N; i++ {
+				r := exp.RunThroughput(exp.ThroughputConfig{Run: benchRun(i), Scheme: scheme})
+				avg += r.Average
+				slow += r.Mbps[2]
+			}
+			b.ReportMetric(avg/float64(b.N), "avg-Mbps")
+			b.ReportMetric(slow/float64(b.N), "slow-Mbps")
+		})
+	}
+}
+
+// BenchmarkFig08SparseStations reproduces Figure 8: latency to a
+// ping-only station with the sparse-station optimisation on and off.
+func BenchmarkFig08SparseStations(b *testing.B) {
+	for _, tcp := range []bool{false, true} {
+		tcp := tcp
+		name := "UDP"
+		if tcp {
+			name = "TCP"
+		}
+		b.Run(name, func(b *testing.B) {
+			var on, off float64
+			for i := 0; i < b.N; i++ {
+				r := exp.RunSparse(exp.SparseConfig{Run: benchRun(i), TCP: tcp})
+				on += r.Enabled.Median()
+				off += r.Disabled.Median()
+			}
+			b.ReportMetric(on/float64(b.N), "enabled-med-ms")
+			b.ReportMetric(off/float64(b.N), "disabled-med-ms")
+		})
+	}
+}
+
+// scaleRun uses a smaller population than the paper's 30 stations to keep
+// bench iterations tractable; cmd/paper-figures -fig 9 runs full scale.
+func scaleRun(i int) exp.RunConfig {
+	c := benchRun(i)
+	c.Duration = 10 * sim.Second
+	return c
+}
+
+// BenchmarkFig09Scale30Airtime reproduces Figure 9 (+ the §4.1.5 totals):
+// airtime shares and total throughput with many stations and a 1 Mbps
+// legacy client.
+func BenchmarkFig09Scale30Airtime(b *testing.B) {
+	for _, scheme := range []mac.Scheme{mac.SchemeFQCoDel, mac.SchemeFQMAC, mac.SchemeAirtimeFQ} {
+		scheme := scheme
+		b.Run(scheme.String(), func(b *testing.B) {
+			var slowShare, total float64
+			for i := 0; i < b.N; i++ {
+				r := exp.RunScale(exp.ScaleConfig{Run: scaleRun(i), Scheme: scheme, Stations: 16})
+				slowShare += r.SlowShare
+				total += r.TotalMbps
+			}
+			b.ReportMetric(slowShare/float64(b.N), "slow-airtime-share")
+			b.ReportMetric(total/float64(b.N), "total-Mbps")
+		})
+	}
+}
+
+// BenchmarkFig10Scale30Latency reproduces Figure 10: latency in the
+// scaled setup.
+func BenchmarkFig10Scale30Latency(b *testing.B) {
+	for _, scheme := range []mac.Scheme{mac.SchemeFQCoDel, mac.SchemeAirtimeFQ} {
+		scheme := scheme
+		b.Run(scheme.String(), func(b *testing.B) {
+			var fast, slow float64
+			for i := 0; i < b.N; i++ {
+				r := exp.RunScale(exp.ScaleConfig{Run: scaleRun(i), Scheme: scheme, Stations: 16})
+				fast += r.FastRTT.Median()
+				slow += r.SlowRTT.Median()
+			}
+			b.ReportMetric(fast/float64(b.N), "fast-med-ms")
+			b.ReportMetric(slow/float64(b.N), "slow-med-ms")
+		})
+	}
+}
+
+// BenchmarkTable2VoIPMOS reproduces Table 2: MOS and total throughput for
+// BE- and VO-marked voice at 5 ms baseline delay.
+func BenchmarkTable2VoIPMOS(b *testing.B) {
+	for _, scheme := range mac.Schemes {
+		for _, vo := range []bool{true, false} {
+			scheme, vo := scheme, vo
+			name := scheme.String() + "/BE"
+			if vo {
+				name = scheme.String() + "/VO"
+			}
+			b.Run(name, func(b *testing.B) {
+				var mos, thr float64
+				for i := 0; i < b.N; i++ {
+					r := exp.RunVoIP(exp.VoIPConfig{
+						Run: benchRun(i), Scheme: scheme, UseVO: vo,
+						WiredDelay: 5 * sim.Millisecond,
+					})
+					mos += r.MOS
+					thr += r.TotalMbps
+				}
+				b.ReportMetric(mos/float64(b.N), "MOS")
+				b.ReportMetric(thr/float64(b.N), "thrp-Mbps")
+			})
+		}
+	}
+}
+
+// BenchmarkFig11WebPLT reproduces Figure 11: mean page-load time for the
+// small and large pages while the slow station bulk-transfers.
+func BenchmarkFig11WebPLT(b *testing.B) {
+	for _, scheme := range mac.Schemes {
+		for _, page := range []traffic.WebPage{traffic.SmallPage, traffic.LargePage} {
+			scheme, page := scheme, page
+			b.Run(scheme.String()+"/"+page.Name, func(b *testing.B) {
+				var plt float64
+				for i := 0; i < b.N; i++ {
+					run := benchRun(i)
+					run.Duration = 15 * sim.Second
+					r := exp.RunWeb(exp.WebConfig{Run: run, Scheme: scheme, Page: page})
+					plt += r.PLT.Mean()
+				}
+				b.ReportMetric(plt/float64(b.N), "mean-plt-ms")
+			})
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator performance: events
+// processed per wall-clock second for a saturated 3-station UDP scenario.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.RunUDP(exp.UDPConfig{Run: benchRun(i), Scheme: mac.SchemeAirtimeFQ})
+	}
+}

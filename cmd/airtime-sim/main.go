@@ -1,0 +1,150 @@
+// airtime-sim runs a single ad-hoc scenario on the simulated testbed and
+// prints per-station results: airtime shares, goodput, aggregation level
+// and ping latency.
+//
+// Example:
+//
+//	airtime-sim -scheme airtime -fast 2 -slow-mcs 0 -traffic tcp -dur 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+func parseScheme(s string) (mac.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "fifo":
+		return mac.SchemeFIFO, nil
+	case "fqcodel", "fq-codel":
+		return mac.SchemeFQCoDel, nil
+	case "fqmac", "fq-mac":
+		return mac.SchemeFQMAC, nil
+	case "airtime", "airtime-fq":
+		return mac.SchemeAirtimeFQ, nil
+	case "dtt":
+		return mac.SchemeDTT, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q (fifo|fqcodel|fqmac|airtime|dtt)", s)
+}
+
+func main() {
+	schemeFlag := flag.String("scheme", "airtime", "queueing scheme: fifo|fqcodel|fqmac|airtime|dtt")
+	fast := flag.Int("fast", 2, "number of fast stations")
+	fastMCS := flag.Int("fast-mcs", 15, "MCS index of fast stations")
+	slow := flag.Int("slow", 1, "number of slow stations")
+	slowMCS := flag.Int("slow-mcs", 0, "MCS index of slow stations (-1 = 1 Mbps legacy)")
+	trafficKind := flag.String("traffic", "udp", "traffic: udp|tcp|bidir")
+	rate := flag.Float64("udp-mbps", 50, "offered UDP load per station")
+	dur := flag.Float64("dur", 15, "measured seconds")
+	warm := flag.Float64("warmup", 3, "warmup seconds")
+	seed := flag.Uint64("seed", 1, "random seed")
+	loss := flag.Float64("mpdu-loss", 0, "per-MPDU random loss probability")
+	amsdu := flag.Int("amsdu", 0, "A-MSDU bundle size in bytes (0 disables two-level aggregation)")
+	traceN := flag.Int("trace", 0, "dump the last N AP trace events")
+	flag.Parse()
+
+	scheme, err := parseScheme(*schemeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var specs []exp.StationSpec
+	for i := 0; i < *fast; i++ {
+		specs = append(specs, exp.StationSpec{
+			Name: fmt.Sprintf("fast%d", i+1), Rate: phy.MCS(*fastMCS, true),
+		})
+	}
+	slowRate := phy.Legacy(1)
+	if *slowMCS >= 0 {
+		slowRate = phy.MCS(*slowMCS, true)
+	}
+	for i := 0; i < *slow; i++ {
+		specs = append(specs, exp.StationSpec{
+			Name: fmt.Sprintf("slow%d", i+1), Rate: slowRate,
+		})
+	}
+
+	n := exp.NewNet(exp.NetConfig{
+		Seed: *seed, Scheme: scheme, Stations: specs,
+		AP: mac.Config{PerMPDULoss: *loss, MaxAMSDU: *amsdu},
+	})
+	var tl *trace.Log
+	if *traceN > 0 {
+		tl = trace.NewLog(*traceN)
+		n.AP.Trace = tl
+	}
+
+	received := make([]func() int64, len(n.Stations))
+	for i, st := range n.Stations {
+		switch *trafficKind {
+		case "udp":
+			_, sink := n.DownloadUDP(st, *rate*1e6, pkt.ACBE)
+			received[i] = func() int64 { return sink.RcvdBytes }
+		case "tcp":
+			conn := n.DownloadTCP(st, pkt.ACBE)
+			received[i] = conn.Server().TotalReceived
+		case "bidir":
+			conn := n.DownloadTCP(st, pkt.ACBE)
+			n.UploadTCP(st, pkt.ACBE)
+			received[i] = conn.Server().TotalReceived
+		default:
+			fmt.Fprintf(os.Stderr, "unknown traffic %q\n", *trafficKind)
+			os.Exit(2)
+		}
+	}
+
+	warmT := sim.Time(*warm * float64(sim.Second))
+	endT := warmT + sim.Time(*dur*float64(sim.Second))
+	n.Run(warmT)
+	airSnap := n.SnapshotAirtime()
+	snaps := make([]int64, len(received))
+	for i, f := range received {
+		snaps[i] = f()
+	}
+	pingers := make([]*traffic.Pinger, len(n.Stations))
+	for i, st := range n.Stations {
+		pingers[i] = n.Ping(st, 0, i+1)
+	}
+	n.Run(endT)
+
+	air := n.AirtimeSince(airSnap)
+	shares := stats.Shares(air)
+	tbl := stats.Table{Header: []string{
+		"station", "rate", "airtime", "goodput(Mbps)", "aggr", "ping med(ms)", "ping p95(ms)",
+	}}
+	var total float64
+	for i, st := range n.Stations {
+		mbps := float64(received[i]()-snaps[i]) * 8 / (*dur) / 1e6
+		total += mbps
+		tbl.AddRow(
+			st.Name,
+			st.Rate.String(),
+			fmt.Sprintf("%.1f%%", 100*shares[i]),
+			fmt.Sprintf("%.1f", mbps),
+			fmt.Sprintf("%.2f", st.APView.MeanAggregation()),
+			fmt.Sprintf("%.1f", pingers[i].RTT.Median()),
+			fmt.Sprintf("%.1f", pingers[i].RTT.Quantile(0.95)),
+		)
+	}
+	fmt.Printf("scheme=%s traffic=%s dur=%.0fs\n\n", scheme, *trafficKind, *dur)
+	fmt.Print(tbl.String())
+	fmt.Printf("\ntotal goodput: %.1f Mbps   Jain(airtime): %.3f   medium collisions: %d\n",
+		total, stats.JainIndex(air), n.Env.Medium.Collisions)
+	if tl != nil {
+		fmt.Println()
+		fmt.Print(tl.Dump(*traceN))
+	}
+}

@@ -1,0 +1,97 @@
+// anomaly-model evaluates the paper's §2.2.1 analytical model from the
+// command line: given per-station PHY rates and mean aggregation levels it
+// prints predicted airtime shares and throughput with and without airtime
+// fairness (the calculated columns of Table 1).
+//
+// Stations are given as repeated -sta flags, "mcs<idx>:<aggr>" or
+// "legacy<mbps>:<aggr>", e.g.:
+//
+//	anomaly-model -sta mcs15:18.44 -sta mcs15:18.52 -sta mcs0:1.89
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/phy"
+	"repro/internal/stats"
+)
+
+type staList []model.StationParams
+
+func (l *staList) String() string { return fmt.Sprint(len(*l)) }
+
+func (l *staList) Set(s string) error {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("want rate:aggr, got %q", s)
+	}
+	agg, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return fmt.Errorf("bad aggregation %q: %v", parts[1], err)
+	}
+	var rate phy.Rate
+	switch {
+	case strings.HasPrefix(parts[0], "mcs"):
+		idx, err := strconv.Atoi(parts[0][3:])
+		if err != nil {
+			return fmt.Errorf("bad MCS %q: %v", parts[0], err)
+		}
+		rate = phy.MCS(idx, true)
+	case strings.HasPrefix(parts[0], "legacy"):
+		mbps, err := strconv.ParseFloat(parts[0][6:], 64)
+		if err != nil {
+			return fmt.Errorf("bad legacy rate %q: %v", parts[0], err)
+		}
+		rate = phy.Legacy(mbps)
+	default:
+		return fmt.Errorf("rate must be mcsN or legacyM, got %q", parts[0])
+	}
+	*l = append(*l, model.StationParams{
+		Name:    fmt.Sprintf("sta%d", len(*l)+1),
+		AggSize: agg,
+		PktLen:  1500,
+		Rate:    rate,
+	})
+	return nil
+}
+
+func main() {
+	var stas staList
+	flag.Var(&stas, "sta", "station spec rate:aggr (repeatable), e.g. mcs15:18.44")
+	pktLen := flag.Int("pktlen", 1500, "packet size in bytes")
+	flag.Parse()
+	if len(stas) == 0 {
+		// Default: the paper's Table 1 airtime-fairness block.
+		_ = stas.Set("mcs15:18.44")
+		_ = stas.Set("mcs15:18.52")
+		_ = stas.Set("mcs0:1.89")
+	}
+	for i := range stas {
+		stas[i].PktLen = *pktLen
+	}
+
+	for _, fair := range []bool{false, true} {
+		title := "Without airtime fairness (802.11 anomaly)"
+		if fair {
+			title = "With airtime fairness"
+		}
+		fmt.Printf("\n%s\n", title)
+		preds := model.Predict(stas, fair)
+		tbl := stats.Table{Header: []string{"station", "rate", "aggr", "T(i)", "base(Mbps)", "R(i)(Mbps)"}}
+		for i, p := range preds {
+			tbl.AddRow(
+				p.Name, stas[i].Rate.String(),
+				fmt.Sprintf("%.2f", stas[i].AggSize),
+				fmt.Sprintf("%.1f%%", 100*p.AirtimeShare),
+				fmt.Sprintf("%.1f", p.BaseRate/1e6),
+				fmt.Sprintf("%.1f", p.Rate/1e6),
+			)
+		}
+		fmt.Print(tbl.String())
+		fmt.Printf("total: %.1f Mbps\n", model.TotalRate(preds)/1e6)
+	}
+}

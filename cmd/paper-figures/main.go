@@ -1,0 +1,175 @@
+// paper-figures regenerates every table and figure of the paper's
+// evaluation (§4) from the simulation testbed.
+//
+// Usage:
+//
+//	paper-figures -all                 # everything (slow)
+//	paper-figures -fig 5 -fig 6        # specific figures
+//	paper-figures -table 1 -table 2    # specific tables
+//	paper-figures -dur 30 -reps 5      # paper-scale runs
+//
+// Output is textual: airtime-share rows, latency quantiles and CDF points,
+// throughput rows — the same series the paper plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/exp"
+	"repro/internal/mac"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+type intList []int
+
+func (l *intList) String() string { return fmt.Sprint([]int(*l)) }
+func (l *intList) Set(s string) error {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var figs, tables intList
+	flag.Var(&figs, "fig", "figure number to regenerate (repeatable: 1,4,5,6,7,8,9,10,11)")
+	flag.Var(&tables, "table", "table number to regenerate (repeatable: 1,2)")
+	all := flag.Bool("all", false, "regenerate everything")
+	dur := flag.Float64("dur", 15, "measured seconds per repetition")
+	warm := flag.Float64("warmup", 5, "settling seconds excluded from measurement")
+	reps := flag.Int("reps", 3, "repetitions per data point")
+	seed := flag.Uint64("seed", 42, "base random seed")
+	stations := flag.Int("stations", 30, "clients in the scaling experiment")
+	cdf := flag.Bool("cdf", false, "print full CDF point series for latency figures")
+	flag.Parse()
+
+	run := exp.RunConfig{
+		Seed:     *seed,
+		Duration: sim.Time(*dur * float64(sim.Second)),
+		Warmup:   sim.Time(*warm * float64(sim.Second)),
+		Reps:     *reps,
+	}
+	if *all {
+		figs = intList{1, 4, 5, 6, 7, 8, 9, 10, 11}
+		tables = intList{1, 2}
+	}
+	if len(figs) == 0 && len(tables) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, tb := range tables {
+		switch tb {
+		case 1:
+			section("Table 1: model vs measured airtime and rates (UDP)")
+			fmt.Print(exp.RunTable1(run))
+		case 2:
+			section("Table 2: VoIP MOS and throughput")
+			fmt.Printf("%-8s %-4s %-6s %6s %10s\n", "scheme", "qos", "delay", "MOS", "thrp(Mbps)")
+			for _, scheme := range mac.Schemes {
+				for _, vo := range []bool{true, false} {
+					for _, d := range []sim.Time{5 * sim.Millisecond, 50 * sim.Millisecond} {
+						r := exp.RunVoIP(exp.VoIPConfig{Run: run, Scheme: scheme, UseVO: vo, WiredDelay: d})
+						qos := "BE"
+						if vo {
+							qos = "VO"
+						}
+						fmt.Printf("%-8s %-4s %-6s %6.2f %10.1f\n", scheme, qos, d, r.MOS, r.TotalMbps)
+					}
+				}
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown table %d\n", tb)
+		}
+	}
+
+	for _, f := range figs {
+		switch f {
+		case 1:
+			section("Figure 1: latency teaser, FIFO vs Airtime-fair FQ")
+			for _, scheme := range []mac.Scheme{mac.SchemeFIFO, mac.SchemeAirtimeFQ} {
+				r := exp.RunLatency(exp.LatencyConfig{Run: run, Scheme: scheme})
+				fmt.Print(r)
+				printCDF(*cdf, "fast", r.Fast.CDF(21))
+				printCDF(*cdf, "slow", r.Slow.CDF(21))
+			}
+		case 4:
+			section("Figure 4: latency CDFs under TCP download")
+			for _, scheme := range []mac.Scheme{mac.SchemeFIFO, mac.SchemeFQCoDel, mac.SchemeFQMAC, mac.SchemeAirtimeFQ} {
+				r := exp.RunLatency(exp.LatencyConfig{Run: run, Scheme: scheme})
+				fmt.Print(r)
+				printCDF(*cdf, "fast", r.Fast.CDF(21))
+				printCDF(*cdf, "slow", r.Slow.CDF(21))
+			}
+		case 5:
+			section("Figure 5: airtime shares, one-way UDP")
+			for _, scheme := range mac.Schemes {
+				fmt.Print(exp.RunUDP(exp.UDPConfig{Run: run, Scheme: scheme}))
+			}
+		case 6:
+			section("Figure 6: Jain's airtime fairness index")
+			for _, scheme := range mac.Schemes {
+				for _, tr := range exp.TrafficKinds {
+					fmt.Print(exp.RunFairness(exp.FairnessConfig{Run: run, Scheme: scheme, Traffic: tr}))
+				}
+			}
+		case 7:
+			section("Figure 7: TCP download throughput")
+			for _, scheme := range mac.Schemes {
+				fmt.Print(exp.RunThroughput(exp.ThroughputConfig{Run: run, Scheme: scheme}))
+			}
+		case 8:
+			section("Figure 8: sparse station optimisation")
+			for _, tcp := range []bool{false, true} {
+				fmt.Print(exp.RunSparse(exp.SparseConfig{Run: run, TCP: tcp}))
+			}
+		case 9:
+			section("Figure 9 (+§4.1.5 totals): 30-station airtime and throughput")
+			for _, scheme := range []mac.Scheme{mac.SchemeFQCoDel, mac.SchemeFQMAC, mac.SchemeAirtimeFQ} {
+				fmt.Print(exp.RunScale(exp.ScaleConfig{Run: run, Scheme: scheme, Stations: *stations}))
+			}
+		case 10:
+			section("Figure 10: 30-station latency (same runs as Figure 9)")
+			for _, scheme := range []mac.Scheme{mac.SchemeFQCoDel, mac.SchemeFQMAC, mac.SchemeAirtimeFQ} {
+				r := exp.RunScale(exp.ScaleConfig{Run: run, Scheme: scheme, Stations: *stations})
+				fmt.Print(r)
+				printCDF(*cdf, "fast", r.FastRTT.CDF(21))
+				printCDF(*cdf, "slow", r.SlowRTT.CDF(21))
+			}
+		case 11:
+			section("Figure 11: web page-load times (fast station browsing)")
+			for _, scheme := range mac.Schemes {
+				for _, page := range []traffic.WebPage{traffic.SmallPage, traffic.LargePage} {
+					fmt.Print(exp.RunWeb(exp.WebConfig{Run: run, Scheme: scheme, Page: page}))
+				}
+			}
+			section("Figure 11 appendix variant: slow station browsing")
+			for _, scheme := range mac.Schemes {
+				fmt.Print(exp.RunWeb(exp.WebConfig{Run: run, Scheme: scheme, Page: traffic.SmallPage, SlowFetches: true}))
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %d\n", f)
+		}
+	}
+}
+
+func section(title string) {
+	fmt.Printf("\n== %s ==\n", title)
+}
+
+func printCDF(enabled bool, label string, pts [][2]float64) {
+	if !enabled {
+		return
+	}
+	fmt.Printf("  cdf %s:", label)
+	for _, p := range pts {
+		fmt.Printf(" %.1f:%.2f", p[0], p[1])
+	}
+	fmt.Println()
+}

@@ -1,0 +1,49 @@
+// autorate demonstrates the rate-control substrate: a station's link
+// quality degrades mid-run, the Minstrel-style controller walks the MCS
+// ladder down, and — via the §3.1.1 coupling — the station's CoDel
+// parameters relax once its expected throughput drops below 12 Mbps.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/exp"
+	"repro/internal/mac"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+func main() {
+	n := exp.NewNet(exp.NetConfig{
+		Seed:   1,
+		Scheme: mac.SchemeAirtimeFQ,
+		Stations: []exp.StationSpec{
+			{Name: "mobile", Rate: exp.FastRate},
+			{Name: "static", Rate: exp.FastRate},
+		},
+	})
+	mobile := n.Stations[0]
+	ch := channel.New(40) // starts next to the AP
+	rc := n.AP.EnableAutoRate(mobile.APView, ch, 7)
+
+	for _, st := range n.Stations {
+		n.DownloadUDP(st, 60e6, pkt.ACBE)
+	}
+
+	fmt.Println("t(s)  SNR(dB)  rate            expect(Mbps)  codel-target")
+	for step := 1; step <= 12; step++ {
+		n.Run(sim.Time(step) * 2 * sim.Second)
+		if step == 4 {
+			ch.Set(18) // walks away
+		}
+		if step == 8 {
+			ch.Set(6) // edge of the garden
+		}
+		fmt.Printf("%4d  %7.0f  %-15v %12.1f  %v\n",
+			step*2, ch.SNRdB, rc.CurrentRate(),
+			rc.ExpectedThroughput()/1e6, mobile.APView.CodelParams().Target)
+	}
+	fmt.Println("\nThe controller tracks the channel down the MCS ladder and the")
+	fmt.Println("per-station CoDel target relaxes to 50 ms below 12 Mbps (§3.1.1).")
+}

@@ -1,0 +1,79 @@
+// Package channel models the radio link quality between the access point
+// and one station: a signal-to-noise ratio mapped to a per-MPDU success
+// probability for each MCS. It provides the feedback signal rate control
+// (package minstrel) adapts to, replacing the physical radio environment
+// of the paper's testbed ("two stations near the AP, one far away").
+package channel
+
+import (
+	"math"
+
+	"repro/internal/phy"
+)
+
+// snrReq is the approximate SNR (dB) at which each single-stream HT20 MCS
+// reaches ~50% MPDU success for full-size frames. The second spatial
+// stream (MCS 8-15) needs ~3 dB more.
+var snrReq = [8]float64{2, 5, 8, 11, 15, 19, 21, 23}
+
+// steepness of the error cliff in dB.
+const cliff = 1.5
+
+// Model is the link-quality model for one station. The zero value is a
+// perfect channel (every rate always succeeds).
+type Model struct {
+	// SNRdB is the current signal-to-noise ratio. Zero means "perfect
+	// channel" for backwards compatibility; use Set for explicit values.
+	SNRdB float64
+}
+
+// New returns a model at the given SNR.
+func New(snrDB float64) *Model { return &Model{SNRdB: snrDB} }
+
+// Set updates the SNR (mobility, interference).
+func (m *Model) Set(snrDB float64) { m.SNRdB = snrDB }
+
+// RequiredSNR returns the ~50%-success SNR for a rate.
+func RequiredSNR(r phy.Rate) float64 {
+	if r.Legacy {
+		return -2 // DSSS rates are extremely robust
+	}
+	for i := 0; i < 16; i++ {
+		for _, sgi := range []bool{true, false} {
+			if phy.MCS(i, sgi) == r {
+				req := snrReq[i%8]
+				if i >= 8 {
+					req += 3
+				}
+				return req
+			}
+		}
+	}
+	return 10
+}
+
+// SuccessProb returns the probability that one MPDU transmitted at rate r
+// is received correctly.
+func (m *Model) SuccessProb(r phy.Rate) float64 {
+	if m == nil || m.SNRdB == 0 {
+		return 1
+	}
+	margin := m.SNRdB - RequiredSNR(r)
+	return 1 / (1 + math.Exp(-margin/cliff))
+}
+
+// BestRate returns the MCS (0-15, SGI) with the highest expected goodput
+// at the model's SNR — the oracle rate, for validating rate control.
+func (m *Model) BestRate(pktLen int) phy.Rate {
+	best := phy.MCS(0, true)
+	bestTput := 0.0
+	for i := 0; i < 16; i++ {
+		r := phy.MCS(i, true)
+		tput := phy.EffectiveRate(8, pktLen, r) * m.SuccessProb(r)
+		if tput > bestTput {
+			bestTput = tput
+			best = r
+		}
+	}
+	return best
+}

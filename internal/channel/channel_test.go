@@ -1,0 +1,77 @@
+package channel
+
+import (
+	"testing"
+
+	"repro/internal/phy"
+)
+
+func TestPerfectChannelByDefault(t *testing.T) {
+	var m Model
+	if m.SuccessProb(phy.MCS(15, true)) != 1 {
+		t.Fatal("zero-value model must be perfect")
+	}
+	var nilModel *Model
+	if nilModel.SuccessProb(phy.MCS(0, true)) != 1 {
+		t.Fatal("nil model must be perfect")
+	}
+}
+
+func TestSuccessMonotoneInSNR(t *testing.T) {
+	r := phy.MCS(7, true)
+	prev := 0.0
+	for snr := 1.0; snr <= 40; snr += 1 {
+		p := New(snr).SuccessProb(r)
+		if p < prev {
+			t.Fatalf("success not monotone in SNR at %v dB", snr)
+		}
+		prev = p
+	}
+}
+
+func TestSuccessMonotoneInRate(t *testing.T) {
+	m := New(15)
+	prev := 1.1
+	for i := 0; i < 8; i++ {
+		p := m.SuccessProb(phy.MCS(i, true))
+		if p > prev {
+			t.Fatalf("higher MCS%d easier than lower at fixed SNR", i)
+		}
+		prev = p
+	}
+}
+
+func TestCliffAtRequiredSNR(t *testing.T) {
+	r := phy.MCS(4, true)
+	req := RequiredSNR(r)
+	at := New(req).SuccessProb(r)
+	if at < 0.45 || at > 0.55 {
+		t.Fatalf("success at required SNR = %.2f, want ~0.5", at)
+	}
+	if New(req+6).SuccessProb(r) < 0.9 {
+		t.Fatal("6 dB above the cliff should be reliable")
+	}
+	if New(req-6).SuccessProb(r) > 0.1 {
+		t.Fatal("6 dB below the cliff should be lossy")
+	}
+}
+
+func TestLegacyRobust(t *testing.T) {
+	if New(5).SuccessProb(phy.Legacy(1)) < 0.95 {
+		t.Fatal("1 Mbps DSSS should survive low SNR")
+	}
+}
+
+func TestBestRateTracksSNR(t *testing.T) {
+	lo := New(6).BestRate(1500)
+	hi := New(40).BestRate(1500)
+	if hi.BitsPerS <= lo.BitsPerS {
+		t.Fatalf("best rate not increasing with SNR: %v vs %v", lo, hi)
+	}
+	if hi != phy.MCS(15, true) {
+		t.Fatalf("40 dB best rate = %v, want MCS15", hi)
+	}
+	if New(4).BestRate(1500).Mbps() > 30 {
+		t.Fatalf("4 dB best rate implausibly high: %v", New(4).BestRate(1500))
+	}
+}

@@ -1,0 +1,82 @@
+// Package emodel implements the ITU-T G.107 E-model for estimating voice
+// quality (Mean Opinion Score) from measured network conditions, as the
+// paper uses for its VoIP evaluation (Table 2). Audio and codec parameters
+// stay at their G.107 default values; only delay, jitter and loss vary.
+package emodel
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Metrics are the measured network conditions for one voice stream.
+type Metrics struct {
+	OneWayDelay sim.Time // mean mouth-to-ear network delay
+	Jitter      sim.Time // RFC 3550 interarrival jitter estimate
+	LossPct     float64  // packet loss, percent (0-100)
+}
+
+// Defaults from ITU-T G.107 Table 3 (all audio parameters at default).
+const (
+	r0  = 93.2  // basic signal-to-noise ratio with default parameters
+	is  = 1.41  // simultaneous impairment factor at defaults
+	ta0 = 100.0 // ms below which delay impairment Idd is zero
+
+	// G.711 packet-loss robustness parameters (Ie = 0, Bpl = 4.3,
+	// random loss, from ITU-T G.113 Appendix I).
+	ie  = 0.0
+	bpl = 4.3
+
+	// Jitter-buffer model: the playout buffer absorbs twice the measured
+	// interarrival jitter, adding it to the effective delay.
+	jitterFactor = 2.0
+
+	// Fixed end-system delay: codec framing + playout (20 ms frame plus
+	// look-ahead and DSP), a common provisioning value.
+	endSystemDelayMs = 25.0
+)
+
+// Idd computes the delay impairment for a one-way delay Ta in ms,
+// following G.107 (eq. 7-27/7-28 simplified form with default values).
+func Idd(taMs float64) float64 {
+	if taMs <= ta0 {
+		return 0
+	}
+	x := math.Log(taMs/100) / math.Log(2)
+	cube := func(v float64) float64 {
+		return math.Pow(1+math.Pow(v, 6), 1.0/6)
+	}
+	return 25 * (cube(x) - 3*cube(x/3) + 2)
+}
+
+// IeEff computes the effective equipment impairment for the G.711 codec
+// under random loss of ppl percent.
+func IeEff(ppl float64) float64 {
+	if ppl < 0 {
+		ppl = 0
+	}
+	return ie + (95-ie)*ppl/(ppl+bpl)
+}
+
+// RFactor computes the transmission rating R for the given metrics.
+func RFactor(m Metrics) float64 {
+	ta := m.OneWayDelay.Millis() + jitterFactor*m.Jitter.Millis() + endSystemDelayMs
+	r := r0 - is - Idd(ta) - IeEff(m.LossPct)
+	return r
+}
+
+// MOSFromR converts an R factor to a mean opinion score per G.107 Annex B.
+// The result is clamped to [1, 4.5].
+func MOSFromR(r float64) float64 {
+	switch {
+	case r <= 0:
+		return 1
+	case r >= 100:
+		return 4.5
+	}
+	return 1 + 0.035*r + r*(r-60)*(100-r)*7e-6
+}
+
+// MOS estimates the mean opinion score for the measured conditions.
+func MOS(m Metrics) float64 { return MOSFromR(RFactor(m)) }

@@ -1,0 +1,88 @@
+package emodel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestExcellentConditions(t *testing.T) {
+	m := MOS(Metrics{OneWayDelay: 10 * sim.Millisecond})
+	if m < 4.3 || m > 4.5 {
+		t.Fatalf("MOS under excellent conditions = %.2f, want ~4.4", m)
+	}
+}
+
+func TestBufferbloatKillsMOS(t *testing.T) {
+	good := MOS(Metrics{OneWayDelay: 20 * sim.Millisecond})
+	bad := MOS(Metrics{OneWayDelay: 600 * sim.Millisecond, Jitter: 50 * sim.Millisecond})
+	if bad >= good {
+		t.Fatal("delay did not reduce MOS")
+	}
+	if bad > 3.0 {
+		t.Fatalf("bufferbloat MOS = %.2f, want heavily degraded", bad)
+	}
+}
+
+func TestLossKillsMOS(t *testing.T) {
+	clean := MOS(Metrics{OneWayDelay: 20 * sim.Millisecond})
+	lossy := MOS(Metrics{OneWayDelay: 20 * sim.Millisecond, LossPct: 20})
+	if lossy >= clean || lossy > 2.8 {
+		t.Fatalf("20%% loss MOS = %.2f (clean %.2f)", lossy, clean)
+	}
+}
+
+func TestMOSMonotoneInDelay(t *testing.T) {
+	prev := 5.0
+	for d := sim.Time(0); d <= sim.Second; d += 50 * sim.Millisecond {
+		m := MOS(Metrics{OneWayDelay: d})
+		if m > prev+1e-9 {
+			t.Fatalf("MOS not monotone at delay %v: %v > %v", d, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestMOSBounds(t *testing.T) {
+	worst := MOS(Metrics{OneWayDelay: 10 * sim.Second, LossPct: 100})
+	if worst < 1 || worst > 4.5 {
+		t.Fatalf("MOS out of range: %v", worst)
+	}
+	if MOSFromR(-50) != 1 || MOSFromR(150) != 4.5 {
+		t.Fatal("MOSFromR clamping broken")
+	}
+}
+
+func TestIddZeroBelow100ms(t *testing.T) {
+	if Idd(50) != 0 || Idd(100) != 0 {
+		t.Fatal("Idd must be zero below 100 ms")
+	}
+	if Idd(200) <= 0 || Idd(400) <= Idd(200) {
+		t.Fatal("Idd must grow above 100 ms")
+	}
+}
+
+func TestIeEff(t *testing.T) {
+	if IeEff(0) != 0 {
+		t.Fatal("zero loss should have zero impairment for G.711")
+	}
+	if IeEff(4.3) < 45 || IeEff(4.3) > 50 {
+		t.Fatalf("IeEff(Bpl) = %v, want ~47.5 (half of 95)", IeEff(4.3))
+	}
+	if IeEff(-5) != 0 {
+		t.Fatal("negative loss should clamp")
+	}
+}
+
+// TestPaperTable2Anchors: the paper's Table 2 reports ~4.41 for a clean
+// path at 5 ms baseline delay and 1.00 under severe bufferbloat with loss.
+func TestPaperTable2Anchors(t *testing.T) {
+	clean := MOS(Metrics{OneWayDelay: 15 * sim.Millisecond, Jitter: 2 * sim.Millisecond})
+	if clean < 4.3 {
+		t.Errorf("clean-path MOS = %.2f, want >= 4.3", clean)
+	}
+	awful := MOS(Metrics{OneWayDelay: 800 * sim.Millisecond, Jitter: 100 * sim.Millisecond, LossPct: 15})
+	if awful > 1.6 {
+		t.Errorf("bloated-path MOS = %.2f, want ~1", awful)
+	}
+}

@@ -1,0 +1,66 @@
+// Package ether models the wired segment of the testbed: the Gigabit
+// Ethernet hop between the traffic server and the access point, with
+// configurable propagation delay (the paper's VoIP experiments add 5 ms
+// and 50 ms of baseline one-way delay).
+package ether
+
+import (
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// Link is a full-duplex point-to-point link. Each direction serialises
+// packets at the configured rate and then delays them by the one-way
+// propagation time.
+type Link struct {
+	sim   *sim.Sim
+	rate  float64  // bits per second
+	delay sim.Time // one-way propagation delay
+
+	aToB, bToA half
+
+	// DeliverA and DeliverB receive packets arriving at each end.
+	DeliverA func(*pkt.Packet)
+	DeliverB func(*pkt.Packet)
+}
+
+type half struct {
+	busyUntil sim.Time
+	queued    int
+	Bytes     int64
+	Packets   int64
+}
+
+// GigabitRate is 1 Gbps in bits/second.
+const GigabitRate = 1e9
+
+// NewLink creates a link with the given rate (bits/s; GigabitRate if <= 0)
+// and one-way propagation delay.
+func NewLink(s *sim.Sim, rate float64, delay sim.Time) *Link {
+	if rate <= 0 {
+		rate = GigabitRate
+	}
+	return &Link{sim: s, rate: rate, delay: delay}
+}
+
+// Delay returns the configured one-way propagation delay.
+func (l *Link) Delay() sim.Time { return l.delay }
+
+// SendAToB transmits p from the A side toward B.
+func (l *Link) SendAToB(p *pkt.Packet) { l.send(&l.aToB, p, func(q *pkt.Packet) { l.DeliverB(q) }) }
+
+// SendBToA transmits p from the B side toward A.
+func (l *Link) SendBToA(p *pkt.Packet) { l.send(&l.bToA, p, func(q *pkt.Packet) { l.DeliverA(q) }) }
+
+func (l *Link) send(h *half, p *pkt.Packet, deliver func(*pkt.Packet)) {
+	now := l.sim.Now()
+	start := h.busyUntil
+	if start < now {
+		start = now
+	}
+	txTime := sim.Time(float64(p.Size*8) / l.rate * 1e9)
+	h.busyUntil = start + txTime
+	h.Bytes += int64(p.Size)
+	h.Packets++
+	l.sim.At(h.busyUntil+l.delay, func() { deliver(p) })
+}

@@ -1,0 +1,258 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// quick returns a run configuration sized for CI: one short repetition.
+func quick() RunConfig {
+	return RunConfig{Seed: 1, Duration: 4 * sim.Second, Warmup: 2 * sim.Second, Reps: 1}
+}
+
+// longer is used where dynamics need time to develop (TCP buffer filling).
+func longer() RunConfig {
+	return RunConfig{Seed: 1, Duration: 20 * sim.Second, Warmup: 5 * sim.Second, Reps: 1}
+}
+
+func TestNetConstruction(t *testing.T) {
+	n := NewNet(NetConfig{Seed: 1, Scheme: mac.SchemeFQMAC, Stations: DefaultStations()})
+	if len(n.Stations) != 3 {
+		t.Fatalf("stations = %d", len(n.Stations))
+	}
+	if n.Stations[2].APView.Rate.Mbps() > 8 {
+		t.Fatal("slow station rate wrong")
+	}
+	if got := n.StationNames(); got[0] != "fast1" || got[2] != "slow" {
+		t.Fatalf("names = %v", got)
+	}
+	// Flow ids are unique.
+	if n.Flow() == n.Flow() {
+		t.Fatal("flow ids repeat")
+	}
+}
+
+// TestUDPAnomalyAndFix is the headline check: the slow station dominates
+// airtime under FIFO; the airtime scheduler equalises shares and
+// multiplies total throughput.
+func TestUDPAnomalyAndFix(t *testing.T) {
+	fifo := RunUDP(UDPConfig{Run: quick(), Scheme: mac.SchemeFIFO})
+	air := RunUDP(UDPConfig{Run: quick(), Scheme: mac.SchemeAirtimeFQ})
+	if fifo.Shares[2] < 0.6 {
+		t.Errorf("FIFO slow share = %.2f, want > 0.6 (the anomaly)", fifo.Shares[2])
+	}
+	for i, s := range air.Shares {
+		if s < 0.25 || s > 0.42 {
+			t.Errorf("airtime share[%d] = %.2f, want ~1/3", i, s)
+		}
+	}
+	if air.TotalBps < 2*fifo.TotalBps {
+		t.Errorf("airtime total %.1f Mbps not >> FIFO %.1f Mbps",
+			air.TotalBps/1e6, fifo.TotalBps/1e6)
+	}
+	if air.AggMean[0] < 10 {
+		t.Errorf("fast aggregation %.1f under airtime, want large", air.AggMean[0])
+	}
+	if fifo.AggMean[2] < 1.5 || fifo.AggMean[2] > 2.1 {
+		t.Errorf("slow aggregation %.1f, want ~2 (4ms cap)", fifo.AggMean[2])
+	}
+	if !strings.Contains(air.String(), "airtime") {
+		t.Error("result rendering broken")
+	}
+}
+
+// TestLatencyOrdering verifies the Figure 4 relationships: FIFO slow-path
+// latency is an order of magnitude above FQ-MAC's.
+func TestLatencyOrdering(t *testing.T) {
+	fifo := RunLatency(LatencyConfig{Run: longer(), Scheme: mac.SchemeFIFO})
+	fqm := RunLatency(LatencyConfig{Run: longer(), Scheme: mac.SchemeFQMAC})
+	if fifo.Slow.Median() < 5*fqm.Slow.Median() {
+		t.Errorf("FIFO slow median %.0f ms not >> FQ-MAC %.0f ms",
+			fifo.Slow.Median(), fqm.Slow.Median())
+	}
+	if fqm.Slow.Median() > 60 {
+		t.Errorf("FQ-MAC slow median %.0f ms, want tens of ms", fqm.Slow.Median())
+	}
+	if fifo.Fast.N() == 0 || fifo.Slow.N() == 0 {
+		t.Fatal("no latency samples")
+	}
+}
+
+// TestFairnessIndexOrdering verifies the Figure 6 relationship: Jain's
+// index improves monotonically from FIFO to the airtime scheduler for UDP.
+func TestFairnessIndexOrdering(t *testing.T) {
+	fifo := RunFairness(FairnessConfig{Run: quick(), Scheme: mac.SchemeFIFO, Traffic: TrafficUDP})
+	air := RunFairness(FairnessConfig{Run: quick(), Scheme: mac.SchemeAirtimeFQ, Traffic: TrafficUDP})
+	if air.Jain < 0.99 {
+		t.Errorf("airtime Jain = %.3f, want ~1", air.Jain)
+	}
+	if fifo.Jain > 0.75 {
+		t.Errorf("FIFO Jain = %.3f, want well below 1", fifo.Jain)
+	}
+	// TCP download under airtime also stays near 1 (paper: close to
+	// perfect for unidirectional traffic).
+	airTCP := RunFairness(FairnessConfig{Run: longer(), Scheme: mac.SchemeAirtimeFQ, Traffic: TrafficTCPDown})
+	if airTCP.Jain < 0.93 {
+		t.Errorf("airtime TCP Jain = %.3f, want > 0.93", airTCP.Jain)
+	}
+}
+
+// TestThroughputOrdering verifies the Figure 7 pattern: average TCP
+// throughput rises from FIFO through the airtime scheduler, the fast
+// stations gain and the slow station is throttled.
+func TestThroughputOrdering(t *testing.T) {
+	fifo := RunThroughput(ThroughputConfig{Run: longer(), Scheme: mac.SchemeFIFO})
+	air := RunThroughput(ThroughputConfig{Run: longer(), Scheme: mac.SchemeAirtimeFQ})
+	if air.Average < 1.5*fifo.Average {
+		t.Errorf("airtime avg %.1f not >> FIFO avg %.1f", air.Average, fifo.Average)
+	}
+	if air.Mbps[2] > fifo.Mbps[2] {
+		t.Errorf("slow station gained under fairness: %.1f > %.1f", air.Mbps[2], fifo.Mbps[2])
+	}
+	if air.Mbps[0] < 15 {
+		t.Errorf("fast station only %.1f Mbps under airtime", air.Mbps[0])
+	}
+}
+
+// TestSparseOptimisation verifies the Figure 8 effect: the ping-only
+// station sees lower median latency with the optimisation enabled.
+func TestSparseOptimisation(t *testing.T) {
+	r := RunSparse(SparseConfig{Run: quick()})
+	if r.Enabled.N() == 0 || r.Disabled.N() == 0 {
+		t.Fatal("no samples")
+	}
+	if r.Enabled.Median() > r.Disabled.Median() {
+		t.Errorf("sparse opt did not help: enabled %.2f ms vs disabled %.2f ms",
+			r.Enabled.Median(), r.Disabled.Median())
+	}
+}
+
+// TestVoIPMOS verifies the Table 2 pattern: FIFO best-effort voice is
+// unusable, FQ-MAC/airtime best-effort voice is excellent.
+func TestVoIPMOS(t *testing.T) {
+	run := longer()
+	fifoBE := RunVoIP(VoIPConfig{Run: run, Scheme: mac.SchemeFIFO, UseVO: false, WiredDelay: 5 * sim.Millisecond})
+	airBE := RunVoIP(VoIPConfig{Run: run, Scheme: mac.SchemeAirtimeFQ, UseVO: false, WiredDelay: 5 * sim.Millisecond})
+	if airBE.MOS < 4.0 {
+		t.Errorf("airtime BE MOS = %.2f, want >= 4.0", airBE.MOS)
+	}
+	if fifoBE.MOS > airBE.MOS-0.5 {
+		t.Errorf("FIFO BE MOS %.2f not clearly worse than airtime %.2f", fifoBE.MOS, airBE.MOS)
+	}
+	fifoVO := RunVoIP(VoIPConfig{Run: run, Scheme: mac.SchemeFIFO, UseVO: true, WiredDelay: 5 * sim.Millisecond})
+	if fifoVO.MOS < fifoBE.MOS {
+		t.Errorf("VO marking (%.2f) did not beat BE (%.2f) under FIFO", fifoVO.MOS, fifoBE.MOS)
+	}
+}
+
+// TestWebPLT verifies the Figure 11 relationship: a fast station's page
+// load times shrink dramatically from FIFO to the fixed stack.
+func TestWebPLT(t *testing.T) {
+	fifo := RunWeb(WebConfig{Run: longer(), Scheme: mac.SchemeFIFO, Page: traffic.SmallPage})
+	air := RunWeb(WebConfig{Run: longer(), Scheme: mac.SchemeAirtimeFQ, Page: traffic.SmallPage})
+	if fifo.PLT.N() == 0 || air.PLT.N() == 0 {
+		t.Fatal("no fetches completed")
+	}
+	if air.PLT.Median() > fifo.PLT.Median() {
+		t.Errorf("airtime PLT %.0f ms not faster than FIFO %.0f ms",
+			air.PLT.Median(), fifo.PLT.Median())
+	}
+}
+
+// TestScale30 runs a reduced version of §4.1.5 (12 stations to keep CI
+// fast) and checks the slow 1 Mbps station is contained by the airtime
+// scheduler.
+func TestScale30(t *testing.T) {
+	run := RunConfig{Seed: 1, Duration: 10 * sim.Second, Warmup: 4 * sim.Second, Reps: 1}
+	fqc := RunScale(ScaleConfig{Run: run, Scheme: mac.SchemeFQCoDel, Stations: 12})
+	air := RunScale(ScaleConfig{Run: run, Scheme: mac.SchemeAirtimeFQ, Stations: 12})
+	if fqc.SlowShare < 0.4 {
+		t.Errorf("FQ-CoDel slow share = %.2f, want > 0.4 (1 Mbps hog)", fqc.SlowShare)
+	}
+	expected := 1.0 / 11 // 11 active stations share airtime
+	if air.SlowShare > 2*expected {
+		t.Errorf("airtime slow share = %.2f, want ~%.2f", air.SlowShare, expected)
+	}
+	if air.TotalMbps < 2*fqc.TotalMbps {
+		t.Errorf("airtime total %.1f not >> FQ-CoDel %.1f", air.TotalMbps, fqc.TotalMbps)
+	}
+}
+
+// TestTable1Assembly checks the combined model+measurement table.
+func TestTable1Assembly(t *testing.T) {
+	tb := RunTable1(quick())
+	if len(tb.Baseline) != 3 || len(tb.Fair) != 3 {
+		t.Fatal("table rows missing")
+	}
+	// Fair block: model says exactly 1/3 shares.
+	for _, r := range tb.Fair {
+		if r.AirtimeShare < 0.33 || r.AirtimeShare > 0.34 {
+			t.Errorf("fair share %.3f, want 1/3", r.AirtimeShare)
+		}
+	}
+	// Baseline: slow station's share dominates in the model given its
+	// measured aggregation.
+	if tb.Baseline[2].AirtimeShare < 0.6 {
+		t.Errorf("baseline model slow share %.2f, want > 0.6", tb.Baseline[2].AirtimeShare)
+	}
+	// Model and measurement agree within a factor of 1.6 per station.
+	for _, rows := range [][]Table1Row{tb.Baseline, tb.Fair} {
+		for _, r := range rows {
+			if r.ExpMbps <= 0 {
+				t.Errorf("%s: no measured throughput", r.Name)
+				continue
+			}
+			ratio := r.RateMbps / r.ExpMbps
+			if ratio < 0.55 || ratio > 1.8 {
+				t.Errorf("%s: model %.1f vs measured %.1f Mbps (ratio %.2f)",
+					r.Name, r.RateMbps, r.ExpMbps, ratio)
+			}
+		}
+	}
+	if !strings.Contains(tb.String(), "Baseline") {
+		t.Error("table rendering broken")
+	}
+}
+
+// TestBidirAccountsUplinkAirtime: with bidirectional TCP the airtime
+// scheduler still keeps Jain's index high (paper: slight dip only).
+func TestBidirFairness(t *testing.T) {
+	r := RunFairness(FairnessConfig{Run: longer(), Scheme: mac.SchemeAirtimeFQ, Traffic: TrafficTCPBidir})
+	if r.Jain < 0.85 {
+		t.Errorf("bidir Jain = %.3f, want > 0.85", r.Jain)
+	}
+}
+
+// TestDeterminism: identical seeds give identical results.
+func TestDeterminism(t *testing.T) {
+	a := RunUDP(UDPConfig{Run: quick(), Scheme: mac.SchemeAirtimeFQ})
+	b := RunUDP(UDPConfig{Run: quick(), Scheme: mac.SchemeAirtimeFQ})
+	for i := range a.Shares {
+		if a.Shares[i] != b.Shares[i] || a.Goodput[i] != b.Goodput[i] {
+			t.Fatalf("non-deterministic results: %+v vs %+v", a, b)
+		}
+	}
+}
+
+// TestPacketsFlowEverywhere sanity-checks the full testbed wiring under a
+// mixed workload on every scheme.
+func TestMixedWorkloadAllSchemes(t *testing.T) {
+	for _, scheme := range mac.Schemes {
+		n := NewNet(NetConfig{Seed: 3, Scheme: scheme, Stations: FourStations()})
+		n.DownloadTCP(n.Stations[0], pkt.ACBE)
+		n.UploadTCP(n.Stations[1], pkt.ACBE)
+		_, usink := n.DownloadUDP(n.Stations[2], 5e6, pkt.ACBE)
+		_, vsink := n.VoIPDown(n.Stations[3], pkt.ACVO)
+		png := n.Ping(n.Stations[0], 0, 1)
+		n.Run(5 * sim.Second)
+		if usink.Received == 0 || vsink.Received == 0 || png.Received == 0 {
+			t.Errorf("%v: missing traffic: udp=%d voip=%d ping=%d",
+				scheme, usink.Received, vsink.Received, png.Received)
+		}
+	}
+}

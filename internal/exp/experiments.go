@@ -1,0 +1,37 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// RunConfig controls repetition and timing common to all experiments. The
+// paper uses 30 repetitions of 30 s; the defaults here are scaled down for
+// interactive use and raised by cmd/paper-figures.
+type RunConfig struct {
+	Seed     uint64   // base seed; repetition i uses Seed+i
+	Duration sim.Time // measured interval per repetition (default 10 s)
+	Warmup   sim.Time // excluded settling time (default 2 s)
+	Reps     int      // repetitions (default 3)
+}
+
+func (c *RunConfig) fill() {
+	if c.Duration <= 0 {
+		c.Duration = 10 * sim.Second
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 2 * sim.Second
+	}
+	if c.Reps <= 0 {
+		c.Reps = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// End returns the absolute end time of the measured interval.
+func (c *RunConfig) End() sim.Time { return c.Warmup + c.Duration }
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mac"
+	"repro/internal/pkt"
+	"repro/internal/stats"
+)
+
+// TrafficKind selects the load for the fairness experiment (Figure 6).
+type TrafficKind int
+
+// The three traffic mixes of Figure 6.
+const (
+	TrafficUDP TrafficKind = iota
+	TrafficTCPDown
+	TrafficTCPBidir
+)
+
+var trafficNames = [...]string{"UDP", "TCP dl", "TCP bidir"}
+
+func (t TrafficKind) String() string { return trafficNames[t] }
+
+// TrafficKinds lists the mixes in the paper's order.
+var TrafficKinds = []TrafficKind{TrafficUDP, TrafficTCPDown, TrafficTCPBidir}
+
+// FairnessConfig configures one cell of Figure 6.
+type FairnessConfig struct {
+	Run     RunConfig
+	Scheme  mac.Scheme
+	Traffic TrafficKind
+}
+
+// FairnessResult is Jain's fairness index over the three stations'
+// airtime, averaged over repetitions.
+type FairnessResult struct {
+	Scheme  mac.Scheme
+	Traffic TrafficKind
+	Jain    float64
+	Shares  []float64
+}
+
+// RunFairness executes one scheme × traffic cell.
+func RunFairness(cfg FairnessConfig) *FairnessResult {
+	cfg.Run.fill()
+	res := &FairnessResult{Scheme: cfg.Scheme, Traffic: cfg.Traffic}
+	for rep := 0; rep < cfg.Run.Reps; rep++ {
+		n := NewNet(NetConfig{
+			Seed:     cfg.Run.Seed + uint64(rep),
+			Scheme:   cfg.Scheme,
+			Stations: DefaultStations(),
+		})
+		for _, st := range n.Stations {
+			switch cfg.Traffic {
+			case TrafficUDP:
+				n.DownloadUDP(st, 50e6, pkt.ACBE)
+			case TrafficTCPDown:
+				n.DownloadTCP(st, pkt.ACBE)
+			case TrafficTCPBidir:
+				n.DownloadTCP(st, pkt.ACBE)
+				n.UploadTCP(st, pkt.ACBE)
+			}
+		}
+		n.Run(cfg.Run.Warmup)
+		snap := n.SnapshotAirtime()
+		n.Run(cfg.Run.End())
+		air := n.AirtimeSince(snap)
+		res.Jain += stats.JainIndex(air)
+		shares := stats.Shares(air)
+		if res.Shares == nil {
+			res.Shares = shares
+		} else {
+			for i := range shares {
+				res.Shares[i] += shares[i]
+			}
+		}
+	}
+	f := float64(cfg.Run.Reps)
+	res.Jain /= f
+	for i := range res.Shares {
+		res.Shares[i] /= f
+	}
+	return res
+}
+
+// String renders one cell.
+func (r *FairnessResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-9s Jain=%.3f shares=[", r.Scheme, r.Traffic, r.Jain)
+	for i, s := range r.Shares {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(pct(s))
+	}
+	b.WriteString("]\n")
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mac"
+	"repro/internal/pkt"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// LatencyConfig configures the latency-under-load experiment behind
+// Figures 1 and 4 (and the online appendix's bidirectional variant):
+// bulk TCP to every station with a concurrent ICMP ping.
+type LatencyConfig struct {
+	Run    RunConfig
+	Scheme mac.Scheme
+	Bidir  bool // add simultaneous upload from each station
+}
+
+// LatencyResult holds ping RTT distributions for the fast stations
+// (merged) and the slow station, in milliseconds.
+type LatencyResult struct {
+	Scheme     mac.Scheme
+	Fast, Slow stats.Sample
+}
+
+// RunLatency executes the experiment.
+func RunLatency(cfg LatencyConfig) *LatencyResult {
+	cfg.Run.fill()
+	res := &LatencyResult{Scheme: cfg.Scheme}
+	for rep := 0; rep < cfg.Run.Reps; rep++ {
+		n := NewNet(NetConfig{
+			Seed:     cfg.Run.Seed + uint64(rep),
+			Scheme:   cfg.Scheme,
+			Stations: DefaultStations(),
+		})
+		for _, st := range n.Stations {
+			n.DownloadTCP(st, pkt.ACBE)
+			if cfg.Bidir {
+				n.UploadTCP(st, pkt.ACBE)
+			}
+		}
+		// Let the bulk flows reach steady state before measuring latency.
+		n.Run(cfg.Run.Warmup)
+		pingers := make([]*traffic.Pinger, len(n.Stations))
+		for i, st := range n.Stations {
+			pingers[i] = n.Ping(st, 0, i+1)
+		}
+		n.Run(cfg.Run.End())
+		for i, st := range n.Stations {
+			if strings.HasPrefix(st.Name, "fast") {
+				res.Fast.Merge(&pingers[i].RTT)
+			} else {
+				res.Slow.Merge(&pingers[i].RTT)
+			}
+		}
+	}
+	return res
+}
+
+// String renders the distributions.
+func (r *LatencyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s fast: %s\n", r.Scheme, r.Fast.Summary())
+	fmt.Fprintf(&b, "%-8s slow: %s\n", r.Scheme, r.Slow.Summary())
+	return b.String()
+}

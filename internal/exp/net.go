@@ -1,0 +1,274 @@
+// Package exp assembles the paper's testbed inside the simulator and
+// provides one runner per table/figure of the evaluation (§4).
+//
+// The canonical setup mirrors §4: a wired server one Gigabit Ethernet hop
+// from the access point, two fast stations close to the AP (MCS15,
+// 144.4 Mbps PHY), one slow station limited to MCS0 (7.2 Mbps), and, where
+// an experiment calls for it, an extra fast station. The 30-station
+// scaling experiment (§4.1.5) instead uses 29 autorate clients and one
+// 1 Mbps legacy client.
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/ether"
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/traffic"
+)
+
+// Node identifiers.
+const (
+	ServerID  pkt.NodeID = 1
+	APID      pkt.NodeID = 2
+	StationID pkt.NodeID = 10 // stations are StationID, StationID+1, ...
+)
+
+// FastRate and SlowRate are the paper's station rates: MCS15 HT20 SGI
+// (144.4 Mbps) and MCS0 HT20 SGI (7.2 Mbps).
+var (
+	FastRate = phy.MCS(15, true)
+	SlowRate = phy.MCS(0, true)
+)
+
+// StationSpec describes one wireless client to create.
+type StationSpec struct {
+	Name string
+	Rate phy.Rate
+}
+
+// NetConfig configures a testbed instance.
+type NetConfig struct {
+	Seed     uint64
+	Scheme   mac.Scheme
+	Stations []StationSpec
+
+	// WiredDelay is the one-way delay of the server-AP hop (default
+	// 1 ms; the VoIP experiments use 5 ms and 50 ms).
+	WiredDelay sim.Time
+
+	// MAC overrides applied to the AP (scheme is set from Scheme).
+	AP mac.Config
+
+	// StationMAC overrides the clients' MAC parameters (their scheme is
+	// always FIFO — the paper modifies only the access point).
+	StationMAC mac.Config
+}
+
+// Station is one wireless client node with its application attachments.
+type Station struct {
+	Name   string
+	Node   *mac.Node
+	Host   *traffic.Host
+	TCP    *tcp.Host
+	APView *mac.Station // the AP's per-station state (airtime, aggregation)
+	Rate   phy.Rate
+}
+
+// Net is an assembled testbed.
+type Net struct {
+	Sim      *sim.Sim
+	Env      *mac.Env
+	AP       *mac.Node
+	Link     *ether.Link
+	Server   *traffic.Host
+	ServerTC *tcp.Host
+	Stations []*Station
+
+	flowCtr uint64
+}
+
+// NewNet builds the testbed.
+func NewNet(cfg NetConfig) *Net {
+	if cfg.WiredDelay == 0 {
+		cfg.WiredDelay = 1 * sim.Millisecond
+	}
+	s := sim.New(cfg.Seed)
+	env := mac.NewEnv(s)
+	n := &Net{Sim: s, Env: env}
+
+	apCfg := cfg.AP
+	apCfg.Scheme = cfg.Scheme
+	n.AP = mac.NewNode(env, APID, "ap", apCfg)
+
+	n.Link = ether.NewLink(s, ether.GigabitRate, cfg.WiredDelay)
+	n.Server = traffic.NewHost(s, ServerID, n.Link.SendAToB)
+	n.ServerTC = &tcp.Host{Sim: s, ID: ServerID, Out: n.Server.Out}
+	n.Link.DeliverA = n.Server.Deliver
+	n.Link.DeliverB = n.downlink
+
+	// Traffic the AP receives over the air heads for the wired segment.
+	n.AP.Deliver = func(p *pkt.Packet) {
+		if p.Dst == ServerID {
+			n.Link.SendBToA(p)
+			return
+		}
+		// Station-to-station traffic hairpins through the AP.
+		n.AP.Input(p)
+	}
+
+	staCfg := cfg.StationMAC
+	staCfg.Scheme = mac.SchemeFIFO
+	for i, spec := range cfg.Stations {
+		n.addStation(pkt.NodeID(int(StationID)+i), spec, staCfg)
+	}
+	return n
+}
+
+// downlink feeds packets arriving from the wire into the AP's transmit
+// path.
+func (n *Net) downlink(p *pkt.Packet) { n.AP.Input(p) }
+
+func (n *Net) addStation(id pkt.NodeID, spec StationSpec, cfg mac.Config) {
+	node := mac.NewNode(n.Env, id, spec.Name, cfg)
+	host := traffic.NewHost(n.Sim, id, node.Input)
+	node.Deliver = host.Deliver
+	apView := n.AP.AddStation(node, spec.Rate)
+	node.AddStation(n.AP, spec.Rate)
+	st := &Station{
+		Name: spec.Name, Node: node, Host: host,
+		TCP:    &tcp.Host{Sim: n.Sim, ID: id, Out: host.Out},
+		APView: apView, Rate: spec.Rate,
+	}
+	n.Stations = append(n.Stations, st)
+}
+
+// Flow allocates a fresh flow identifier.
+func (n *Net) Flow() uint64 {
+	n.flowCtr++
+	return n.flowCtr
+}
+
+// Run advances the simulation to the given absolute time.
+func (n *Net) Run(until sim.Time) { n.Sim.RunUntil(until) }
+
+// --- Traffic helpers -----------------------------------------------------
+
+// DownloadTCP starts a bulk TCP transfer from the server to st.
+func (n *Net) DownloadTCP(st *Station, ac pkt.AC) *tcp.Conn {
+	conn := tcp.NewConn(tcp.Options{
+		Client: n.ServerTC, Server: st.TCP, AC: ac, Flow: n.Flow(),
+	})
+	n.Server.Register(conn.Flow(), conn.Client().Input)
+	st.Host.Register(conn.Flow(), conn.Server().Input)
+	conn.OpenInstant()
+	conn.Client().SendForever()
+	return conn
+}
+
+// UploadTCP starts a bulk TCP transfer from st to the server.
+func (n *Net) UploadTCP(st *Station, ac pkt.AC) *tcp.Conn {
+	conn := tcp.NewConn(tcp.Options{
+		Client: st.TCP, Server: n.ServerTC, AC: ac, Flow: n.Flow(),
+	})
+	st.Host.Register(conn.Flow(), conn.Client().Input)
+	n.Server.Register(conn.Flow(), conn.Server().Input)
+	conn.OpenInstant()
+	conn.Client().SendForever()
+	return conn
+}
+
+// DownloadUDP starts a CBR UDP flood from the server to st and returns the
+// source and the station-side sink.
+func (n *Net) DownloadUDP(st *Station, rateBps float64, ac pkt.AC) (*traffic.UDPSource, *traffic.UDPSink) {
+	flow := n.Flow()
+	src := traffic.NewUDPSource(n.Server, traffic.UDPConfig{
+		Dst: st.Host.ID, Flow: flow, RateBps: rateBps, AC: ac,
+	})
+	sink := traffic.NewUDPSink(st.Host, flow)
+	src.Start()
+	return src, sink
+}
+
+// Ping starts a pinger from the server toward st.
+func (n *Net) Ping(st *Station, interval sim.Time, id int) *traffic.Pinger {
+	p := traffic.NewPinger(n.Server, traffic.PingerConfig{
+		Dst: st.Host.ID, Interval: interval, ID: id, AC: pkt.ACBE,
+	})
+	p.Start()
+	return p
+}
+
+// VoIPDown starts a voice stream from the server to st and returns the
+// station-side sink.
+func (n *Net) VoIPDown(st *Station, ac pkt.AC) (*traffic.VoIPSource, *traffic.VoIPSink) {
+	flow := n.Flow()
+	src := traffic.NewVoIPSource(n.Server, st.Host.ID, flow, ac)
+	sink := traffic.NewVoIPSink(st.Host, flow)
+	src.Start()
+	return src, sink
+}
+
+// Web creates a web client at st fetching page from the server.
+func (n *Net) Web(st *Station, page traffic.WebPage) *traffic.WebClient {
+	base := n.Flow()
+	n.flowCtr += 1 << 20 // reserve id space for per-fetch flows
+	return traffic.NewWebClient(traffic.WebConfig{
+		Client: st.Host, Server: n.Server,
+		TCPClient: st.TCP, TCPServer: n.ServerTC,
+		Page: page, AC: pkt.ACBE, FlowBase: base << 24,
+	})
+}
+
+// --- Measurement helpers -------------------------------------------------
+
+// AirtimeSnapshot captures per-station airtime counters so a warmup period
+// can be excluded from share computations.
+type AirtimeSnapshot struct {
+	tx, rx []sim.Time
+}
+
+// SnapshotAirtime records the current airtime counters.
+func (n *Net) SnapshotAirtime() AirtimeSnapshot {
+	snap := AirtimeSnapshot{
+		tx: make([]sim.Time, len(n.Stations)),
+		rx: make([]sim.Time, len(n.Stations)),
+	}
+	for i, st := range n.Stations {
+		snap.tx[i] = st.APView.TxAirtime
+		snap.rx[i] = st.APView.RxAirtime
+	}
+	return snap
+}
+
+// AirtimeSince returns each station's airtime accumulated since the
+// snapshot (TX + RX), in seconds.
+func (n *Net) AirtimeSince(snap AirtimeSnapshot) []float64 {
+	out := make([]float64, len(n.Stations))
+	for i, st := range n.Stations {
+		d := (st.APView.TxAirtime - snap.tx[i]) + (st.APView.RxAirtime - snap.rx[i])
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// StationNames lists station names in creation order.
+func (n *Net) StationNames() []string {
+	names := make([]string, len(n.Stations))
+	for i, st := range n.Stations {
+		names[i] = st.Name
+	}
+	return names
+}
+
+// DefaultStations returns the paper's basic 3-station specification: two
+// fast (MCS15) and one slow (MCS0).
+func DefaultStations() []StationSpec {
+	return []StationSpec{
+		{Name: "fast1", Rate: FastRate},
+		{Name: "fast2", Rate: FastRate},
+		{Name: "slow", Rate: SlowRate},
+	}
+}
+
+// FourStations is DefaultStations plus the extra fast station used by the
+// sparse-station and VoIP experiments.
+func FourStations() []StationSpec {
+	return append(DefaultStations(), StationSpec{Name: "fast3", Rate: FastRate})
+}
+
+func fmtMbps(bps float64) string { return fmt.Sprintf("%.1f", bps/1e6) }

@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// TestResultRenderers exercises every result's String method on real
+// (tiny) runs so the CLI output paths stay covered.
+func TestResultRenderers(t *testing.T) {
+	tiny := RunConfig{Seed: 1, Duration: 2 * sim.Second, Warmup: 1 * sim.Second, Reps: 1}
+
+	lat := RunLatency(LatencyConfig{Run: tiny, Scheme: mac.SchemeFQMAC})
+	if !strings.Contains(lat.String(), "fast") || !strings.Contains(lat.String(), "slow") {
+		t.Error("latency renderer missing rows")
+	}
+	udp := RunUDP(UDPConfig{Run: tiny, Scheme: mac.SchemeFIFO})
+	if !strings.Contains(udp.String(), "airtime=") {
+		t.Error("udp renderer missing airtime")
+	}
+	fair := RunFairness(FairnessConfig{Run: tiny, Scheme: mac.SchemeFIFO, Traffic: TrafficUDP})
+	if !strings.Contains(fair.String(), "Jain=") {
+		t.Error("fairness renderer missing index")
+	}
+	thr := RunThroughput(ThroughputConfig{Run: tiny, Scheme: mac.SchemeAirtimeFQ})
+	if !strings.Contains(thr.String(), "avg=") {
+		t.Error("throughput renderer missing average")
+	}
+	sp := RunSparse(SparseConfig{Run: tiny})
+	if !strings.Contains(sp.String(), "enabled") {
+		t.Error("sparse renderer missing variant")
+	}
+	voip := RunVoIP(VoIPConfig{Run: tiny, Scheme: mac.SchemeFQMAC, WiredDelay: 5 * sim.Millisecond})
+	if !strings.Contains(voip.String(), "MOS=") {
+		t.Error("voip renderer missing MOS")
+	}
+	web := RunWeb(WebConfig{Run: tiny, Scheme: mac.SchemeAirtimeFQ, Page: traffic.SmallPage})
+	if !strings.Contains(web.String(), "PLT") {
+		t.Error("web renderer missing PLT")
+	}
+	sc := RunScale(ScaleConfig{Run: tiny, Scheme: mac.SchemeAirtimeFQ, Stations: 5})
+	if !strings.Contains(sc.String(), "slow airtime share") {
+		t.Error("scale renderer missing share")
+	}
+}
+
+// TestBidirLatencyVariant covers the appendix's upload+download case: the
+// runner completes and produces samples for both classes.
+func TestBidirLatencyVariant(t *testing.T) {
+	r := RunLatency(LatencyConfig{
+		Run:    RunConfig{Seed: 2, Duration: 4 * sim.Second, Warmup: 2 * sim.Second, Reps: 1},
+		Scheme: mac.SchemeAirtimeFQ,
+		Bidir:  true,
+	})
+	if r.Fast.N() == 0 || r.Slow.N() == 0 {
+		t.Fatal("no samples in bidirectional latency run")
+	}
+}
+
+// TestWebSlowVariant covers the slow-station-browsing appendix case.
+func TestWebSlowVariant(t *testing.T) {
+	r := RunWeb(WebConfig{
+		Run:         RunConfig{Seed: 3, Duration: 8 * sim.Second, Warmup: 2 * sim.Second, Reps: 1},
+		Scheme:      mac.SchemeAirtimeFQ,
+		Page:        traffic.SmallPage,
+		SlowFetches: true,
+	})
+	if r.PLT.N() == 0 {
+		t.Fatal("slow-station browser completed no fetches")
+	}
+	// Browsing over a 7.2 Mbps station among busy fast stations must be
+	// slower than the base wired RTT but still complete in seconds.
+	if r.PLT.Median() < 20 || r.PLT.Median() > 5000 {
+		t.Fatalf("slow-variant PLT median %.0f ms implausible", r.PLT.Median())
+	}
+}
+
+// TestStationMACOverride verifies the client-side MAC override plumbing.
+func TestStationMACOverride(t *testing.T) {
+	n := NewNet(NetConfig{
+		Seed: 4, Scheme: mac.SchemeFQMAC, Stations: DefaultStations()[:1],
+		StationMAC: mac.Config{RTSThreshold: sim.Millisecond},
+	})
+	if n.Stations[0].Node.Config().RTSThreshold != sim.Millisecond {
+		t.Fatal("station MAC override not applied")
+	}
+	if n.Stations[0].Node.Scheme() != mac.SchemeFIFO {
+		t.Fatal("station scheme must remain FIFO")
+	}
+}
+
+// TestDTTInTestbed: the fifth scheme works through the full testbed.
+func TestDTTInTestbed(t *testing.T) {
+	n := NewNet(NetConfig{Seed: 5, Scheme: mac.SchemeDTT, Stations: DefaultStations()})
+	sinks := make([]*traffic.UDPSink, 0, 3)
+	for _, st := range n.Stations {
+		_, sink := n.DownloadUDP(st, 50e6, pkt.ACBE)
+		sinks = append(sinks, sink)
+	}
+	n.Run(5 * sim.Second)
+	for i, s := range sinks {
+		if s.Received == 0 {
+			t.Errorf("station %d received nothing under DTT", i)
+		}
+	}
+}

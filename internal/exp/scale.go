@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/pkt"
+	"repro/internal/stats"
+)
+
+// ScaleConfig configures the 30-station experiment of §4.1.5 (Figures 9
+// and 10): 28 fast stations and one 1 Mbps legacy station receive bulk TCP
+// downloads; a 29th fast station receives only pings.
+type ScaleConfig struct {
+	Run      RunConfig
+	Scheme   mac.Scheme
+	Stations int // total clients including slow and ping-only (default 30)
+}
+
+// ScaleResult reports airtime shares, latency and totals for the scaled
+// setup.
+type ScaleResult struct {
+	Scheme     mac.Scheme
+	SlowShare  float64      // slow station's airtime share
+	FastShares stats.Sample // per-fast-station airtime shares
+	FastRTT    stats.Sample // latency to a bulk fast station, ms
+	SlowRTT    stats.Sample // latency to the slow station, ms
+	SparseRTT  stats.Sample // latency to the ping-only station, ms
+	TotalMbps  float64
+}
+
+// RunScale executes the experiment. The third-party testbed runs on a
+// 2.4 GHz HT20 channel; fast stations here use MCS7 (72.2 Mbps) and the
+// slow station the 1 Mbps DSSS rate with HT disabled.
+func RunScale(cfg ScaleConfig) *ScaleResult {
+	cfg.Run.fill()
+	if cfg.Stations < 4 {
+		cfg.Stations = 30
+	}
+	fastRate := phy.MCS(7, true)
+	specs := make([]StationSpec, 0, cfg.Stations)
+	// Station 0 is slow; the last is ping-only; the rest are fast bulk.
+	specs = append(specs, StationSpec{Name: "slow", Rate: phy.Legacy(1)})
+	for i := 1; i < cfg.Stations-1; i++ {
+		specs = append(specs, StationSpec{Name: fmt.Sprintf("fast%02d", i), Rate: fastRate})
+	}
+	specs = append(specs, StationSpec{Name: "pingonly", Rate: fastRate})
+
+	res := &ScaleResult{Scheme: cfg.Scheme}
+	for rep := 0; rep < cfg.Run.Reps; rep++ {
+		n := NewNet(NetConfig{
+			Seed:     cfg.Run.Seed + uint64(rep),
+			Scheme:   cfg.Scheme,
+			Stations: specs,
+		})
+		recv := make([]func() int64, 0, len(n.Stations)-1)
+		for _, st := range n.Stations[:len(n.Stations)-1] {
+			conn := n.DownloadTCP(st, pkt.ACBE)
+			recv = append(recv, conn.Server().TotalReceived)
+		}
+		n.Run(cfg.Run.Warmup)
+		snap := n.SnapshotAirtime()
+		snaps := make([]int64, len(recv))
+		for i, f := range recv {
+			snaps[i] = f()
+		}
+		pSlow := n.Ping(n.Stations[0], 0, 1)
+		pFast := n.Ping(n.Stations[1], 0, 2)
+		pSparse := n.Ping(n.Stations[len(n.Stations)-1], 0, 3)
+		n.Run(cfg.Run.End())
+
+		air := n.AirtimeSince(snap)
+		shares := stats.Shares(air)
+		res.SlowShare += shares[0]
+		for i := 1; i < len(shares)-1; i++ {
+			res.FastShares.Add(shares[i])
+		}
+		res.SlowRTT.Merge(&pSlow.RTT)
+		res.FastRTT.Merge(&pFast.RTT)
+		res.SparseRTT.Merge(&pSparse.RTT)
+		var total int64
+		for i, f := range recv {
+			total += f() - snaps[i]
+		}
+		res.TotalMbps += float64(total) * 8 / cfg.Run.Duration.Seconds() / 1e6
+	}
+	f := float64(cfg.Run.Reps)
+	res.SlowShare /= f
+	res.TotalMbps /= f
+	return res
+}
+
+// String renders the scaled-setup metrics.
+func (r *ScaleResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s slow airtime share: %s, fast share: med %s (min %s max %s)\n",
+		r.Scheme, pct(r.SlowShare), pct(r.FastShares.Median()),
+		pct(r.FastShares.Min()), pct(r.FastShares.Max()))
+	fmt.Fprintf(&b, "%-8s total throughput: %.1f Mbps\n", r.Scheme, r.TotalMbps)
+	fmt.Fprintf(&b, "%-8s RTT fast:   %s\n", r.Scheme, r.FastRTT.Summary())
+	fmt.Fprintf(&b, "%-8s RTT slow:   %s\n", r.Scheme, r.SlowRTT.Summary())
+	fmt.Fprintf(&b, "%-8s RTT sparse: %s\n", r.Scheme, r.SparseRTT.Summary())
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mac"
+	"repro/internal/pkt"
+	"repro/internal/stats"
+)
+
+// SparseConfig configures the sparse-station optimisation experiment
+// behind Figure 8: three stations receive bulk traffic (UDP or TCP) while
+// a fourth only receives a ping flow; its latency is compared with the
+// optimisation enabled and disabled.
+type SparseConfig struct {
+	Run RunConfig
+	TCP bool // bulk traffic is TCP download instead of UDP
+}
+
+// SparseResult holds the sparse station's RTT distributions.
+type SparseResult struct {
+	TCP               bool
+	Enabled, Disabled stats.Sample
+}
+
+// RunSparse executes both variants under the Airtime scheme.
+func RunSparse(cfg SparseConfig) *SparseResult {
+	cfg.Run.fill()
+	res := &SparseResult{TCP: cfg.TCP}
+	for _, disable := range []bool{false, true} {
+		for rep := 0; rep < cfg.Run.Reps; rep++ {
+			n := NewNet(NetConfig{
+				Seed:     cfg.Run.Seed + uint64(rep),
+				Scheme:   mac.SchemeAirtimeFQ,
+				Stations: FourStations(),
+				AP:       mac.Config{DisableSparse: disable},
+			})
+			for _, st := range n.Stations[:3] {
+				if cfg.TCP {
+					n.DownloadTCP(st, pkt.ACBE)
+				} else {
+					n.DownloadUDP(st, 50e6, pkt.ACBE)
+				}
+			}
+			n.Run(cfg.Run.Warmup)
+			p := n.Ping(n.Stations[3], 0, 1)
+			n.Run(cfg.Run.End())
+			if disable {
+				res.Disabled.Merge(&p.RTT)
+			} else {
+				res.Enabled.Merge(&p.RTT)
+			}
+		}
+	}
+	return res
+}
+
+// String renders both distributions.
+func (r *SparseResult) String() string {
+	kind := "UDP"
+	if r.TCP {
+		kind = "TCP"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sparse-opt enabled  (%s): %s\n", kind, r.Enabled.Summary())
+	fmt.Fprintf(&b, "sparse-opt disabled (%s): %s\n", kind, r.Disabled.Summary())
+	return b.String()
+}

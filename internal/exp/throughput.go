@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mac"
+	"repro/internal/pkt"
+)
+
+// ThroughputConfig configures the TCP download throughput experiment
+// behind Figure 7 (and its bidirectional appendix variant).
+type ThroughputConfig struct {
+	Run    RunConfig
+	Scheme mac.Scheme
+	Bidir  bool
+}
+
+// ThroughputResult reports per-station and average TCP download goodput.
+type ThroughputResult struct {
+	Scheme  mac.Scheme
+	Names   []string
+	Mbps    []float64
+	Average float64
+}
+
+// RunThroughput executes the experiment.
+func RunThroughput(cfg ThroughputConfig) *ThroughputResult {
+	cfg.Run.fill()
+	res := &ThroughputResult{Scheme: cfg.Scheme}
+	for rep := 0; rep < cfg.Run.Reps; rep++ {
+		n := NewNet(NetConfig{
+			Seed:     cfg.Run.Seed + uint64(rep),
+			Scheme:   cfg.Scheme,
+			Stations: DefaultStations(),
+		})
+		recv := make([]func() int64, len(n.Stations))
+		for i, st := range n.Stations {
+			conn := n.DownloadTCP(st, pkt.ACBE)
+			srv := conn.Server() // station side of the download
+			recv[i] = srv.TotalReceived
+			if cfg.Bidir {
+				n.UploadTCP(st, pkt.ACBE)
+			}
+		}
+		n.Run(cfg.Run.Warmup)
+		snaps := make([]int64, len(recv))
+		for i, f := range recv {
+			snaps[i] = f()
+		}
+		n.Run(cfg.Run.End())
+		if res.Names == nil {
+			res.Names = n.StationNames()
+			res.Mbps = make([]float64, len(recv))
+		}
+		for i, f := range recv {
+			res.Mbps[i] += float64(f()-snaps[i]) * 8 / cfg.Run.Duration.Seconds() / 1e6
+		}
+	}
+	f := float64(cfg.Run.Reps)
+	var sum float64
+	for i := range res.Mbps {
+		res.Mbps[i] /= f
+		sum += res.Mbps[i]
+	}
+	res.Average = sum / float64(len(res.Mbps))
+	return res
+}
+
+// String renders per-station throughput.
+func (r *ThroughputResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s ", r.Scheme)
+	for i, name := range r.Names {
+		fmt.Fprintf(&b, "%s=%.1f Mbps  ", name, r.Mbps[i])
+	}
+	fmt.Fprintf(&b, "avg=%.1f Mbps\n", r.Average)
+	return b.String()
+}

@@ -1,0 +1,227 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mac"
+	"repro/internal/model"
+	"repro/internal/pkt"
+)
+
+// UDPConfig configures the one-way UDP flood experiment behind Figure 5
+// and the measured column of Table 1.
+type UDPConfig struct {
+	Run     RunConfig
+	Scheme  mac.Scheme
+	RateBps float64 // offered load per station (default 50 Mbps)
+}
+
+// UDPResult reports per-station airtime shares, goodput and mean
+// aggregation for one scheme.
+type UDPResult struct {
+	Scheme   mac.Scheme
+	Names    []string
+	Shares   []float64 // airtime fraction per station
+	Goodput  []float64 // bits/s per station
+	AggMean  []float64 // mean A-MPDU size in packets
+	TotalBps float64
+}
+
+// RunUDP executes the experiment. Results average over repetitions.
+func RunUDP(cfg UDPConfig) *UDPResult {
+	cfg.Run.fill()
+	if cfg.RateBps <= 0 {
+		cfg.RateBps = 50e6
+	}
+	var res *UDPResult
+	for rep := 0; rep < cfg.Run.Reps; rep++ {
+		n := NewNet(NetConfig{
+			Seed:     cfg.Run.Seed + uint64(rep),
+			Scheme:   cfg.Scheme,
+			Stations: DefaultStations(),
+		})
+		sinks := make([]*sinkRef, len(n.Stations))
+		for i, st := range n.Stations {
+			_, sink := n.DownloadUDP(st, cfg.RateBps, pkt.ACBE)
+			sinks[i] = &sinkRef{bytes: func() int64 { return sink.RcvdBytes }}
+		}
+		one := measureStations(n, cfg.Run, sinks)
+		res = accumulate(res, one, cfg.Scheme)
+	}
+	finish(res, cfg.Run.Reps)
+	return res
+}
+
+// sinkRef abstracts "bytes received so far" for goodput deltas.
+type sinkRef struct {
+	bytes func() int64
+	snap  int64
+}
+
+// measureStations runs warmup+duration and extracts per-station metrics.
+func measureStations(n *Net, run RunConfig, sinks []*sinkRef) *UDPResult {
+	n.Run(run.Warmup)
+	airSnap := n.SnapshotAirtime()
+	aggC := make([]int64, len(n.Stations))
+	aggP := make([]int64, len(n.Stations))
+	for i, st := range n.Stations {
+		aggC[i] = st.APView.AggCount
+		aggP[i] = st.APView.AggPackets
+		if sinks[i] != nil {
+			sinks[i].snap = sinks[i].bytes()
+		}
+	}
+	n.Run(run.End())
+
+	out := &UDPResult{Names: n.StationNames()}
+	air := n.AirtimeSince(airSnap)
+	var totalAir float64
+	for _, a := range air {
+		totalAir += a
+	}
+	dur := run.Duration.Seconds()
+	for i, st := range n.Stations {
+		share := 0.0
+		if totalAir > 0 {
+			share = air[i] / totalAir
+		}
+		out.Shares = append(out.Shares, share)
+		gp := 0.0
+		if sinks[i] != nil {
+			gp = float64(sinks[i].bytes()-sinks[i].snap) * 8 / dur
+		}
+		out.Goodput = append(out.Goodput, gp)
+		out.TotalBps += gp
+		dc := st.APView.AggCount - aggC[i]
+		dp := st.APView.AggPackets - aggP[i]
+		am := 0.0
+		if dc > 0 {
+			am = float64(dp) / float64(dc)
+		}
+		out.AggMean = append(out.AggMean, am)
+	}
+	return out
+}
+
+func accumulate(acc, one *UDPResult, scheme mac.Scheme) *UDPResult {
+	if acc == nil {
+		one.Scheme = scheme
+		return one
+	}
+	for i := range acc.Shares {
+		acc.Shares[i] += one.Shares[i]
+		acc.Goodput[i] += one.Goodput[i]
+		acc.AggMean[i] += one.AggMean[i]
+	}
+	acc.TotalBps += one.TotalBps
+	return acc
+}
+
+func finish(res *UDPResult, reps int) {
+	if res == nil || reps <= 1 {
+		return
+	}
+	f := float64(reps)
+	for i := range res.Shares {
+		res.Shares[i] /= f
+		res.Goodput[i] /= f
+		res.AggMean[i] /= f
+	}
+	res.TotalBps /= f
+}
+
+// String renders per-station rows.
+func (r *UDPResult) String() string {
+	var b strings.Builder
+	for i, name := range r.Names {
+		fmt.Fprintf(&b, "%-8s %-6s airtime=%-6s goodput=%6s Mbps  aggr=%5.2f\n",
+			r.Scheme, name, pct(r.Shares[i]), fmtMbps(r.Goodput[i]), r.AggMean[i])
+	}
+	fmt.Fprintf(&b, "%-8s total goodput %s Mbps\n", r.Scheme, fmtMbps(r.TotalBps))
+	return b.String()
+}
+
+// Table1Row is one line of the reproduced Table 1: model predictions plus
+// the measured UDP throughput.
+type Table1Row struct {
+	Name         string
+	AggSize      float64
+	AirtimeShare float64 // T(i), model
+	PHYMbps      float64
+	BaseMbps     float64 // R(n,l,r)
+	RateMbps     float64 // R(i) = T(i)·Base
+	ExpMbps      float64 // measured
+}
+
+// Table1Result reproduces Table 1: the baseline (FIFO) block and the
+// airtime-fairness block.
+type Table1Result struct {
+	Baseline, Fair []Table1Row
+}
+
+// RunTable1 runs the UDP experiment under the FIFO and Airtime schemes,
+// feeds the measured aggregation levels into the analytical model
+// (§2.2.1) and assembles the paper's Table 1.
+func RunTable1(run RunConfig) *Table1Result {
+	res := &Table1Result{}
+	for _, fair := range []bool{false, true} {
+		scheme := mac.SchemeFIFO
+		if fair {
+			scheme = mac.SchemeAirtimeFQ
+		}
+		m := RunUDP(UDPConfig{Run: run, Scheme: scheme})
+		params := make([]model.StationParams, len(m.Names))
+		specs := DefaultStations()
+		for i := range m.Names {
+			agg := m.AggMean[i]
+			if agg < 1 {
+				agg = 1
+			}
+			params[i] = model.StationParams{
+				Name: m.Names[i], AggSize: agg, PktLen: 1500, Rate: specs[i].Rate,
+			}
+		}
+		preds := model.Predict(params, fair)
+		rows := make([]Table1Row, len(preds))
+		for i, p := range preds {
+			rows[i] = Table1Row{
+				Name:         p.Name,
+				AggSize:      params[i].AggSize,
+				AirtimeShare: p.AirtimeShare,
+				PHYMbps:      params[i].Rate.Mbps(),
+				BaseMbps:     p.BaseRate / 1e6,
+				RateMbps:     p.Rate / 1e6,
+				ExpMbps:      m.Goodput[i] / 1e6,
+			}
+		}
+		if fair {
+			res.Fair = rows
+		} else {
+			res.Baseline = rows
+		}
+	}
+	return res
+}
+
+// String renders the two blocks in the paper's layout.
+func (t *Table1Result) String() string {
+	var b strings.Builder
+	block := func(title string, rows []Table1Row) {
+		fmt.Fprintf(&b, "%s\n", title)
+		fmt.Fprintf(&b, "  %-6s %-8s %-6s %8s %8s %8s %8s\n",
+			"sta", "aggr", "T(i)", "PHY", "Base", "R(i)", "Exp")
+		var tot, totExp float64
+		for _, r := range rows {
+			fmt.Fprintf(&b, "  %-6s %-8.2f %-6s %8.1f %8.1f %8.1f %8.1f\n",
+				r.Name, r.AggSize, pct(r.AirtimeShare), r.PHYMbps, r.BaseMbps,
+				r.RateMbps, r.ExpMbps)
+			tot += r.RateMbps
+			totExp += r.ExpMbps
+		}
+		fmt.Fprintf(&b, "  total: model %.1f Mbps, measured %.1f Mbps\n", tot, totExp)
+	}
+	block("Baseline (FIFO queue)", t.Baseline)
+	block("Airtime fairness", t.Fair)
+	return b.String()
+}

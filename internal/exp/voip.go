@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mac"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// VoIPConfig configures one cell of Table 2: a VoIP stream plus bulk
+// download to the slow station, bulk downloads to three fast stations,
+// with the voice traffic marked either best-effort or voice, and a
+// baseline one-way wired delay of 5 or 50 ms.
+type VoIPConfig struct {
+	Run        RunConfig
+	Scheme     mac.Scheme
+	UseVO      bool     // mark voice packets VO instead of BE
+	WiredDelay sim.Time // baseline one-way delay (5 ms / 50 ms)
+}
+
+// VoIPResult is one Table 2 cell: the voice MOS estimate and the total
+// bulk throughput.
+type VoIPResult struct {
+	Scheme    mac.Scheme
+	UseVO     bool
+	Delay     sim.Time
+	MOS       float64
+	TotalMbps float64
+}
+
+// RunVoIP executes the experiment.
+func RunVoIP(cfg VoIPConfig) *VoIPResult {
+	cfg.Run.fill()
+	if cfg.WiredDelay <= 0 {
+		cfg.WiredDelay = 5 * sim.Millisecond
+	}
+	res := &VoIPResult{Scheme: cfg.Scheme, UseVO: cfg.UseVO, Delay: cfg.WiredDelay}
+	for rep := 0; rep < cfg.Run.Reps; rep++ {
+		n := NewNet(NetConfig{
+			Seed:       cfg.Run.Seed + uint64(rep),
+			Scheme:     cfg.Scheme,
+			Stations:   FourStations(), // fast1 fast2 slow fast3
+			WiredDelay: cfg.WiredDelay,
+		})
+		recv := make([]func() int64, 0, len(n.Stations))
+		var slow *Station
+		for _, st := range n.Stations {
+			conn := n.DownloadTCP(st, pkt.ACBE)
+			recv = append(recv, conn.Server().TotalReceived)
+			if st.Name == "slow" {
+				slow = st
+			}
+		}
+		ac := pkt.ACBE
+		if cfg.UseVO {
+			ac = pkt.ACVO
+		}
+		n.Run(cfg.Run.Warmup)
+		_, sink := n.VoIPDown(slow, ac)
+		snaps := make([]int64, len(recv))
+		for i, f := range recv {
+			snaps[i] = f()
+		}
+		n.Run(cfg.Run.End())
+		res.MOS += sink.MOS()
+		var total int64
+		for i, f := range recv {
+			total += f() - snaps[i]
+		}
+		res.TotalMbps += float64(total) * 8 / cfg.Run.Duration.Seconds() / 1e6
+	}
+	f := float64(cfg.Run.Reps)
+	res.MOS /= f
+	res.TotalMbps /= f
+	return res
+}
+
+// String renders one cell.
+func (r *VoIPResult) String() string {
+	qos := "BE"
+	if r.UseVO {
+		qos = "VO"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s qos=%s delay=%-5s MOS=%.2f thrp=%.1f Mbps\n",
+		r.Scheme, qos, r.Delay, r.MOS, r.TotalMbps)
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mac"
+	"repro/internal/pkt"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// WebConfig configures the page-load-time experiment behind Figure 11 and
+// its appendix variant: one station fetches a web page repeatedly while
+// the others run bulk transfers.
+type WebConfig struct {
+	Run         RunConfig
+	Scheme      mac.Scheme
+	Page        traffic.WebPage
+	SlowFetches bool // the slow station browses while fast stations do bulk
+}
+
+// WebResult reports page-load times in milliseconds.
+type WebResult struct {
+	Scheme mac.Scheme
+	Page   string
+	PLT    stats.Sample
+}
+
+// RunWeb executes the experiment.
+func RunWeb(cfg WebConfig) *WebResult {
+	cfg.Run.fill()
+	res := &WebResult{Scheme: cfg.Scheme, Page: cfg.Page.Name}
+	for rep := 0; rep < cfg.Run.Reps; rep++ {
+		n := NewNet(NetConfig{
+			Seed:     cfg.Run.Seed + uint64(rep),
+			Scheme:   cfg.Scheme,
+			Stations: DefaultStations(), // fast1 fast2 slow
+		})
+		var browser *Station
+		if cfg.SlowFetches {
+			browser = n.Stations[2]
+			n.DownloadTCP(n.Stations[0], pkt.ACBE)
+			n.DownloadTCP(n.Stations[1], pkt.ACBE)
+		} else {
+			browser = n.Stations[0]
+			n.DownloadTCP(n.Stations[2], pkt.ACBE)
+		}
+		n.Run(cfg.Run.Warmup)
+		wc := n.Web(browser, cfg.Page)
+		wc.Start()
+		n.Run(cfg.Run.End())
+		wc.Stop()
+		res.PLT.Merge(&wc.PLT)
+	}
+	return res
+}
+
+// String renders the PLT distribution.
+func (r *WebResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s page=%-6s PLT(ms): %s\n", r.Scheme, r.Page, r.PLT.Summary())
+	return b.String()
+}

@@ -1,0 +1,227 @@
+// Package fqcodel implements the FQ-CoDel queueing discipline (RFC 8290):
+// a deficit round-robin scheduler over hashed flow queues, each managed by
+// CoDel, with the new-flow (sparse flow) optimisation and a global limit
+// that drops from the longest queue.
+//
+// This is the qdisc-layer baseline ("FQ-CoDel" in the paper's evaluation).
+// The MAC-integrated variant, which shares a fixed queue set across TIDs,
+// lives in package mactid.
+package fqcodel
+
+import (
+	"repro/internal/codel"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// Config holds FQ-CoDel parameters.
+type Config struct {
+	Flows    int          // number of hash queues (default 1024)
+	Limit    int          // global packet limit (default 10240)
+	Quantum  int          // DRR quantum in bytes (default 1514)
+	Codel    codel.Params // per-queue AQM parameters
+	Clock    func() sim.Time
+	DropHook func(*pkt.Packet) // invoked for every dropped packet (may be nil)
+}
+
+func (c *Config) fill() {
+	if c.Flows <= 0 {
+		c.Flows = 1024
+	}
+	if c.Limit <= 0 {
+		c.Limit = 10240
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 1514
+	}
+	if c.Codel == (codel.Params{}) {
+		c.Codel = codel.Default()
+	}
+	if c.Clock == nil {
+		panic("fqcodel: Config.Clock is required")
+	}
+}
+
+type flow struct {
+	q       pkt.Queue
+	cv      codel.Vars
+	deficit int
+	// list linkage
+	next   *flow
+	inList listID
+}
+
+type listID uint8
+
+const (
+	listNone listID = iota
+	listNew
+	listOld
+)
+
+// flowList is an intrusive FIFO of flows.
+type flowList struct {
+	head, tail *flow
+	n          int
+}
+
+func (l *flowList) empty() bool { return l.head == nil }
+
+func (l *flowList) pushTail(f *flow, id listID) {
+	f.next = nil
+	f.inList = id
+	if l.tail == nil {
+		l.head = f
+	} else {
+		l.tail.next = f
+	}
+	l.tail = f
+	l.n++
+}
+
+func (l *flowList) popHead() *flow {
+	f := l.head
+	if f == nil {
+		return nil
+	}
+	l.head = f.next
+	if l.head == nil {
+		l.tail = nil
+	}
+	f.next = nil
+	f.inList = listNone
+	l.n--
+	return f
+}
+
+// FQCoDel is an instance of the discipline. Create with New.
+type FQCoDel struct {
+	cfg   Config
+	flows []flow
+	newQ  flowList
+	oldQ  flowList
+	len   int
+	drops int
+
+	// stats
+	codelDrops int
+	overDrops  int
+	sparseHits int // packets dequeued from the new list
+}
+
+// New creates an FQ-CoDel instance.
+func New(cfg Config) *FQCoDel {
+	cfg.fill()
+	return &FQCoDel{cfg: cfg, flows: make([]flow, cfg.Flows)}
+}
+
+// Len implements qdisc.Qdisc.
+func (fq *FQCoDel) Len() int { return fq.len }
+
+// Drops implements qdisc.Qdisc.
+func (fq *FQCoDel) Drops() int { return fq.drops }
+
+// CodelDrops reports packets dropped by the AQM control law.
+func (fq *FQCoDel) CodelDrops() int { return fq.codelDrops }
+
+// OverlimitDrops reports packets dropped by the global limit.
+func (fq *FQCoDel) OverlimitDrops() int { return fq.overDrops }
+
+// SparseDequeues reports packets served from the new-flow (sparse) list.
+func (fq *FQCoDel) SparseDequeues() int { return fq.sparseHits }
+
+func (fq *FQCoDel) drop(p *pkt.Packet) {
+	fq.drops++
+	if fq.cfg.DropHook != nil {
+		fq.cfg.DropHook(p)
+	}
+}
+
+// longestFlow returns the flow with the most queued bytes.
+func (fq *FQCoDel) longestFlow() *flow {
+	var longest *flow
+	for i := range fq.flows {
+		f := &fq.flows[i]
+		if longest == nil || f.q.Bytes() > longest.q.Bytes() {
+			longest = f
+		}
+	}
+	return longest
+}
+
+// Enqueue implements qdisc.Qdisc.
+func (fq *FQCoDel) Enqueue(p *pkt.Packet) bool {
+	f := &fq.flows[p.FlowKey()%uint64(len(fq.flows))]
+	p.Enqueued = fq.cfg.Clock()
+	f.q.Push(p)
+	fq.len++
+	if f.inList == listNone {
+		f.deficit = fq.cfg.Quantum
+		fq.newQ.pushTail(f, listNew)
+	}
+	accepted := true
+	for fq.len > fq.cfg.Limit {
+		victim := fq.longestFlow()
+		dp := victim.q.Pop()
+		if dp == nil {
+			break
+		}
+		fq.len--
+		if dp == p {
+			accepted = false
+		}
+		fq.overDrops++
+		fq.drop(dp)
+	}
+	return accepted
+}
+
+// Dequeue implements qdisc.Qdisc, applying the RFC 8290 scheduling loop.
+func (fq *FQCoDel) Dequeue() *pkt.Packet {
+	now := fq.cfg.Clock()
+	for {
+		var f *flow
+		fromNew := false
+		if !fq.newQ.empty() {
+			f = fq.newQ.head
+			fromNew = true
+		} else if !fq.oldQ.empty() {
+			f = fq.oldQ.head
+		} else {
+			return nil
+		}
+		if f.deficit <= 0 {
+			f.deficit += fq.cfg.Quantum
+			if fromNew {
+				fq.newQ.popHead()
+			} else {
+				fq.oldQ.popHead()
+			}
+			fq.oldQ.pushTail(f, listOld)
+			continue
+		}
+		p := f.cv.Dequeue(&f.q, fq.cfg.Codel, now, func(dp *pkt.Packet) {
+			fq.len--
+			fq.codelDrops++
+			fq.drop(dp)
+		})
+		if p == nil {
+			if fromNew {
+				// Move to the old list so a queue emptying under its
+				// quantum cannot immediately re-claim sparse priority
+				// (RFC 8290 §5.4.2 anti-gaming rule).
+				fq.newQ.popHead()
+				fq.oldQ.pushTail(f, listOld)
+			} else {
+				fq.oldQ.popHead()
+			}
+			continue
+		}
+		fq.len--
+		if fromNew {
+			fq.sparseHits++
+		}
+		f.deficit -= p.Size
+		return p
+	}
+}

@@ -1,0 +1,97 @@
+package mac
+
+import (
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// TestAMSDUBundling: small packets must share MPDUs when two-level
+// aggregation is on, shrinking per-packet framing overhead.
+func TestAMSDUBundling(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFQMAC, MaxAMSDU: 7935}, phy.MCS(15, true))
+	for i := 0; i < 320; i++ {
+		p := dataPkt(10, 200, 1)
+		p.SeqNo = int64(i)
+		r.ap.Input(p)
+	}
+	r.s.RunUntil(2 * sim.Second)
+	if got := len(r.received[10]); got != 320 {
+		t.Fatalf("delivered %d of 320", got)
+	}
+	// Verify order survived bundling.
+	for i, p := range r.received[10] {
+		if p.SeqNo != int64(i) {
+			t.Fatalf("order violated at %d: seq %d", i, p.SeqNo)
+		}
+	}
+	sta := r.ap.Station(10)
+	// With 7935-byte bundles of ~216-byte subframes, packets per MPDU is
+	// far above 1, so packets-per-A-MPDU must exceed the 32-MPDU cap.
+	if m := sta.MeanAggregation(); m < 40 {
+		t.Errorf("mean packets per transmission = %.1f, want >> 32 with A-MSDU", m)
+	}
+}
+
+// TestAMSDUEfficiencyGain: for small-packet floods, two-level aggregation
+// must raise goodput versus plain A-MPDU.
+func TestAMSDUEfficiencyGain(t *testing.T) {
+	run := func(maxAMSDU int) int64 {
+		r := newRig(t, Config{Scheme: SchemeFQMAC, MaxAMSDU: maxAMSDU}, phy.MCS(15, true))
+		// Saturating small-packet load: 200 B every 10 µs = 160 Mbps.
+		stop := r.s.Ticker(10*sim.Microsecond, func() { r.ap.Input(dataPkt(10, 200, 1)) })
+		r.s.RunUntil(3 * sim.Second)
+		stop()
+		return r.ap.Station(10).TxBytes
+	}
+	plain := run(0)
+	bundled := run(7935)
+	if bundled < plain*13/10 {
+		t.Errorf("A-MSDU goodput %d not >> plain %d for 200-byte packets", bundled, plain)
+	}
+}
+
+// TestAMSDULargePacketsUnaffected: full-size packets do not fit a shared
+// 3839-byte bundle more than twice; behaviour must stay sane and ordered.
+func TestAMSDULargePackets(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFQMAC, MaxAMSDU: 3839}, phy.MCS(15, true))
+	for i := 0; i < 100; i++ {
+		p := dataPkt(10, 1500, 1)
+		p.SeqNo = int64(i)
+		r.ap.Input(p)
+	}
+	r.s.RunUntil(2 * sim.Second)
+	got := r.received[10]
+	if len(got) != 100 {
+		t.Fatalf("delivered %d of 100", len(got))
+	}
+	for i, p := range got {
+		if p.SeqNo != int64(i) {
+			t.Fatalf("order violated at %d", i)
+		}
+	}
+}
+
+// TestAMSDUWithLoss: a lost MPDU loses the whole bundle, which the retry
+// path must recover in order.
+func TestAMSDUWithLoss(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFQMAC, MaxAMSDU: 7935, PerMPDULoss: 0.15},
+		phy.MCS(7, true))
+	const n = 300
+	for i := 0; i < n; i++ {
+		p := dataPkt(10, 200, 1)
+		p.SeqNo = int64(i)
+		r.ap.Input(p)
+	}
+	r.s.RunUntil(5 * sim.Second)
+	got := r.received[10]
+	if len(got) != n {
+		t.Fatalf("delivered %d of %d under loss", len(got), n)
+	}
+	for i, p := range got {
+		if p.SeqNo != int64(i) {
+			t.Fatalf("order violated at %d: seq %d", i, p.SeqNo)
+		}
+	}
+}

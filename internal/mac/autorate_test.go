@@ -1,0 +1,75 @@
+package mac
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// TestAutoRateConvergence drives a saturated downlink through the full
+// MAC with a channel model attached and checks the Minstrel controller
+// settles near the oracle rate for the SNR.
+func TestAutoRateConvergence(t *testing.T) {
+	cases := []struct {
+		snr              float64
+		minMbps, maxMbps float64
+	}{
+		{40, 130, 150}, // pristine: MCS15
+		{22, 43, 145},  // mid: MCS10-ish or better
+		{7, 7, 45},     // poor: low MCS
+	}
+	for _, tc := range cases {
+		r := newRig(t, Config{Scheme: SchemeAirtimeFQ}, phy.MCS(0, true))
+		sta := r.ap.Station(10)
+		ch := channel.New(tc.snr)
+		rc := r.ap.EnableAutoRate(sta, ch, 0)
+		stop := r.s.Ticker(200*sim.Microsecond, func() { r.ap.Input(dataPkt(10, 1500, 1)) })
+		r.s.RunUntil(15 * sim.Second)
+		stop()
+		got := rc.CurrentRate().Mbps()
+		if got < tc.minMbps || got > tc.maxMbps {
+			t.Errorf("snr %.0f dB: converged to %.1f Mbps, want in [%.0f, %.0f] (oracle %v)",
+				tc.snr, got, tc.minMbps, tc.maxMbps, ch.BestRate(1500))
+		}
+		if len(r.received[10]) == 0 {
+			t.Errorf("snr %.0f dB: nothing delivered", tc.snr)
+		}
+	}
+}
+
+// TestAutoRateDrivesCodelParams: when the controller's throughput
+// estimate sinks below 12 Mbps, the station must get the relaxed CoDel
+// parameters (§3.1.1 wired to the rate-control estimate).
+func TestAutoRateDrivesCodelParams(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFQMAC}, phy.MCS(7, true))
+	sta := r.ap.Station(10)
+	ch := channel.New(3) // terrible link: only the lowest rates work
+	r.ap.EnableAutoRate(sta, ch, 7)
+	stop := r.s.Ticker(500*sim.Microsecond, func() { r.ap.Input(dataPkt(10, 1500, 1)) })
+	r.s.RunUntil(10 * sim.Second)
+	stop()
+	if sta.CodelParams().Target != 50*sim.Millisecond {
+		t.Errorf("slow-link station still on default CoDel params (rate %v, expect %.1f Mbps)",
+			sta.Rate, sta.RC.ExpectedThroughput()/1e6)
+	}
+}
+
+// TestAutoRateThroughputTracksChannel: goodput at 40 dB must far exceed
+// goodput at 8 dB with the same offered load.
+func TestAutoRateThroughputTracksChannel(t *testing.T) {
+	run := func(snr float64) int64 {
+		r := newRig(t, Config{Scheme: SchemeAirtimeFQ}, phy.MCS(0, true))
+		sta := r.ap.Station(10)
+		r.ap.EnableAutoRate(sta, channel.New(snr), 0)
+		stop := r.s.Ticker(150*sim.Microsecond, func() { r.ap.Input(dataPkt(10, 1500, 1)) })
+		r.s.RunUntil(10 * sim.Second)
+		stop()
+		return sta.TxBytes
+	}
+	hi, lo := run(40), run(8)
+	if hi < 3*lo {
+		t.Errorf("40 dB goodput (%d B) not >> 8 dB goodput (%d B)", hi, lo)
+	}
+}

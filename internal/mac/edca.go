@@ -1,0 +1,33 @@
+package mac
+
+import (
+	"repro/internal/phy"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// EDCAParams are the 802.11e contention parameters for one access
+// category.
+type EDCAParams struct {
+	CWMin, CWMax int
+	AIFSN        int  // slots after SIFS before backoff countdown
+	NoAggr       bool // VO frames cannot be aggregated (§4.2.1)
+}
+
+// AIFS returns the arbitration inter-frame space for the category.
+func (e EDCAParams) AIFS() sim.Time {
+	return phy.TSIFS + sim.Time(e.AIFSN)*phy.TSlot
+}
+
+// edcaTable holds the standard 802.11e parameter set. VO trades
+// aggregation for queueing priority and a short contention window, exactly
+// the trade-off the paper's Table 2 explores.
+var edcaTable = [pkt.NumACs]EDCAParams{
+	pkt.ACBK: {CWMin: 15, CWMax: 1023, AIFSN: 7},
+	pkt.ACBE: {CWMin: 15, CWMax: 1023, AIFSN: 3},
+	pkt.ACVI: {CWMin: 7, CWMax: 15, AIFSN: 2},
+	pkt.ACVO: {CWMin: 3, CWMax: 7, AIFSN: 2, NoAggr: true},
+}
+
+// EDCA returns the parameter set for ac.
+func EDCA(ac pkt.AC) EDCAParams { return edcaTable[ac] }

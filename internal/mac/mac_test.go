@@ -1,0 +1,535 @@
+package mac
+
+import (
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// rig builds a minimal AP + n stations environment with packet capture at
+// each node.
+type rig struct {
+	s        *sim.Sim
+	env      *Env
+	ap       *Node
+	stas     []*Node
+	received map[pkt.NodeID][]*pkt.Packet
+}
+
+func newRig(t *testing.T, apCfg Config, rates ...phy.Rate) *rig {
+	t.Helper()
+	s := sim.New(1)
+	r := &rig{s: s, env: NewEnv(s), received: make(map[pkt.NodeID][]*pkt.Packet)}
+	r.ap = NewNode(r.env, 1, "ap", apCfg)
+	r.ap.Deliver = func(p *pkt.Packet) { r.received[1] = append(r.received[1], p) }
+	for i, rate := range rates {
+		id := pkt.NodeID(10 + i)
+		sta := NewNode(r.env, id, "sta", Config{Scheme: SchemeFIFO})
+		sta.Deliver = func(p *pkt.Packet) { r.received[id] = append(r.received[id], p) }
+		r.ap.AddStation(sta, rate)
+		sta.AddStation(r.ap, rate)
+		r.stas = append(r.stas, sta)
+	}
+	return r
+}
+
+func dataPkt(dst pkt.NodeID, size int, flow uint64) *pkt.Packet {
+	return &pkt.Packet{Size: size, Proto: pkt.ProtoUDP, Src: 1, Dst: dst, Flow: flow, AC: pkt.ACBE}
+}
+
+func TestSinglePacketDelivery(t *testing.T) {
+	for _, scheme := range Schemes {
+		r := newRig(t, Config{Scheme: scheme}, phy.MCS(7, true))
+		r.ap.Input(dataPkt(10, 1500, 1))
+		r.s.RunUntil(100 * sim.Millisecond)
+		if len(r.received[10]) != 1 {
+			t.Errorf("%v: delivered %d packets, want 1", scheme, len(r.received[10]))
+		}
+	}
+}
+
+func TestInOrderDelivery(t *testing.T) {
+	for _, scheme := range Schemes {
+		r := newRig(t, Config{Scheme: scheme}, phy.MCS(7, true))
+		const n = 200
+		for i := 0; i < n; i++ {
+			p := dataPkt(10, 1500, 1)
+			p.SeqNo = int64(i)
+			r.ap.Input(p)
+		}
+		r.s.RunUntil(2 * sim.Second)
+		got := r.received[10]
+		if len(got) != n {
+			t.Errorf("%v: delivered %d of %d", scheme, len(got), n)
+			continue
+		}
+		for i, p := range got {
+			if p.SeqNo != int64(i) {
+				t.Errorf("%v: out of order at %d: seq %d", scheme, i, p.SeqNo)
+				break
+			}
+		}
+	}
+}
+
+func TestAggregationCaps(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFQMAC}, phy.MCS(15, true), phy.MCS(0, true))
+	// Saturate both stations.
+	for i := 0; i < 500; i++ {
+		r.ap.Input(dataPkt(10, 1500, 1))
+		r.ap.Input(dataPkt(11, 1500, 2))
+	}
+	r.s.RunUntil(3 * sim.Second)
+	fast := r.ap.Station(10)
+	slow := r.ap.Station(11)
+	if m := fast.MeanAggregation(); m < 20 || m > 32 {
+		t.Errorf("fast mean aggregation = %.1f, want near the 32-frame cap", m)
+	}
+	// The 4 ms duration cap limits MCS0 to two 1500-byte frames.
+	if m := slow.MeanAggregation(); m < 1.5 || m > 2.05 {
+		t.Errorf("slow mean aggregation = %.1f, want ~2 (4 ms cap)", m)
+	}
+}
+
+func TestVONotAggregated(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFQMAC}, phy.MCS(15, true))
+	for i := 0; i < 50; i++ {
+		p := dataPkt(10, 200, 1)
+		p.AC = pkt.ACVO
+		r.ap.Input(p)
+	}
+	r.s.RunUntil(1 * sim.Second)
+	sta := r.ap.Station(10)
+	if m := sta.MeanAggregation(); m != 1 {
+		t.Errorf("VO mean aggregation = %.2f, want exactly 1", m)
+	}
+	if len(r.received[10]) != 50 {
+		t.Errorf("delivered %d of 50 VO frames", len(r.received[10]))
+	}
+}
+
+func TestLegacyNotAggregated(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFQMAC}, phy.Legacy(1))
+	for i := 0; i < 10; i++ {
+		r.ap.Input(dataPkt(10, 1500, 1))
+	}
+	r.s.RunUntil(2 * sim.Second)
+	if m := r.ap.Station(10).MeanAggregation(); m != 1 {
+		t.Errorf("legacy mean aggregation = %.2f, want 1", m)
+	}
+}
+
+// TestPerformanceAnomalyFIFO: with round-robin TID service, a slow station
+// must consume the bulk of the airtime (the §2.2 anomaly).
+func TestPerformanceAnomalyFIFO(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFIFO}, phy.MCS(15, true), phy.MCS(0, true))
+	stop1 := r.s.Ticker(200*sim.Microsecond, func() { r.ap.Input(dataPkt(10, 1500, 1)) })
+	stop2 := r.s.Ticker(200*sim.Microsecond, func() { r.ap.Input(dataPkt(11, 1500, 2)) })
+	r.s.RunUntil(5 * sim.Second)
+	stop1()
+	stop2()
+	fast := r.ap.Station(10).Airtime().Seconds()
+	slow := r.ap.Station(11).Airtime().Seconds()
+	share := slow / (fast + slow)
+	if share < 0.75 {
+		t.Errorf("slow airtime share = %.2f, want > 0.75 (the anomaly)", share)
+	}
+}
+
+// TestAirtimeFairnessScheme: same load under the airtime scheduler must
+// equalise airtime.
+func TestAirtimeFairnessScheme(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeAirtimeFQ}, phy.MCS(15, true), phy.MCS(0, true))
+	stop1 := r.s.Ticker(200*sim.Microsecond, func() { r.ap.Input(dataPkt(10, 1500, 1)) })
+	stop2 := r.s.Ticker(200*sim.Microsecond, func() { r.ap.Input(dataPkt(11, 1500, 2)) })
+	r.s.RunUntil(5 * sim.Second)
+	stop1()
+	stop2()
+	fast := r.ap.Station(10).Airtime().Seconds()
+	slow := r.ap.Station(11).Airtime().Seconds()
+	share := slow / (fast + slow)
+	if share < 0.45 || share > 0.55 {
+		t.Errorf("slow airtime share = %.2f, want ~0.5 under fairness", share)
+	}
+}
+
+// TestPerMPDULossRetries: random MPDU loss must be repaired by the
+// retry/block-ack path with in-order delivery preserved.
+func TestPerMPDULossRetries(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFQMAC, PerMPDULoss: 0.2}, phy.MCS(7, true))
+	const n = 300
+	for i := 0; i < n; i++ {
+		p := dataPkt(10, 1500, 1)
+		p.SeqNo = int64(i)
+		r.ap.Input(p)
+	}
+	r.s.RunUntil(5 * sim.Second)
+	got := r.received[10]
+	if len(got) != n {
+		t.Fatalf("delivered %d of %d under 20%% MPDU loss", len(got), n)
+	}
+	for i, p := range got {
+		if p.SeqNo != int64(i) {
+			t.Fatalf("reorder buffer failed: position %d has seq %d", i, p.SeqNo)
+		}
+	}
+	if r.ap.Station(10).TxPackets != n {
+		t.Errorf("TxPackets = %d, want %d", r.ap.Station(10).TxPackets, n)
+	}
+}
+
+// TestRetryLimitDrops: at 100% loss every MPDU must eventually be dropped
+// after RetryLimit attempts, and the node must not wedge.
+func TestRetryLimitDrops(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFQMAC, PerMPDULoss: 1.0, RetryLimit: 3}, phy.MCS(7, true))
+	for i := 0; i < 10; i++ {
+		r.ap.Input(dataPkt(10, 1500, 1))
+	}
+	r.s.RunUntil(2 * sim.Second)
+	if len(r.received[10]) != 0 {
+		t.Fatal("packets delivered despite 100% loss")
+	}
+	if r.ap.RetryDrops != 10 {
+		t.Errorf("RetryDrops = %d, want 10", r.ap.RetryDrops)
+	}
+	if r.ap.QueuedPackets() != 0 {
+		t.Errorf("%d packets stuck in queues", r.ap.QueuedPackets())
+	}
+}
+
+// TestUplinkAirtimeAccounting: frames the AP receives must be charged to
+// the sending station.
+func TestUplinkAirtimeAccounting(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeAirtimeFQ}, phy.MCS(7, true))
+	sta := r.stas[0]
+	for i := 0; i < 20; i++ {
+		sta.Input(&pkt.Packet{Size: 1500, Proto: pkt.ProtoUDP, Src: 10, Dst: 1, Flow: 9, AC: pkt.ACBE})
+	}
+	r.s.RunUntil(1 * sim.Second)
+	if len(r.received[1]) != 20 {
+		t.Fatalf("AP received %d of 20", len(r.received[1]))
+	}
+	if r.ap.Station(10).RxAirtime == 0 {
+		t.Error("RX airtime not accounted")
+	}
+}
+
+// TestCollisionResolution: two stations transmitting simultaneously must
+// both eventually deliver (binary exponential backoff resolves them).
+func TestCollisionResolution(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFIFO}, phy.MCS(7, true), phy.MCS(7, true))
+	for i := 0; i < 50; i++ {
+		r.stas[0].Input(&pkt.Packet{Size: 1500, Proto: pkt.ProtoUDP, Src: 10, Dst: 1, Flow: 1, AC: pkt.ACBE})
+		r.stas[1].Input(&pkt.Packet{Size: 1500, Proto: pkt.ProtoUDP, Src: 11, Dst: 1, Flow: 2, AC: pkt.ACBE})
+	}
+	r.s.RunUntil(3 * sim.Second)
+	if len(r.received[1]) != 100 {
+		t.Fatalf("AP received %d of 100", len(r.received[1]))
+	}
+	if r.env.Medium.Collisions == 0 {
+		t.Log("note: no collisions occurred (possible but unlikely)")
+	}
+}
+
+// TestMediumNeverIdleWithBacklog: channel utilisation must stay high while
+// a saturated station has data.
+func TestMediumUtilisation(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFQMAC}, phy.MCS(7, true))
+	// Offer ~60 Mbps continuously so the BE queue never runs dry.
+	stop := r.s.Ticker(200*sim.Microsecond, func() { r.ap.Input(dataPkt(10, 1500, 1)) })
+	r.s.RunUntil(1 * sim.Second)
+	stop()
+	util := r.env.Medium.BusyTime.Seconds()
+	if util < 0.80 {
+		t.Errorf("medium busy %.2f of 1s under saturation, want > 0.80", util)
+	}
+}
+
+// TestCodelParamsPerStation: slow stations get the relaxed CoDel
+// parameters, fast stations the defaults (§3.1.1).
+func TestCodelParamsPerStation(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFQMAC}, phy.MCS(15, true), phy.MCS(0, true))
+	fast := r.ap.Station(10).CodelParams()
+	slow := r.ap.Station(11).CodelParams()
+	if fast.Target != 5*sim.Millisecond {
+		t.Errorf("fast target = %v, want 5ms", fast.Target)
+	}
+	if slow.Target != 50*sim.Millisecond || slow.Interval != 300*sim.Millisecond {
+		t.Errorf("slow params = %+v, want 50ms/300ms", slow)
+	}
+}
+
+// TestCodelParamHysteresis: rate flaps within the hysteresis window must
+// not flip parameters.
+func TestCodelParamHysteresis(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFQMAC}, phy.MCS(15, true))
+	sta := r.ap.Station(10)
+	if sta.CodelParams().Target != 5*sim.Millisecond {
+		t.Fatal("fast station should start with default params")
+	}
+	// Drop the rate immediately: hysteresis (2 s) blocks the change.
+	r.ap.SetRate(sta, phy.MCS(0, true))
+	if sta.CodelParams().Target != 5*sim.Millisecond {
+		t.Fatal("params changed within hysteresis window")
+	}
+	r.s.RunUntil(3 * sim.Second)
+	r.ap.SetRate(sta, phy.MCS(0, true))
+	if sta.CodelParams().Target != 50*sim.Millisecond {
+		t.Fatal("params did not change after hysteresis expired")
+	}
+}
+
+// TestQdiscBypassFQMAC: FQ-MAC nodes must have no qdisc and an active
+// integrated structure.
+func TestSchemeWiring(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFQMAC}, phy.MCS(7, true))
+	if r.ap.Qdisc(pkt.ACBE) != nil {
+		t.Error("FQ-MAC node has a qdisc")
+	}
+	if r.ap.FqStats() == nil {
+		t.Error("FQ-MAC node lacks the integrated structure")
+	}
+	if r.ap.StationScheduler(pkt.ACBE) != nil {
+		t.Error("FQ-MAC node should not have a station scheduler")
+	}
+	r2 := newRig(t, Config{Scheme: SchemeAirtimeFQ}, phy.MCS(7, true))
+	if r2.ap.StationScheduler(pkt.ACBE) == nil {
+		t.Error("Airtime node lacks schedulers")
+	}
+	r4 := newRig(t, Config{Scheme: SchemeDTT}, phy.MCS(7, true))
+	if r4.ap.StationScheduler(pkt.ACBE) == nil || r4.ap.FqStats() == nil {
+		t.Error("DTT node lacks scheduler or integrated structure")
+	}
+	r3 := newRig(t, Config{Scheme: SchemeFIFO}, phy.MCS(7, true))
+	if r3.ap.Qdisc(pkt.ACBE) == nil {
+		t.Error("FIFO node lacks a qdisc")
+	}
+}
+
+// TestGlobalLimitFQMAC: overflowing the integrated structure drops from
+// the longest queue, keeping total below the limit.
+func TestGlobalLimitFQMAC(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFQMAC, FQLimit: 256}, phy.MCS(0, true))
+	for i := 0; i < 1000; i++ {
+		r.ap.Input(dataPkt(10, 1500, 1))
+	}
+	if got := r.ap.FqStats().Len(); got > 256 {
+		t.Errorf("fq len = %d, want <= 256", got)
+	}
+	if r.ap.FqStats().OverlimitDrops() == 0 {
+		t.Error("no overlimit drops recorded")
+	}
+}
+
+// TestEDCAPriority: VO traffic must see lower latency than BK when both
+// are saturated, thanks to shorter AIFS/CW.
+func TestEDCAPriority(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFQMAC}, phy.MCS(7, true))
+	var voDelay, bkDelay sim.Time
+	var voN, bkN int
+	r.stas[0].Deliver = func(p *pkt.Packet) {
+		d := r.s.Now() - p.Created
+		if p.AC == pkt.ACVO {
+			voDelay += d
+			voN++
+		} else {
+			bkDelay += d
+			bkN++
+		}
+	}
+	stop := r.s.Ticker(500*sim.Microsecond, func() {
+		bk := dataPkt(10, 1500, 1)
+		bk.AC = pkt.ACBK
+		bk.Created = r.s.Now()
+		r.ap.Input(bk)
+		vo := dataPkt(10, 200, 2)
+		vo.AC = pkt.ACVO
+		vo.Created = r.s.Now()
+		r.ap.Input(vo)
+	})
+	r.s.RunUntil(2 * sim.Second)
+	stop()
+	if voN == 0 || bkN == 0 {
+		t.Fatalf("vo=%d bk=%d deliveries", voN, bkN)
+	}
+	if voDelay/sim.Time(voN) >= bkDelay/sim.Time(bkN) {
+		t.Errorf("VO mean delay %v >= BK %v", voDelay/sim.Time(voN), bkDelay/sim.Time(bkN))
+	}
+}
+
+func TestEDCATable(t *testing.T) {
+	if !EDCA(pkt.ACVO).NoAggr {
+		t.Error("VO must not aggregate")
+	}
+	if EDCA(pkt.ACBE).NoAggr || EDCA(pkt.ACVI).NoAggr {
+		t.Error("BE/VI must aggregate")
+	}
+	if EDCA(pkt.ACVO).AIFS() >= EDCA(pkt.ACBK).AIFS() {
+		t.Error("VO AIFS must be shorter than BK")
+	}
+	if EDCA(pkt.ACVO).CWMin >= EDCA(pkt.ACBE).CWMin {
+		t.Error("VO CWmin must be smaller than BE")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	want := map[Scheme]string{
+		SchemeFIFO: "FIFO", SchemeFQCoDel: "FQ-CoDel",
+		SchemeFQMAC: "FQ-MAC", SchemeAirtimeFQ: "Airtime",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+	}
+	if Scheme(9).String() == "" {
+		t.Error("unknown scheme stringer empty")
+	}
+}
+
+func TestDuplicateStationPanics(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFIFO}, phy.MCS(7, true))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate AddStation")
+		}
+	}()
+	r.ap.AddStation(r.stas[0], phy.MCS(7, true))
+}
+
+// TestConservationAcrossSchemes: inputs = delivered + dropped for every
+// scheme under saturating load.
+func TestConservationAcrossSchemes(t *testing.T) {
+	for _, scheme := range Schemes {
+		r := newRig(t, Config{Scheme: scheme}, phy.MCS(15, true), phy.MCS(0, true))
+		const n = 3000
+		for i := 0; i < n; i++ {
+			r.ap.Input(dataPkt(10, 1500, 1))
+			r.ap.Input(dataPkt(11, 1500, 2))
+		}
+		r.s.RunUntil(20 * sim.Second)
+		delivered := len(r.received[10]) + len(r.received[11])
+		queued := r.ap.QueuedPackets()
+		dropped := r.ap.InputDrops + r.ap.RetryDrops
+		if fq := r.ap.FqStats(); fq != nil {
+			// InputDrops counted overlimit drops already; add codel drops.
+			dropped += fq.CodelDrops()
+		} else {
+			for _, ac := range []pkt.AC{pkt.ACBE} {
+				if q, ok := r.ap.Qdisc(ac).(interface{ CodelDrops() int }); ok {
+					dropped += q.CodelDrops()
+				}
+			}
+		}
+		if delivered+queued+dropped != 2*n {
+			t.Errorf("%v: conservation violated: delivered=%d queued=%d dropped=%d of %d",
+				scheme, delivered, queued, dropped, 2*n)
+		}
+	}
+}
+
+// TestStationChurn: stations joining and leaving mid-run must not wedge
+// the scheduler or leak queued packets.
+func TestStationChurn(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeFIFO, SchemeAirtimeFQ} {
+		r := newRig(t, Config{Scheme: scheme}, phy.MCS(15, true), phy.MCS(0, true))
+		stop1 := r.s.Ticker(300*sim.Microsecond, func() { r.ap.Input(dataPkt(10, 1500, 1)) })
+		stop2 := r.s.Ticker(300*sim.Microsecond, func() { r.ap.Input(dataPkt(11, 1500, 2)) })
+		r.s.RunUntil(1 * sim.Second)
+
+		// Station 11 leaves mid-flood; its traffic keeps arriving briefly.
+		r.ap.RemoveStation(r.ap.Station(11))
+		r.s.RunUntil(1100 * sim.Millisecond)
+		stop2()
+
+		// A new station joins and gets traffic.
+		id := pkt.NodeID(30)
+		sta := NewNode(r.env, id, "late", Config{Scheme: SchemeFIFO})
+		sta.Deliver = func(p *pkt.Packet) { r.received[id] = append(r.received[id], p) }
+		r.ap.AddStation(sta, phy.MCS(7, true))
+		sta.AddStation(r.ap, phy.MCS(7, true))
+		stop3 := r.s.Ticker(300*sim.Microsecond, func() { r.ap.Input(dataPkt(30, 1500, 3)) })
+		r.s.RunUntil(2 * sim.Second)
+		stop1()
+		stop3()
+		r.s.RunUntil(3 * sim.Second)
+
+		if len(r.received[30]) == 0 {
+			t.Errorf("%v: late joiner received nothing", scheme)
+		}
+		if len(r.received[10]) == 0 {
+			t.Errorf("%v: surviving station starved", scheme)
+		}
+		if got := r.ap.Station(11); got != nil {
+			t.Errorf("%v: removed station still registered", scheme)
+		}
+		if q := r.ap.QueuedPackets(); q != 0 {
+			t.Errorf("%v: %d packets stuck after drain", scheme, q)
+		}
+	}
+}
+
+// TestRemoveDefaultPeer: removing a client's only peer (the AP) must not
+// panic; subsequent sends are dropped.
+func TestRemoveDefaultPeer(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFIFO}, phy.MCS(7, true))
+	sta := r.stas[0]
+	sta.RemoveStation(sta.Station(r.ap.ID))
+	drops := sta.InputDrops
+	sta.Input(&pkt.Packet{Size: 100, Proto: pkt.ProtoUDP, Src: 10, Dst: 1, AC: pkt.ACBE})
+	if sta.InputDrops != drops+1 {
+		t.Fatal("packet to nowhere not counted as drop")
+	}
+}
+
+// TestRTSCTSProtection: with many low-rate uplink contenders, collisions
+// waste whole 4 ms frames; RTS protection bounds the waste to the
+// handshake, raising delivered goodput.
+func TestRTSCTSProtection(t *testing.T) {
+	run := func(thr sim.Time) (int64, int) {
+		rates := []phy.Rate{phy.MCS(0, true), phy.MCS(0, true), phy.MCS(0, true),
+			phy.MCS(0, true), phy.MCS(0, true), phy.MCS(0, true)}
+		r := newRig(t, Config{Scheme: SchemeFQMAC}, rates...)
+		for i, sta := range r.stas {
+			sta := sta
+			id := pkt.NodeID(10 + i)
+			// Stations need RTS too: apply the same threshold.
+			cfgSta := sta.Config()
+			cfgSta.RTSThreshold = thr
+			sta.cfg = cfgSta
+			stop := r.s.Ticker(1500*sim.Microsecond, func() {
+				sta.Input(&pkt.Packet{Size: 1500, Proto: pkt.ProtoUDP,
+					Src: id, Dst: 1, Flow: uint64(id), AC: pkt.ACBE})
+			})
+			defer stop()
+		}
+		r.s.RunUntil(10 * sim.Second)
+		return int64(len(r.received[1])), r.env.Medium.Collisions
+	}
+	plain, collPlain := run(0)
+	protected, collProt := run(2 * sim.Millisecond)
+	if collPlain == 0 || collProt == 0 {
+		t.Skip("no collisions in this configuration")
+	}
+	if protected <= plain {
+		t.Errorf("RTS protection did not help: %d delivered vs %d plain (collisions %d/%d)",
+			protected, plain, collProt, collPlain)
+	}
+}
+
+// TestRTSOnlyForLongFrames: short frames below the threshold must not pay
+// the RTS overhead.
+func TestRTSOnlyForLongFrames(t *testing.T) {
+	r := newRig(t, Config{Scheme: SchemeFQMAC, RTSThreshold: 2 * sim.Millisecond},
+		phy.MCS(15, true))
+	// A single 200-byte frame at MCS15 is far below 2 ms.
+	r.ap.Input(dataPkt(10, 200, 1))
+	r.s.RunUntil(50 * sim.Millisecond)
+	sta := r.ap.Station(10)
+	// Unprotected short frame: airtime well under the RTS overhead + data.
+	if sta.TxAirtime > 300*sim.Microsecond {
+		t.Errorf("short frame airtime %v suggests RTS was added", sta.TxAirtime)
+	}
+}

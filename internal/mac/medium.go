@@ -1,0 +1,316 @@
+package mac
+
+import (
+	"repro/internal/phy"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// txq is the per-(node, access category) transmit state: the EDCA
+// contention machine plus the hardware queue of built aggregates.
+type txq struct {
+	node *Node
+	ac   pkt.AC
+	par  EDCAParams
+
+	hwq []*Aggregate // built aggregates awaiting air, depth-limited
+
+	cw         int  // current contention window
+	slots      int  // remaining backoff slots
+	contending bool // registered with the medium
+}
+
+func (t *txq) aifs() sim.Time { return t.par.AIFS() }
+
+// drawBackoff picks a fresh uniform backoff in [0, cw].
+func (t *txq) drawBackoff(r *sim.Rand) {
+	t.slots = r.Intn(t.cw + 1)
+}
+
+// bumpCW doubles the contention window after a failed transmission.
+func (t *txq) bumpCW() {
+	t.cw = min(2*t.cw+1, t.par.CWMax)
+}
+
+func (t *txq) resetCW() { t.cw = t.par.CWMin }
+
+// Medium is the shared radio channel. It arbitrates access between the
+// backlogged transmit queues of every node using a slotted DCF/EDCA model:
+// each contender counts down a backoff in 9 µs slots after its AIFS;
+// the earliest contender wins; ties between different nodes collide, ties
+// between access categories of one node resolve to the higher category
+// (virtual collision).
+type Medium struct {
+	sim *sim.Sim
+
+	contenders []*txq
+	accessEv   *sim.Event
+	idleStart  sim.Time
+	txActive   bool
+	busyUntil  sim.Time
+
+	inFlight []*grantEntry
+
+	// Observer, when non-nil, is invoked for every completed air
+	// transmission — the hook monitor-mode capture devices attach to.
+	Observer func(TxEvent)
+
+	// Stats.
+	BusyTime   sim.Time // total time the channel carried transmissions
+	Collisions int      // collision events (two or more nodes)
+	Grants     int      // successful single-winner grants
+}
+
+// TxEvent describes one completed air transmission, as visible to a
+// monitor-mode capture device.
+type TxEvent struct {
+	Tx, Rx   pkt.NodeID
+	AC       pkt.AC
+	Start    sim.Time
+	Dur      sim.Time
+	Frames   int
+	Bytes    int // framed body bytes
+	Collided bool
+}
+
+type grantEntry struct {
+	q        *txq
+	agg      *Aggregate
+	collided bool
+	occupied sim.Time // channel time this attempt consumed
+}
+
+// NewMedium creates the channel for one simulation.
+func NewMedium(s *sim.Sim) *Medium {
+	return &Medium{sim: s}
+}
+
+// request registers q for channel access. Idempotent while contending.
+func (m *Medium) request(q *txq) {
+	if q.contending {
+		return
+	}
+	q.contending = true
+	q.drawBackoff(m.sim.Rand())
+	m.creditSlots()
+	m.contenders = append(m.contenders, q)
+	m.reschedule()
+}
+
+// withdraw removes q from contention (its hardware queue emptied).
+func (m *Medium) withdraw(q *txq) {
+	if !q.contending {
+		return
+	}
+	q.contending = false
+	for i, c := range m.contenders {
+		if c == q {
+			m.contenders = append(m.contenders[:i], m.contenders[i+1:]...)
+			break
+		}
+	}
+	m.reschedule()
+}
+
+// creditSlots accounts backoff slots counted down since the idle period
+// began, so that a reschedule does not reset anyone's progress.
+func (m *Medium) creditSlots() {
+	if m.txActive {
+		return
+	}
+	now := m.sim.Now()
+	for _, c := range m.contenders {
+		elapsed := now - m.idleStart - c.aifs()
+		if elapsed <= 0 {
+			continue
+		}
+		n := int(elapsed / phy.TSlot)
+		if n > c.slots {
+			n = c.slots
+		}
+		c.slots -= n
+	}
+	m.idleStart = now
+}
+
+// readyAt returns when contender c could seize the channel, measured from
+// the current idle start.
+func (m *Medium) readyAt(c *txq) sim.Time {
+	return m.idleStart + c.aifs() + sim.Time(c.slots)*phy.TSlot
+}
+
+// reschedule recomputes the next channel-access event.
+func (m *Medium) reschedule() {
+	if m.accessEv != nil {
+		m.sim.Cancel(m.accessEv)
+		m.accessEv = nil
+	}
+	if m.txActive || len(m.contenders) == 0 {
+		return
+	}
+	if m.idleStart < m.busyUntil {
+		m.idleStart = m.busyUntil
+	}
+	if m.idleStart < m.sim.Now() {
+		m.idleStart = m.sim.Now()
+	}
+	earliest := sim.Time(1<<62 - 1)
+	for _, c := range m.contenders {
+		if r := m.readyAt(c); r < earliest {
+			earliest = r
+		}
+	}
+	m.accessEv = m.sim.At(earliest, m.grant)
+}
+
+// grant fires when the earliest contender's backoff expires: it resolves
+// winners, starts their transmissions and schedules completion.
+func (m *Medium) grant() {
+	m.accessEv = nil
+	now := m.sim.Now()
+
+	var winners []*txq
+	for _, c := range m.contenders {
+		if m.readyAt(c) <= now {
+			winners = append(winners, c)
+		}
+	}
+	if len(winners) == 0 {
+		m.reschedule()
+		return
+	}
+
+	// Credit countdown progress to everyone else before the channel goes
+	// busy. Non-winners keep at least one slot.
+	for _, c := range m.contenders {
+		isWinner := false
+		for _, w := range winners {
+			if w == c {
+				isWinner = true
+				break
+			}
+		}
+		if isWinner {
+			continue
+		}
+		rem := m.readyAt(c) - now
+		n := int((rem + phy.TSlot - 1) / phy.TSlot)
+		if n < 1 {
+			n = 1
+		}
+		c.slots = n
+	}
+
+	// Virtual (intra-node) collisions: the highest AC of a node transmits,
+	// lower ones behave as if they collided.
+	byNode := make(map[*Node]*txq, len(winners))
+	var virtLosers []*txq
+	for _, w := range winners {
+		cur, ok := byNode[w.node]
+		if !ok {
+			byNode[w.node] = w
+			continue
+		}
+		if w.ac > cur.ac {
+			virtLosers = append(virtLosers, cur)
+			byNode[w.node] = w
+		} else {
+			virtLosers = append(virtLosers, w)
+		}
+	}
+	for _, l := range virtLosers {
+		l.bumpCW()
+		l.drawBackoff(m.sim.Rand())
+	}
+
+	real := make([]*txq, 0, len(byNode))
+	for _, w := range byNode {
+		real = append(real, w)
+	}
+	// Deterministic order (map iteration is random): sort by node id, AC.
+	for i := 1; i < len(real); i++ {
+		for j := i; j > 0 && less(real[j], real[j-1]); j-- {
+			real[j], real[j-1] = real[j-1], real[j]
+		}
+	}
+
+	collided := len(real) > 1
+	if collided {
+		m.Collisions++
+	} else {
+		m.Grants++
+	}
+
+	end := now
+	m.inFlight = m.inFlight[:0]
+	for _, w := range real {
+		if len(w.hwq) == 0 {
+			// Stale contender; drop it from contention.
+			w.contending = false
+			continue
+		}
+		agg := w.hwq[0]
+		agg.Started = now
+		occupied := agg.TotalDur
+		if collided {
+			// RTS-protected frames abort after the failed handshake.
+			occupied = agg.CollisionCost()
+		}
+		if e := now + occupied; e > end {
+			end = e
+		}
+		m.inFlight = append(m.inFlight, &grantEntry{
+			q: w, agg: agg, collided: collided, occupied: occupied,
+		})
+	}
+	// Remove actual transmitters from the contender list for the duration.
+	for _, g := range m.inFlight {
+		for i, c := range m.contenders {
+			if c == g.q {
+				m.contenders = append(m.contenders[:i], m.contenders[i+1:]...)
+				break
+			}
+		}
+		g.q.contending = false
+	}
+	if len(m.inFlight) == 0 {
+		m.reschedule()
+		return
+	}
+
+	m.txActive = true
+	m.busyUntil = end
+	m.BusyTime += end - now
+	flight := make([]*grantEntry, len(m.inFlight))
+	copy(flight, m.inFlight)
+	m.sim.At(end, func() { m.complete(flight) })
+}
+
+func less(a, b *txq) bool {
+	if a.node.ID != b.node.ID {
+		return a.node.ID < b.node.ID
+	}
+	return a.ac < b.ac
+}
+
+// complete finishes the in-flight transmissions, delivers their packets
+// and restarts contention.
+func (m *Medium) complete(flight []*grantEntry) {
+	m.txActive = false
+	m.idleStart = m.sim.Now()
+	for _, g := range flight {
+		if m.Observer != nil {
+			var bytes int
+			for _, p := range g.agg.Pkts {
+				bytes += p.Size
+			}
+			m.Observer(TxEvent{
+				Tx: g.q.node.ID, Rx: g.agg.TID.sta.Peer.ID, AC: g.q.ac,
+				Start: g.agg.Started, Dur: g.occupied,
+				Frames: len(g.agg.Pkts), Bytes: bytes, Collided: g.collided,
+			})
+		}
+		g.q.node.txComplete(g.q, g.agg, g.collided, g.occupied)
+	}
+	m.reschedule()
+}

@@ -1,0 +1,623 @@
+// Package mac models the 802.11n MAC layer and the Linux WiFi transmit
+// path it hosts: EDCA channel access over a shared medium, A-MPDU
+// aggregation with block acknowledgement and retries, a two-deep hardware
+// queue per access category, and — selectable per node — the four queueing
+// configurations the paper evaluates (Scheme).
+package mac
+
+import (
+	"fmt"
+
+	"repro/internal/airtime"
+	"repro/internal/channel"
+	"repro/internal/dtt"
+	"repro/internal/fqcodel"
+	"repro/internal/mactid"
+	"repro/internal/minstrel"
+	"repro/internal/phy"
+	"repro/internal/pkt"
+	"repro/internal/qdisc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Scheme selects the queue management configuration of a node, matching
+// the four setups of §4.
+type Scheme int
+
+const (
+	// SchemeFIFO is the unmodified stack: a PFIFO qdisc above per-TID
+	// driver FIFOs sharing one buffer budget.
+	SchemeFIFO Scheme = iota
+	// SchemeFQCoDel replaces the qdisc with FQ-CoDel, leaving the driver
+	// queues untouched.
+	SchemeFQCoDel
+	// SchemeFQMAC bypasses the qdisc entirely and queues in the
+	// integrated per-TID FQ-CoDel structure of §3.1.
+	SchemeFQMAC
+	// SchemeAirtimeFQ is SchemeFQMAC plus the §3.2 airtime fairness
+	// scheduler.
+	SchemeAirtimeFQ
+	// SchemeDTT is SchemeFQMAC plus the deficit transmission time
+	// scheduler of Garroppo et al. — the closest prior work, included as
+	// a comparison baseline for §3.2's accuracy claims.
+	SchemeDTT
+)
+
+var schemeNames = [...]string{"FIFO", "FQ-CoDel", "FQ-MAC", "Airtime", "DTT"}
+
+func (s Scheme) String() string {
+	if int(s) < len(schemeNames) {
+		return schemeNames[s]
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Schemes lists all four configurations in the paper's presentation order.
+var Schemes = []Scheme{SchemeFIFO, SchemeFQCoDel, SchemeFQMAC, SchemeAirtimeFQ}
+
+// Config parameterises a node's MAC and queueing behaviour. The zero value
+// is completed with the defaults used throughout the paper's testbed.
+type Config struct {
+	Scheme Scheme
+
+	MaxAggrFrames int      // A-MPDU cap in MPDUs (default 32)
+	MaxAggrBytes  int      // A-MPDU cap in framed bytes (default 65535)
+	MaxAggrDur    sim.Time // A-MPDU cap in air time (default 4 ms, ath9k)
+	MaxAMSDU      int      // A-MSDU bundle size in bytes; 0 disables two-level aggregation
+	HWQueueDepth  int      // aggregates queued to hardware (default 2)
+	RetryLimit    int      // MPDU retransmission limit (default 10)
+
+	QdiscLimit int // PFIFO packet limit (default 1000)
+	DriverBuf  int // shared driver buffer budget in packets (default 128)
+
+	FQFlows int // flow queues in FQ-CoDel / FQ-MAC structures
+	FQLimit int // packet limit of those structures
+
+	AirtimeQuantum sim.Time // airtime scheduler quantum (default 300 µs)
+	DisableSparse  bool     // turn off the sparse-station optimisation
+
+	SlowRateThreshold float64  // bits/s under which CoDel relaxes (default 12 Mbps)
+	CodelHysteresis   sim.Time // min time between CoDel param changes (default 2 s)
+
+	// RTSThreshold protects transmissions longer than this with RTS/CTS
+	// (adds the exchange overhead, bounds the collision cost). Zero
+	// disables protection.
+	RTSThreshold sim.Time
+
+	PerMPDULoss    float64  // independent MPDU loss probability on the air
+	ReorderTimeout sim.Time // block-ack reorder hole timeout (default 10 ms)
+}
+
+func (c *Config) fill() {
+	if c.MaxAggrFrames <= 0 {
+		c.MaxAggrFrames = 32
+	}
+	if c.MaxAggrBytes <= 0 {
+		c.MaxAggrBytes = 65535
+	}
+	if c.MaxAggrDur <= 0 {
+		c.MaxAggrDur = 4 * sim.Millisecond
+	}
+	if c.HWQueueDepth <= 0 {
+		c.HWQueueDepth = 2
+	}
+	if c.RetryLimit <= 0 {
+		c.RetryLimit = 10
+	}
+	if c.QdiscLimit <= 0 {
+		c.QdiscLimit = qdisc.DefaultPFIFOLimit
+	}
+	if c.DriverBuf <= 0 {
+		c.DriverBuf = 128
+	}
+	if c.AirtimeQuantum <= 0 {
+		c.AirtimeQuantum = airtime.DefaultQuantum
+	}
+	if c.SlowRateThreshold <= 0 {
+		c.SlowRateThreshold = 12e6
+	}
+	if c.CodelHysteresis <= 0 {
+		c.CodelHysteresis = 2 * sim.Second
+	}
+	if c.ReorderTimeout <= 0 {
+		c.ReorderTimeout = DefaultReorderTimeout
+	}
+}
+
+// Env is the shared wireless environment of one simulation: the virtual
+// clock and the radio medium.
+type Env struct {
+	Sim    *sim.Sim
+	Medium *Medium
+}
+
+// NewEnv creates an environment on the given simulator.
+func NewEnv(s *sim.Sim) *Env {
+	return &Env{Sim: s, Medium: NewMedium(s)}
+}
+
+// Node is one 802.11 device: the access point or a client station.
+type Node struct {
+	ID   pkt.NodeID
+	Name string
+
+	env *Env
+	cfg Config
+
+	qdiscs [pkt.NumACs]qdisc.Qdisc // qdisc-backed schemes only
+	fq     *mactid.Fq              // integrated structure, FQ-MAC/Airtime/DTT
+	sched  [pkt.NumACs]Scheduler   // nil for the unscheduled schemes
+
+	stations     map[pkt.NodeID]*Station
+	stationOrder []*Station
+	defaultPeer  *Station
+
+	rr    [pkt.NumACs][]*tidState
+	rrIdx [pkt.NumACs]int
+
+	txqs      [pkt.NumACs]*txq
+	driverLen int // packets held in driver buf_q across all TIDs
+	reorder   map[reorderKey]*reorderState
+
+	// Deliver receives every packet that arrives over the air for this
+	// node's upper layers. Must be set before traffic flows.
+	Deliver func(*pkt.Packet)
+
+	// Trace, when non-nil, records packet lifecycle events.
+	Trace *trace.Log
+
+	// Stats.
+	RetryDrops   int // MPDUs dropped after exhausting retries
+	InputPackets int64
+	InputDrops   int // packets dropped at enqueue (qdisc/global limit)
+}
+
+// NewNode creates a node with the given queueing scheme and attaches it to
+// the environment's medium.
+func NewNode(env *Env, id pkt.NodeID, name string, cfg Config) *Node {
+	cfg.fill()
+	n := &Node{ID: id, Name: name, env: env, cfg: cfg,
+		stations: make(map[pkt.NodeID]*Station),
+		reorder:  make(map[reorderKey]*reorderState)}
+	for ac := 0; ac < pkt.NumACs; ac++ {
+		n.txqs[ac] = &txq{node: n, ac: pkt.AC(ac), par: EDCA(pkt.AC(ac))}
+		n.txqs[ac].resetCW()
+	}
+	switch cfg.Scheme {
+	case SchemeFIFO:
+		for ac := range n.qdiscs {
+			n.qdiscs[ac] = qdisc.NewPFIFO(cfg.QdiscLimit)
+		}
+	case SchemeFQCoDel:
+		for ac := range n.qdiscs {
+			n.qdiscs[ac] = fqcodel.New(fqcodel.Config{
+				Flows: cfg.FQFlows, Limit: cfg.FQLimit,
+				Clock: env.Sim.Now,
+			})
+		}
+	case SchemeFQMAC, SchemeAirtimeFQ, SchemeDTT:
+		n.fq = mactid.New(mactid.Config{Flows: cfg.FQFlows, Limit: cfg.FQLimit})
+		for ac := 0; ac < pkt.NumACs; ac++ {
+			switch cfg.Scheme {
+			case SchemeAirtimeFQ:
+				n.sched[ac] = newAirtimeSched(&airtime.Scheduler{
+					Quantum:   cfg.AirtimeQuantum,
+					SparseOpt: !cfg.DisableSparse,
+				}, pkt.AC(ac))
+			case SchemeDTT:
+				n.sched[ac] = newDTTSched(&dtt.Scheduler{
+					Quantum: cfg.AirtimeQuantum,
+				}, pkt.AC(ac))
+			}
+		}
+	default:
+		panic(fmt.Sprintf("mac: unknown scheme %v", cfg.Scheme))
+	}
+	return n
+}
+
+// Config returns the node's effective configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Scheme returns the node's queueing scheme.
+func (n *Node) Scheme() Scheme { return n.cfg.Scheme }
+
+// FqStats exposes the integrated queue structure (nil unless FQ-MAC or
+// Airtime scheme).
+func (n *Node) FqStats() *mactid.Fq { return n.fq }
+
+// Qdisc exposes the qdisc of an access category (nil for FQ-MAC/Airtime).
+func (n *Node) Qdisc(ac pkt.AC) qdisc.Qdisc { return n.qdiscs[ac] }
+
+// StationScheduler exposes the per-AC station scheduler (nil unless the
+// Airtime or DTT scheme is active).
+func (n *Node) StationScheduler(ac pkt.AC) Scheduler { return n.sched[ac] }
+
+// AddStation registers a wireless peer reachable at the given PHY rate and
+// returns its per-peer state. The first peer added becomes the default
+// next hop for packets whose destination is not a direct peer (i.e. a
+// client's AP).
+func (n *Node) AddStation(peer *Node, rate phy.Rate) *Station {
+	if _, dup := n.stations[peer.ID]; dup {
+		panic(fmt.Sprintf("mac: duplicate station %v", peer.ID))
+	}
+	s := &Station{Peer: peer, Rate: rate, owner: n}
+	for ac := 0; ac < pkt.NumACs; ac++ {
+		t := &tidState{sta: s, ac: pkt.AC(ac)}
+		if n.fq != nil {
+			t.fq = n.fq.NewTID()
+		}
+		s.tids[ac] = t
+		n.rr[ac] = append(n.rr[ac], t)
+		tt := t
+		s.air[ac].Backlogged = func() bool { return tt.backlogged() }
+	}
+	s.updateCodelParams(n.env.Sim.Now())
+	n.stations[peer.ID] = s
+	n.stationOrder = append(n.stationOrder, s)
+	if n.defaultPeer == nil {
+		n.defaultPeer = s
+	}
+	return s
+}
+
+// Stations returns the node's peers in registration order.
+func (n *Node) Stations() []*Station { return n.stationOrder }
+
+// Station returns the peer entry for id, or nil.
+func (n *Node) Station(id pkt.NodeID) *Station { return n.stations[id] }
+
+// SetRate changes the PHY rate used with peer s (rate-control updates),
+// re-evaluating the per-station CoDel parameters under hysteresis.
+func (n *Node) SetRate(s *Station, rate phy.Rate) {
+	s.Rate = rate
+	s.updateCodelParams(n.env.Sim.Now())
+}
+
+// EnableAutoRate attaches a link-quality model and a Minstrel-style rate
+// controller to peer s. The controller's throughput estimate also feeds
+// the §3.1.1 CoDel parameter switch, as in the paper's implementation.
+func (n *Node) EnableAutoRate(s *Station, ch *channel.Model, startMCS int) *minstrel.Controller {
+	s.Channel = ch
+	s.RC = minstrel.New(startMCS)
+	n.SetRate(s, s.RC.CurrentRate())
+	return s.RC
+}
+
+// RemoveStation disassociates a peer: every queued packet for it is
+// purged, its scheduler state retires naturally (its backlog probe goes
+// false) and subsequent packets routed to it are dropped.
+func (n *Node) RemoveStation(s *Station) {
+	if n.stations[s.Peer.ID] != s {
+		return
+	}
+	delete(n.stations, s.Peer.ID)
+	for i, st := range n.stationOrder {
+		if st == s {
+			n.stationOrder = append(n.stationOrder[:i], n.stationOrder[i+1:]...)
+			break
+		}
+	}
+	if n.defaultPeer == s {
+		n.defaultPeer = nil
+		if len(n.stationOrder) > 0 {
+			n.defaultPeer = n.stationOrder[0]
+		}
+	}
+	for ac := 0; ac < pkt.NumACs; ac++ {
+		t := s.tids[ac]
+		// Remove from the round-robin service list.
+		for i, rr := range n.rr[ac] {
+			if rr == t {
+				n.rr[ac] = append(n.rr[ac][:i], n.rr[ac][i+1:]...)
+				if n.rrIdx[ac] > i {
+					n.rrIdx[ac]--
+				}
+				if len(n.rr[ac]) > 0 {
+					n.rrIdx[ac] %= len(n.rr[ac])
+				} else {
+					n.rrIdx[ac] = 0
+				}
+				break
+			}
+		}
+		// Drop everything queued for the station.
+		n.driverLen -= t.bufq.Len()
+		t.bufq.Drain(nil)
+		t.retryq.Drain(nil)
+		if t.fq != nil {
+			t.fq.Purge()
+		}
+	}
+}
+
+// route finds the peer entry a packet should be transmitted to: its
+// destination if directly associated, otherwise the default peer (the AP).
+func (n *Node) route(p *pkt.Packet) *Station {
+	if s, ok := n.stations[p.Dst]; ok {
+		return s
+	}
+	return n.defaultPeer
+}
+
+// Input accepts a packet from the node's upper layers (for the AP: from
+// the wired port; for a client: from its local applications) and enqueues
+// it for wireless transmission.
+func (n *Node) Input(p *pkt.Packet) {
+	n.InputPackets++
+	sta := n.route(p)
+	if sta == nil {
+		n.InputDrops++
+		n.trace(trace.Drop, p.Dst, p.AC, p.Size, "no-route")
+		return
+	}
+	n.trace(trace.Enqueue, p.Dst, p.AC, p.Size, "")
+	ac := p.AC
+	p.TID = int(ac)
+	tid := sta.tids[ac]
+	now := n.env.Sim.Now()
+
+	if n.fq != nil {
+		before := n.fq.Drops()
+		tid.fq.Enqueue(p, now)
+		if d := n.fq.Drops() - before; d > 0 {
+			n.InputDrops += d
+			n.trace(trace.Drop, p.Dst, ac, d, "fq-overlimit")
+		}
+		if n.sched[ac] != nil {
+			n.sched[ac].Activate(sta)
+		}
+	} else {
+		if !n.qdiscs[ac].Enqueue(p) {
+			n.InputDrops++
+			n.trace(trace.Drop, p.Dst, ac, p.Size, "qdisc-full")
+		}
+		n.pullQdisc(ac)
+	}
+	n.schedule(ac)
+}
+
+// pullQdisc drains the qdisc into the per-TID driver queues while the
+// shared driver buffer has room — the unmanaged lower-layer queueing of
+// Figure 2 that defeats qdisc-level AQM.
+func (n *Node) pullQdisc(ac pkt.AC) {
+	q := n.qdiscs[ac]
+	if q == nil {
+		return
+	}
+	for n.driverLen < n.cfg.DriverBuf {
+		p := q.Dequeue()
+		if p == nil {
+			return
+		}
+		sta := n.route(p)
+		if sta == nil {
+			continue
+		}
+		sta.tids[ac].bufq.Push(p)
+		n.driverLen++
+	}
+}
+
+// schedule fills the access category's hardware queue with aggregates and
+// requests channel access when anything is pending. This is the schedule()
+// entry point of Algorithm 3, also used (with round-robin TID selection)
+// by the baseline schemes.
+func (n *Node) schedule(ac pkt.AC) {
+	q := n.txqs[ac]
+	for len(q.hwq) < n.cfg.HWQueueDepth {
+		agg := n.nextAggregate(ac)
+		if agg == nil {
+			break
+		}
+		q.hwq = append(q.hwq, agg)
+	}
+	if len(q.hwq) > 0 {
+		n.env.Medium.request(q)
+	}
+}
+
+// nextAggregate picks the TID to serve — via the airtime scheduler or
+// round-robin — and builds one aggregate from it.
+func (n *Node) nextAggregate(ac pkt.AC) *Aggregate {
+	if sc := n.sched[ac]; sc != nil {
+		for {
+			sta := sc.Next()
+			if sta == nil {
+				return nil
+			}
+			if agg := n.buildAggregate(sta.tids[ac]); agg != nil {
+				return agg
+			}
+		}
+	}
+	n.pullQdisc(ac)
+	lst := n.rr[ac]
+	for i := 0; i < len(lst); i++ {
+		idx := (n.rrIdx[ac] + i) % len(lst)
+		t := lst[idx]
+		if !t.backlogged() {
+			continue
+		}
+		n.rrIdx[ac] = (idx + 1) % len(lst)
+		if agg := n.buildAggregate(t); agg != nil {
+			return agg
+		}
+	}
+	return nil
+}
+
+// txComplete finishes one air transmission of agg: per-MPDU success is
+// resolved (all fail on a collision), airtime is accounted and charged,
+// failures are handled, and the hardware queue is refilled.
+//
+// A fully failed aggregate (collision: no block ack) is retried in place
+// at the head of the hardware queue, as ath9k does — this keeps MPDU order
+// intact. Individually lost MPDUs go to the TID retry queue and rejoin the
+// next aggregate; the receiver's block-ack reorder buffer restores their
+// order.
+func (n *Node) txComplete(q *txq, agg *Aggregate, collided bool, occupied sim.Time) {
+	if len(q.hwq) == 0 || q.hwq[0] != agg {
+		panic("mac: txComplete out of order")
+	}
+	sta := agg.TID.sta
+	sta.TxAirtime += occupied
+	sta.AggCount++
+	sta.AggPackets += int64(len(agg.Pkts))
+	if n.Trace != nil {
+		note := "ok"
+		if collided {
+			note = "collision"
+		}
+		n.trace(trace.TxDone, sta.Peer.ID, q.ac, len(agg.Pkts), note)
+	}
+	if sc := n.sched[q.ac]; sc != nil {
+		sc.ChargeTx(sta, occupied, n.env.Sim.Now()-agg.Built)
+	}
+
+	if collided {
+		q.bumpCW()
+		dropped := false
+		keep := agg.Pkts[:0]
+		for _, p := range agg.Pkts {
+			p.Retries++
+			if p.Retries > n.cfg.RetryLimit {
+				n.RetryDrops++
+				sta.DropPackets++
+				dropped = true
+				continue
+			}
+			keep = append(keep, p)
+		}
+		agg.Pkts = keep
+		if len(agg.Pkts) > 0 {
+			// Retry in place, staying at the head of the hardware queue.
+			// Only if the retry limit removed packets does the frame need
+			// recomputing (conservatively, as singleton MPDUs).
+			if dropped {
+				agg.FrameBytes = 0
+				agg.Groups = agg.Groups[:0]
+				for _, p := range agg.Pkts {
+					agg.FrameBytes += mpduLen(p.Size, agg.Rate)
+					agg.Groups = append(agg.Groups, []*pkt.Packet{p})
+				}
+				agg.DataDur = phy.DataDurBytes(agg.FrameBytes, agg.Rate)
+				agg.TotalDur = agg.DataDur + phy.AckDur(agg.Rate)
+			}
+			n.schedule(q.ac)
+			return
+		}
+		q.hwq = q.hwq[1:]
+		n.schedule(q.ac)
+		return
+	}
+
+	q.hwq = q.hwq[1:]
+	rng := n.env.Sim.Rand()
+	// Per-MPDU success: the flat configured loss probability plus, when a
+	// channel model is attached, rate-dependent link errors. With A-MSDU
+	// bundling, an MPDU (group) succeeds or fails as a unit.
+	succProb := 1 - n.cfg.PerMPDULoss
+	if sta.Channel != nil {
+		succProb *= sta.Channel.SuccessProb(agg.Rate)
+	}
+	var delivered []*pkt.Packet
+	anyFailed := false
+	for _, group := range agg.Groups {
+		ok := succProb >= 1 || rng.Float64() < succProb
+		if ok {
+			for _, p := range group {
+				p.SentAir = agg.Started
+				sta.TxBytes += int64(p.Size)
+				sta.TxPackets++
+				delivered = append(delivered, p)
+			}
+			continue
+		}
+		anyFailed = true
+		for _, p := range group {
+			p.Retries++
+			if p.Retries > n.cfg.RetryLimit {
+				n.RetryDrops++
+				sta.DropPackets++
+				continue
+			}
+			agg.TID.retryq.Push(p)
+		}
+	}
+	if anyFailed {
+		q.bumpCW()
+	} else {
+		q.resetCW()
+	}
+	if rc := sta.RC; rc != nil {
+		rc.Report(agg.Rate, len(delivered), len(agg.Pkts)-len(delivered))
+		if rc.MaybeUpdate(n.env.Sim.Now()) {
+			n.SetRate(sta, rc.CurrentRate())
+		}
+	}
+	if sc := n.sched[q.ac]; sc != nil && agg.TID.backlogged() {
+		sc.Activate(sta)
+	}
+
+	if len(delivered) > 0 {
+		sta.Peer.receiveAggregate(n, q.ac, delivered, agg.TotalDur)
+	}
+	n.schedule(q.ac)
+}
+
+// receiveAggregate handles an aggregate arriving over the air: received
+// airtime is attributed (and, under the airtime scheme, charged) to the
+// sending peer, and packets are handed to the upper layers.
+func (n *Node) receiveAggregate(from *Node, ac pkt.AC, pkts []*pkt.Packet, dur sim.Time) {
+	if sta, ok := n.stations[from.ID]; ok {
+		sta.RxAirtime += dur
+		if sc := n.sched[ac]; sc != nil {
+			sc.ChargeRx(sta, dur)
+		}
+	}
+	if n.Deliver == nil {
+		panic(fmt.Sprintf("mac: node %s has no Deliver hook", n.Name))
+	}
+	if n.Trace != nil {
+		for _, p := range pkts {
+			n.trace(trace.Deliver, from.ID, ac, p.Size, "")
+		}
+	}
+	n.reorderDeliver(reorderKey{src: from.ID, tid: int(ac)}, pkts)
+}
+
+// trace records an event when tracing is attached.
+func (n *Node) trace(kind trace.Kind, peer pkt.NodeID, ac pkt.AC, size int, note string) {
+	if n.Trace == nil {
+		return
+	}
+	n.Trace.Add(trace.Event{
+		At: n.env.Sim.Now(), Kind: kind, Node: n.ID, Peer: peer,
+		AC: ac, Size: size, Note: note,
+	})
+}
+
+// QueuedPackets reports every packet queued at the node for transmission
+// (qdisc + driver or integrated structure + retry queues), for tests.
+func (n *Node) QueuedPackets() int {
+	total := 0
+	for ac := 0; ac < pkt.NumACs; ac++ {
+		if n.qdiscs[ac] != nil {
+			total += n.qdiscs[ac].Len()
+		}
+		for _, t := range n.rr[ac] {
+			total += t.retryq.Len() + t.bufq.Len()
+		}
+		if q := n.txqs[ac]; q != nil {
+			for _, agg := range q.hwq {
+				total += len(agg.Pkts)
+			}
+		}
+	}
+	if n.fq != nil {
+		total += n.fq.Len()
+	}
+	return total
+}

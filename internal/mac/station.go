@@ -1,0 +1,327 @@
+package mac
+
+import (
+	"repro/internal/airtime"
+	"repro/internal/channel"
+	"repro/internal/codel"
+	"repro/internal/mactid"
+	"repro/internal/minstrel"
+	"repro/internal/phy"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// Station is a node's view of one wireless peer: for the access point, one
+// per associated client; for a client, the single entry describing the AP.
+// It carries the per-TID queues, the airtime-scheduler entries, the
+// per-station CoDel parameters (§3.1.1) and the per-station statistics the
+// evaluation reports.
+type Station struct {
+	Peer *Node    // the remote node
+	Rate phy.Rate // PHY rate used for frames to/from this peer
+
+	// Channel, when set, models the link quality: per-MPDU success
+	// depends on the chosen rate. RC, when set, adapts Rate with a
+	// Minstrel-style controller (see Node.EnableAutoRate).
+	Channel *channel.Model
+	RC      *minstrel.Controller
+
+	owner *Node
+	tids  [pkt.NumACs]*tidState
+	air   [pkt.NumACs]airtime.Station
+
+	codelPa      codel.Params
+	codelSlow    bool
+	codelInit    bool
+	lastPaChange sim.Time
+
+	// Stats, maintained by the owner node.
+	TxAirtime   sim.Time // airtime of transmissions to this peer (incl. retries)
+	RxAirtime   sim.Time // airtime of transmissions received from this peer
+	TxBytes     int64    // L3 bytes successfully delivered to this peer
+	TxPackets   int64
+	DropPackets int64 // MPDUs that exhausted their retry limit
+	AggCount    int64 // aggregates transmitted
+	AggPackets  int64 // MPDUs across those aggregates
+}
+
+// Airtime returns the total airtime attributed to the peer (TX + RX), the
+// quantity Figures 5, 6 and 9 are computed over.
+func (s *Station) Airtime() sim.Time { return s.TxAirtime + s.RxAirtime }
+
+// MeanAggregation returns the mean A-MPDU size in packets, the "Aggr size"
+// column of Table 1.
+func (s *Station) MeanAggregation() float64 {
+	if s.AggCount == 0 {
+		return 0
+	}
+	return float64(s.AggPackets) / float64(s.AggCount)
+}
+
+// CodelParams returns the CoDel parameters currently applied to this
+// station's queues.
+func (s *Station) CodelParams() codel.Params { return s.codelPa }
+
+// updateCodelParams implements §3.1.1: switch to the 50 ms/300 ms
+// parameters when the station's expected throughput drops below the
+// threshold, with hysteresis so the values change at most once per period.
+func (s *Station) updateCodelParams(now sim.Time) {
+	cfg := &s.owner.cfg
+	// Expected station throughput, from the rate-control information: the
+	// controller's estimate when rate control runs, otherwise the
+	// effective rate at a typical aggregation level for this PHY rate.
+	var expect float64
+	if s.RC != nil {
+		expect = s.RC.ExpectedThroughput()
+	} else {
+		expect = phy.EffectiveRate(expectedAggr(s.Rate, cfg), 1500, s.Rate)
+	}
+	slow := expect < cfg.SlowRateThreshold
+	if s.codelInit {
+		if slow == s.codelSlow {
+			return
+		}
+		if now-s.lastPaChange < cfg.CodelHysteresis {
+			return
+		}
+	}
+	s.codelInit = true
+	s.codelSlow = slow
+	s.lastPaChange = now
+	if slow {
+		s.codelPa = codel.Slow()
+	} else {
+		s.codelPa = codel.Default()
+	}
+}
+
+// expectedAggr estimates the aggregation level rate control would reach at
+// rate r under the configured caps.
+func expectedAggr(r phy.Rate, cfg *Config) int {
+	if r.Legacy {
+		return 1
+	}
+	n := 1
+	for n < cfg.MaxAggrFrames {
+		if phy.DataDur(n+1, 1500, r) > cfg.MaxAggrDur {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// tidState is the per-(station, TID) transmit state at a node. One TID per
+// access category is modelled (packets map to TIDs by their DiffServ-derived
+// AC, as in the paper).
+type tidState struct {
+	sta *Station
+	ac  pkt.AC
+
+	// FQ-MAC / Airtime-FQ modes: the shared integrated structure.
+	fq *mactid.TID
+
+	// FIFO / FQ-CoDel-qdisc modes: the driver's FIFO (buf_q of Figure 2).
+	bufq pkt.Queue
+
+	// All modes: MPDUs awaiting retransmission (retry_q of Figure 2).
+	retryq pkt.Queue
+
+	// txSeq numbers MPDUs for the receiver's block-ack reorder buffer.
+	// Sequence numbers are assigned at first aggregation (§3.1: encodings
+	// sensitive to reordering are applied on dequeue).
+	txSeq int
+}
+
+// backlogged reports whether the TID can contribute packets to an
+// aggregate right now.
+func (t *tidState) backlogged() bool {
+	if !t.retryq.Empty() || !t.bufq.Empty() {
+		return true
+	}
+	return t.fq != nil && t.fq.Backlogged()
+}
+
+// queuedPackets reports the number of packets queued on this TID
+// (excluding the shared fq structure's other TIDs).
+func (t *tidState) queuedPackets() int {
+	n := t.retryq.Len() + t.bufq.Len()
+	if t.fq != nil {
+		n += t.fq.Len()
+	}
+	return n
+}
+
+// pop removes the next packet for aggregation, consulting the retry queue
+// first, then the mode-appropriate backing queue.
+func (t *tidState) pop(now sim.Time) *pkt.Packet {
+	if p := t.retryq.Pop(); p != nil {
+		return p
+	}
+	if t.fq != nil {
+		return t.fq.Dequeue(now, t.sta.codelPa)
+	}
+	p := t.bufq.Pop()
+	if p != nil {
+		t.sta.owner.driverLen--
+	}
+	return p
+}
+
+// Aggregate is one built A-MPDU (or single MPDU for VO/legacy) awaiting
+// transmission in a hardware queue. When two-level (A-MSDU within A-MPDU)
+// aggregation is enabled, each MPDU may bundle several packets; Groups
+// records the bundling, and loss applies per MPDU (per group).
+type Aggregate struct {
+	Pkts       []*pkt.Packet
+	Groups     [][]*pkt.Packet // MPDU boundaries; singletons without A-MSDU
+	TID        *tidState
+	FrameBytes int      // framed body length (sum of MPDU lengths)
+	DataDur    sim.Time // Tphy + body air time
+	TotalDur   sim.Time // DataDur + SIFS + block ack
+	Rate       phy.Rate
+	UseRTS     bool     // protected by an RTS/CTS exchange
+	Built      sim.Time // when the aggregate was submitted to hardware
+	Started    sim.Time // when its (last) air transmission began
+}
+
+// CollisionCost is the channel time a failed transmission of this
+// aggregate occupies: the whole frame normally, only the RTS exchange
+// when protected.
+func (a *Aggregate) CollisionCost() sim.Time {
+	if a.UseRTS {
+		return phy.RTSDur
+	}
+	return a.TotalDur
+}
+
+// buildAggregate pulls packets from t into a new aggregate, respecting the
+// frame-count, byte and air-duration caps. It returns nil if the TID had
+// nothing to send. The 4 ms duration cap is what limits a 6.5 Mbps station
+// to two-frame aggregates, matching Table 1's measured 1.89 mean.
+//
+// With Config.MaxAMSDU > 0, two-level aggregation (A-MSDU inside A-MPDU,
+// the mechanism of the paper's reference [16]) bundles consecutive small
+// packets into shared MPDUs before A-MPDU framing.
+func (n *Node) buildAggregate(t *tidState) *Aggregate {
+	now := n.env.Sim.Now()
+	cfg := &n.cfg
+	rate := t.sta.Rate
+	if t.sta.RC != nil {
+		rate = t.sta.RC.PickRate(n.env.Sim.Rand())
+	}
+	maxFrames := cfg.MaxAggrFrames
+	noAggr := EDCA(t.ac).NoAggr || rate.Legacy
+	if noAggr {
+		maxFrames = 1
+	}
+
+	agg := &Aggregate{TID: t, Rate: rate, Built: now}
+	for len(agg.Groups) < maxFrames {
+		group, glen := n.buildMPDU(t, rate, noAggr, now)
+		if group == nil {
+			break
+		}
+		newBytes := agg.FrameBytes + glen
+		if len(agg.Groups) > 0 {
+			if newBytes > cfg.MaxAggrBytes || phy.DataDurBytes(newBytes, rate) > cfg.MaxAggrDur {
+				// Does not fit: return the group for the next aggregate.
+				for i := len(group) - 1; i >= 0; i-- {
+					t.retryq.PushFront(group[i])
+				}
+				break
+			}
+		}
+		for _, p := range group {
+			if p.MacSeq == 0 {
+				t.txSeq++
+				p.MacSeq = t.txSeq
+			}
+			agg.Pkts = append(agg.Pkts, p)
+		}
+		agg.Groups = append(agg.Groups, group)
+		agg.FrameBytes = newBytes
+		// In the qdisc-backed modes the driver refills its buffer as it
+		// drains, preserving the shared-space dynamics of Figure 2.
+		if t.fq == nil && n.qdiscs[t.ac] != nil {
+			n.pullQdisc(t.ac)
+		}
+	}
+	if len(agg.Pkts) == 0 {
+		return nil
+	}
+	agg.DataDur = phy.DataDurBytes(agg.FrameBytes, rate)
+	agg.TotalDur = agg.DataDur + phy.AckDur(rate)
+	if thr := cfg.RTSThreshold; thr > 0 && agg.TotalDur > thr {
+		agg.UseRTS = true
+		agg.TotalDur += phy.RTSCTSOverhead
+	}
+	return agg
+}
+
+// amsduSubframe is the per-packet A-MSDU subframe header (DA/SA/length).
+const amsduSubframe = 14
+
+// buildMPDU assembles the next MPDU: a single packet normally, or an
+// A-MSDU bundle of consecutive packets up to Config.MaxAMSDU bytes when
+// two-level aggregation is on. Returns the packets and the framed MPDU
+// length.
+func (n *Node) buildMPDU(t *tidState, rate phy.Rate, noAggr bool, now sim.Time) ([]*pkt.Packet, int) {
+	p := t.pop(now)
+	if p == nil {
+		return nil, 0
+	}
+	maxAMSDU := n.cfg.MaxAMSDU
+	if noAggr || maxAMSDU <= 0 {
+		return []*pkt.Packet{p}, mpduLen(p.Size, rate)
+	}
+	group := []*pkt.Packet{p}
+	body := pad4(amsduSubframe + p.Size)
+	for {
+		q := t.peekNext()
+		if q == nil {
+			break
+		}
+		add := pad4(amsduSubframe + q.Size)
+		if body+add > maxAMSDU {
+			break
+		}
+		t.pop(now)
+		group = append(group, q)
+		body += add
+	}
+	if len(group) == 1 {
+		return group, mpduLen(p.Size, rate)
+	}
+	return group, mpduLen(body, rate)
+}
+
+// peekNext returns the TID's next packet without committing to it, or nil.
+// Only the retry queue can be peeked cheaply; for the main queues we pop
+// and push back to the retry queue head, which preserves order.
+func (t *tidState) peekNext() *pkt.Packet {
+	if p := t.retryq.Peek(); p != nil {
+		return p
+	}
+	p := t.pop(t.sta.owner.env.Sim.Now())
+	if p == nil {
+		return nil
+	}
+	t.retryq.PushFront(p)
+	return p
+}
+
+func pad4(n int) int {
+	if rem := n % 4; rem != 0 {
+		n += 4 - rem
+	}
+	return n
+}
+
+// mpduLen returns the framed length of one MPDU body at the given rate.
+func mpduLen(size int, r phy.Rate) int {
+	if r.Legacy {
+		return size + phy.LMac + phy.LFCS
+	}
+	return phy.MPDULen(size)
+}

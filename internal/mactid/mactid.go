@@ -1,0 +1,315 @@
+// Package mactid implements the paper's integrated 802.11 queueing
+// structure (§3.1, Algorithms 1 and 2): the FQ-CoDel-derived design that
+// replaces both the qdisc layer and the driver's per-TID FIFOs.
+//
+// Unlike a stock FQ-CoDel instance per TID (which would be impractical),
+// one fixed, global set of flow queues is shared by every TID on the
+// interface. A packet hashes to a queue; the queue is then bound to the
+// packet's TID. On a hash collision with a queue already bound to another
+// TID, the packet goes to the TID's dedicated overflow queue. A global
+// packet limit is enforced by dropping from the globally longest queue,
+// which prevents a single flow (or a slow station) from locking out the
+// rest of the interface — the behaviour responsible for the aggregation
+// collapse the paper describes in §4.1.2.
+package mactid
+
+import (
+	"repro/internal/codel"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// Config parameterises the shared queueing structure.
+type Config struct {
+	Flows    int // global number of flow queues (default 1024)
+	Limit    int // global packet limit (default 8192, the paper's figure 3)
+	Quantum  int // DRR quantum in bytes (default 1514)
+	DropHook func(*pkt.Packet)
+}
+
+func (c *Config) fill() {
+	if c.Flows <= 0 {
+		c.Flows = 1024
+	}
+	if c.Limit <= 0 {
+		c.Limit = 8192
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 1514
+	}
+}
+
+type listID uint8
+
+const (
+	listNone listID = iota
+	listNew
+	listOld
+)
+
+// queue is one flow queue, possibly bound to a TID.
+type queue struct {
+	q       pkt.Queue
+	cv      codel.Vars
+	deficit int
+	tid     *TID // nil when unbound
+	next    *queue
+	inList  listID
+}
+
+type queueList struct {
+	head, tail *queue
+}
+
+func (l *queueList) empty() bool { return l.head == nil }
+
+func (l *queueList) pushTail(q *queue, id listID) {
+	q.next = nil
+	q.inList = id
+	if l.tail == nil {
+		l.head = q
+	} else {
+		l.tail.next = q
+	}
+	l.tail = q
+}
+
+func (l *queueList) popHead() *queue {
+	q := l.head
+	if q == nil {
+		return nil
+	}
+	l.head = q.next
+	if l.head == nil {
+		l.tail = nil
+	}
+	q.next = nil
+	q.inList = listNone
+	return q
+}
+
+// remove unlinks q from l (O(n); lists are short).
+func (l *queueList) remove(q *queue) {
+	var prev *queue
+	for cur := l.head; cur != nil; cur = cur.next {
+		if cur == q {
+			if prev == nil {
+				l.head = cur.next
+			} else {
+				prev.next = cur.next
+			}
+			if l.tail == cur {
+				l.tail = prev
+			}
+			q.next = nil
+			q.inList = listNone
+			return
+		}
+		prev = cur
+	}
+}
+
+// Fq is the interface-wide shared queueing structure. All TIDs of all
+// stations on one interface share a single Fq.
+type Fq struct {
+	cfg      Config
+	flows    []queue
+	overflow []*queue // TID overflow queues, registered as TIDs are created
+	len      int
+
+	drops      int
+	codelDrops int
+	overDrops  int
+	collisions int // packets routed to an overflow queue
+	sparseHits int
+}
+
+// New creates the shared structure.
+func New(cfg Config) *Fq {
+	cfg.fill()
+	return &Fq{cfg: cfg, flows: make([]queue, cfg.Flows)}
+}
+
+// Len reports the total packets queued across all TIDs.
+func (fq *Fq) Len() int { return fq.len }
+
+// Drops reports total packets dropped (AQM + overlimit).
+func (fq *Fq) Drops() int { return fq.drops }
+
+// CodelDrops reports packets dropped by the CoDel control law.
+func (fq *Fq) CodelDrops() int { return fq.codelDrops }
+
+// OverlimitDrops reports packets dropped by the global limit.
+func (fq *Fq) OverlimitDrops() int { return fq.overDrops }
+
+// HashCollisions reports packets diverted to TID overflow queues.
+func (fq *Fq) HashCollisions() int { return fq.collisions }
+
+// SparseDequeues reports packets served from new-queue (sparse) lists.
+func (fq *Fq) SparseDequeues() int { return fq.sparseHits }
+
+// NewTID creates a TID view onto the shared structure. The MAC creates
+// one per (station, traffic identifier).
+func (fq *Fq) NewTID() *TID {
+	t := &TID{fq: fq}
+	t.overflowQ = &queue{}
+	fq.overflow = append(fq.overflow, t.overflowQ)
+	return t
+}
+
+func (fq *Fq) drop(p *pkt.Packet) {
+	fq.drops++
+	if fq.cfg.DropHook != nil {
+		fq.cfg.DropHook(p)
+	}
+}
+
+// longestQueue scans every queue (hash and overflow) for the one holding
+// the most bytes.
+func (fq *Fq) longestQueue() *queue {
+	var longest *queue
+	for i := range fq.flows {
+		q := &fq.flows[i]
+		if longest == nil || q.q.Bytes() > longest.q.Bytes() {
+			longest = q
+		}
+	}
+	for _, q := range fq.overflow {
+		if q.q.Bytes() > longest.q.Bytes() {
+			longest = q
+		}
+	}
+	return longest
+}
+
+// dropFromLongest implements the global-limit policy: drop the head packet
+// of the globally longest queue (Algorithm 1 lines 2-4). It reports the
+// dropped packet.
+func (fq *Fq) dropFromLongest() *pkt.Packet {
+	victim := fq.longestQueue()
+	p := victim.q.Pop()
+	if p == nil {
+		return nil
+	}
+	fq.len--
+	if victim.tid != nil {
+		victim.tid.len--
+	}
+	fq.overDrops++
+	fq.drop(p)
+	return p
+}
+
+// TID is the per-traffic-identifier view: the new/old scheduling lists and
+// the overflow queue (Algorithm 1 line 7).
+type TID struct {
+	fq         *Fq
+	newQ, oldQ queueList
+	overflowQ  *queue
+	len        int
+}
+
+// Len reports packets queued for this TID.
+func (t *TID) Len() int { return t.len }
+
+// Backlogged reports whether the TID has any packet to send.
+func (t *TID) Backlogged() bool { return t.len > 0 }
+
+// Enqueue implements Algorithm 1. The packet is timestamped at now for
+// CoDel, hashed to a queue (or the overflow queue on a cross-TID
+// collision) and the queue activated onto the new-queues list if needed.
+// It reports false if the global limit caused this very packet to drop.
+func (t *TID) Enqueue(p *pkt.Packet, now sim.Time) bool {
+	fq := t.fq
+	accepted := true
+	q := &fq.flows[p.FlowKey()%uint64(len(fq.flows))]
+	if q.tid != nil && q.tid != t {
+		q = t.overflowQ
+		fq.collisions++
+	}
+	q.tid = t
+	p.Enqueued = now
+	q.q.Push(p)
+	fq.len++
+	t.len++
+	if q.inList == listNone {
+		q.deficit = fq.cfg.Quantum
+		t.newQ.pushTail(q, listNew)
+	}
+	for fq.len > fq.cfg.Limit {
+		dp := fq.dropFromLongest()
+		if dp == nil {
+			break
+		}
+		if dp == p {
+			accepted = false
+		}
+	}
+	return accepted
+}
+
+// Dequeue implements Algorithm 2, pulling the next packet for this TID
+// under the supplied CoDel parameters (per-station, per §3.1.1).
+func (t *TID) Dequeue(now sim.Time, pa codel.Params) *pkt.Packet {
+	fq := t.fq
+	for {
+		var q *queue
+		fromNew := false
+		if !t.newQ.empty() {
+			q = t.newQ.head
+			fromNew = true
+		} else if !t.oldQ.empty() {
+			q = t.oldQ.head
+		} else {
+			return nil
+		}
+		if q.deficit <= 0 {
+			q.deficit += fq.cfg.Quantum
+			if fromNew {
+				t.newQ.popHead()
+			} else {
+				t.oldQ.popHead()
+			}
+			t.oldQ.pushTail(q, listOld)
+			continue
+		}
+		p := q.cv.Dequeue(&q.q, pa, now, func(dp *pkt.Packet) {
+			fq.len--
+			t.len--
+			fq.codelDrops++
+			fq.drop(dp)
+		})
+		if p == nil {
+			if fromNew {
+				t.newQ.popHead()
+				t.oldQ.pushTail(q, listOld)
+			} else {
+				t.oldQ.popHead()
+				// Queue empty and leaving the scheduler: release the TID
+				// binding (Algorithm 2 line 18).
+				if q != t.overflowQ {
+					q.tid = nil
+				}
+			}
+			continue
+		}
+		fq.len--
+		t.len--
+		if fromNew {
+			fq.sparseHits++
+		}
+		q.deficit -= p.Size
+		return p
+	}
+}
+
+// Purge drops every packet queued for this TID (station departure).
+func (t *TID) Purge() {
+	for t.len > 0 {
+		p := t.Dequeue(sim.Time(1<<62), codel.Params{Target: 1 << 62, Interval: 1 << 62})
+		if p == nil {
+			break
+		}
+		t.fq.drop(p)
+	}
+}

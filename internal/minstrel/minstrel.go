@@ -1,0 +1,161 @@
+// Package minstrel implements a Minstrel-HT-style rate controller: the
+// rate selection algorithm that, in the paper's stack, supplies the
+// expected-throughput estimate driving the per-station CoDel parameters
+// (§3.1.1) and keeps each station at its best MCS.
+//
+// Like the Linux original it keeps exponentially weighted success
+// statistics per rate, spends a fraction of transmissions sampling other
+// rates, and periodically re-selects the rate with the best estimated
+// goodput.
+package minstrel
+
+import (
+	"sort"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// Parameters, matching the Linux defaults in spirit.
+const (
+	UpdateInterval = 100 * sim.Millisecond
+	SampleFraction = 10   // sample every Nth aggregate
+	ewmaLevel      = 50   // percent weight on history
+	refPktLen      = 1200 // bytes, for goodput estimation
+)
+
+type rateStats struct {
+	rate              phy.Rate
+	attempts, success int // current window
+	ewmaProb          float64
+	everUsed          bool
+}
+
+// Controller adapts the rate for one station.
+type Controller struct {
+	rates []rateStats
+	order []int // rate indices sorted by PHY bitrate (the MCS index
+	// ladder is not throughput-monotone: MCS8 is slower than MCS7)
+	lastUpdate sim.Time
+	cur        int // index into rates of the max-throughput rate
+	txCount    int
+
+	// Stats.
+	Samples int64
+	Updates int64
+}
+
+// New creates a controller over the full HT20 SGI MCS set, starting at
+// the given index.
+func New(startMCS int) *Controller {
+	c := &Controller{}
+	for i := 0; i < 16; i++ {
+		c.rates = append(c.rates, rateStats{rate: phy.MCS(i, true), ewmaProb: 0.5})
+	}
+	c.order = make([]int, 16)
+	for i := range c.order {
+		c.order[i] = i
+	}
+	sort.Slice(c.order, func(a, b int) bool {
+		return c.rates[c.order[a]].rate.BitsPerS < c.rates[c.order[b]].rate.BitsPerS
+	})
+	if startMCS < 0 || startMCS > 15 {
+		startMCS = 0
+	}
+	c.cur = startMCS
+	c.rates[startMCS].ewmaProb = 1
+	return c
+}
+
+// pos returns the current rate's position on the throughput ladder.
+func (c *Controller) pos() int {
+	for p, i := range c.order {
+		if i == c.cur {
+			return p
+		}
+	}
+	return 0
+}
+
+// CurrentRate returns the rate bulk transmissions should use.
+func (c *Controller) CurrentRate() phy.Rate { return c.rates[c.cur].rate }
+
+// ExpectedThroughput estimates the station's achievable goodput at the
+// current rate — the §3.1.1 input for the CoDel parameter switch.
+func (c *Controller) ExpectedThroughput() float64 {
+	return c.goodput(c.cur)
+}
+
+func (c *Controller) goodput(i int) float64 {
+	return phy.EffectiveRate(8, refPktLen, c.rates[i].rate) * c.rates[i].ewmaProb
+}
+
+// PickRate chooses the rate for the next aggregate: usually the current
+// best, periodically a sampling probe of a neighbouring rate.
+func (c *Controller) PickRate(rng *sim.Rand) phy.Rate {
+	c.txCount++
+	if c.txCount%SampleFraction == 0 {
+		// Probe a random rate within two steps on the throughput ladder.
+		p := c.pos()
+		lo, hi := p-2, p+2
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(c.order)-1 {
+			hi = len(c.order) - 1
+		}
+		i := c.order[lo+rng.Intn(hi-lo+1)]
+		if i != c.cur {
+			c.Samples++
+			return c.rates[i].rate
+		}
+	}
+	return c.rates[c.cur].rate
+}
+
+// Report feeds back the per-MPDU outcome of one aggregate sent at rate r.
+func (c *Controller) Report(r phy.Rate, success, failure int) {
+	for i := range c.rates {
+		if c.rates[i].rate == r {
+			c.rates[i].attempts += success + failure
+			c.rates[i].success += success
+			c.rates[i].everUsed = true
+			return
+		}
+	}
+}
+
+// MaybeUpdate folds the current window into the EWMA statistics and
+// re-selects the best rate once per UpdateInterval. It reports whether
+// the selected rate changed.
+func (c *Controller) MaybeUpdate(now sim.Time) bool {
+	if now-c.lastUpdate < UpdateInterval {
+		return false
+	}
+	c.lastUpdate = now
+	c.Updates++
+	for i := range c.rates {
+		rs := &c.rates[i]
+		if rs.attempts > 0 {
+			p := float64(rs.success) / float64(rs.attempts)
+			rs.ewmaProb = (rs.ewmaProb*ewmaLevel + p*(100-ewmaLevel)) / 100
+			rs.attempts, rs.success = 0, 0
+		}
+	}
+	best := c.cur
+	for i := range c.rates {
+		// Only trust rates we have actually tried.
+		if !c.rates[i].everUsed && i != c.cur {
+			continue
+		}
+		if c.goodput(i) > c.goodput(best) {
+			best = i
+		}
+	}
+	changed := best != c.cur
+	c.cur = best
+	return changed
+}
+
+// Prob exposes a rate's EWMA success estimate (for tests).
+func (c *Controller) Prob(mcs int) float64 { return c.rates[mcs].ewmaProb }

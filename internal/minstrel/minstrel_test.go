@@ -1,0 +1,117 @@
+package minstrel
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// drive simulates aggregates through the controller against a channel
+// model for the given virtual duration.
+func drive(c *Controller, ch *channel.Model, dur sim.Time, seed uint64) {
+	rng := sim.NewRand(seed)
+	now := sim.Time(0)
+	for now < dur {
+		r := c.PickRate(rng)
+		// 16-MPDU aggregates with channel-dependent per-MPDU success.
+		succ := 0
+		p := ch.SuccessProb(r)
+		for i := 0; i < 16; i++ {
+			if rng.Float64() < p {
+				succ++
+			}
+		}
+		c.Report(r, succ, 16-succ)
+		c.MaybeUpdate(now)
+		now += 2 * sim.Millisecond
+	}
+}
+
+func TestConvergesHighSNR(t *testing.T) {
+	c := New(0) // start at the bottom
+	ch := channel.New(40)
+	drive(c, ch, 10*sim.Second, 1)
+	if got := c.CurrentRate(); got != phy.MCS(15, true) {
+		t.Fatalf("converged to %v at 40 dB, want MCS15", got)
+	}
+	if c.Updates == 0 || c.Samples == 0 {
+		t.Fatal("controller never updated or sampled")
+	}
+}
+
+func TestConvergesLowSNR(t *testing.T) {
+	c := New(15) // start at the top
+	ch := channel.New(7)
+	drive(c, ch, 10*sim.Second, 2)
+	got := c.CurrentRate()
+	if got.Mbps() > 35 {
+		t.Fatalf("converged to %v at 7 dB, want a low rate", got)
+	}
+	// Must be within a couple of steps of the oracle.
+	oracle := ch.BestRate(1500)
+	if got.BitsPerS < oracle.BitsPerS/3 {
+		t.Fatalf("converged to %v, oracle %v", got, oracle)
+	}
+}
+
+func TestAdaptsToChange(t *testing.T) {
+	c := New(0)
+	ch := channel.New(40)
+	drive(c, ch, 10*sim.Second, 3)
+	if c.CurrentRate() != phy.MCS(15, true) {
+		t.Fatalf("phase 1: %v", c.CurrentRate())
+	}
+	// Signal degrades sharply; the controller must back off.
+	ch.Set(8)
+	c2rng := sim.NewRand(4)
+	now := 10 * sim.Second
+	for now < 20*sim.Second {
+		r := c.PickRate(c2rng)
+		succ := 0
+		p := ch.SuccessProb(r)
+		for i := 0; i < 16; i++ {
+			if c2rng.Float64() < p {
+				succ++
+			}
+		}
+		c.Report(r, succ, 16-succ)
+		c.MaybeUpdate(now)
+		now += 2 * sim.Millisecond
+	}
+	if c.CurrentRate().Mbps() > 40 {
+		t.Fatalf("did not back off after SNR drop: %v", c.CurrentRate())
+	}
+}
+
+func TestExpectedThroughputSane(t *testing.T) {
+	c := New(15)
+	if tp := c.ExpectedThroughput(); tp < 20e6 || tp > 150e6 {
+		t.Fatalf("MCS15 expected throughput %.1f Mbps implausible", tp/1e6)
+	}
+	lo := New(0)
+	if lo.ExpectedThroughput() >= c.ExpectedThroughput() {
+		t.Fatal("MCS0 estimate should be below MCS15")
+	}
+}
+
+func TestReportUnknownRateIgnored(t *testing.T) {
+	c := New(3)
+	c.Report(phy.Legacy(11), 5, 5) // not in the HT table: must not panic
+	if c.Prob(3) != 1 {
+		t.Fatal("start rate probability disturbed")
+	}
+}
+
+func TestUpdateCadence(t *testing.T) {
+	c := New(0)
+	c.Report(c.CurrentRate(), 10, 0)
+	if c.MaybeUpdate(UpdateInterval / 2) {
+		t.Fatal("updated before the interval elapsed")
+	}
+	c.MaybeUpdate(UpdateInterval * 2)
+	if c.Updates != 1 {
+		t.Fatalf("updates = %d, want 1", c.Updates)
+	}
+}

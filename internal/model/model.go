@@ -1,0 +1,83 @@
+// Package model implements the paper's analytical model for 802.11n
+// throughput and airtime (§2.2.1, equations 1-5). It predicts each
+// station's airtime share and effective rate from its PHY rate, packet
+// size and mean aggregation level, with and without airtime fairness
+// enforcement, and is used to regenerate the calculated columns of
+// Table 1 and to cross-validate the simulator.
+package model
+
+import (
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// StationParams describe one active station's transmission behaviour.
+type StationParams struct {
+	Name    string
+	AggSize float64  // mean A-MPDU size n_i, in packets
+	PktLen  int      // packet size l_i, bytes
+	Rate    phy.Rate // PHY rate r_i
+}
+
+// Prediction is the model output for one station.
+type Prediction struct {
+	Name         string
+	AirtimeShare float64 // T(i), eq. 4
+	BaseRate     float64 // R(n,l,r), eq. 3, bits/s — the "Base" column
+	Rate         float64 // R(i) = T(i)·Base, eq. 5, bits/s
+}
+
+// dataDur computes Tdata for a fractional aggregation level by linear
+// combination of the per-packet air time (eq. 2 generalised to the mean).
+func dataDur(n float64, l int, r phy.Rate) sim.Time {
+	if r.Legacy {
+		return phy.DataDur(1, l, r)
+	}
+	perPkt := float64(8*phy.MPDULen(l)) / r.BitsPerS * 1e9
+	return phy.TPhy + sim.Time(n*perPkt)
+}
+
+// baseRate computes eq. 3 for a fractional aggregation level.
+func baseRate(n float64, l int, r phy.Rate) float64 {
+	t := dataDur(n, l, r) + phy.Overhead(r, phy.CWMin)
+	return n * float64(8*l) / t.Seconds()
+}
+
+// Predict evaluates the model for the given stations. With fair true the
+// airtime is split equally (the scheduler's behaviour); otherwise each
+// station's share is its single-transmission duration over the sum of all
+// stations' durations — the 802.11 performance anomaly.
+func Predict(stations []StationParams, fair bool) []Prediction {
+	out := make([]Prediction, len(stations))
+	var totalDur float64
+	durs := make([]float64, len(stations))
+	for i, s := range stations {
+		durs[i] = float64(dataDur(s.AggSize, s.PktLen, s.Rate))
+		totalDur += durs[i]
+	}
+	for i, s := range stations {
+		share := 0.0
+		if fair {
+			share = 1 / float64(len(stations))
+		} else if totalDur > 0 {
+			share = durs[i] / totalDur
+		}
+		base := baseRate(s.AggSize, s.PktLen, s.Rate)
+		out[i] = Prediction{
+			Name:         s.Name,
+			AirtimeShare: share,
+			BaseRate:     base,
+			Rate:         share * base,
+		}
+	}
+	return out
+}
+
+// TotalRate sums the predicted effective rates in bits/s.
+func TotalRate(ps []Prediction) float64 {
+	var t float64
+	for _, p := range ps {
+		t += p.Rate
+	}
+	return t
+}

@@ -1,0 +1,216 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock with nanosecond resolution and a
+// binary-heap event queue. Events scheduled for the same instant fire in
+// the order they were scheduled, which keeps runs fully deterministic for
+// a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Common durations expressed in the simulator's time base.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts a standard library duration to simulator time.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis reports t as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+func (t Time) String() string {
+	return time.Duration(t).String()
+}
+
+// Event is a scheduled callback.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 when not queued
+	cancel bool
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Time reports when the event is (or was) scheduled to fire.
+func (e *Event) Time() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator instance. The zero value is not usable;
+// call New.
+type Sim struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *Rand
+	nRun   uint64 // events executed
+}
+
+// New creates a simulator whose random source is seeded with seed.
+func New(seed uint64) *Sim {
+	return &Sim{rng: NewRand(seed)}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Sim) Rand() *Rand { return s.rng }
+
+// EventsRun reports how many events have executed so far.
+func (s *Sim) EventsRun() uint64 { return s.nRun }
+
+// Pending reports the number of events currently queued.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// panics: it always indicates a model bug.
+func (s *Sim) At(at Time, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Sim) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e == nil || e.cancel || e.index < 0 {
+		if e != nil {
+			e.cancel = true
+		}
+		return
+	}
+	e.cancel = true
+	heap.Remove(&s.events, e.index)
+}
+
+// Step runs the next event, advancing the clock. It reports false when no
+// events remain.
+func (s *Sim) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		s.nRun++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the clock would pass end or the queue
+// empties. The clock is left at end if it was reached.
+func (s *Sim) RunUntil(end Time) {
+	for len(s.events) > 0 {
+		// Peek.
+		e := s.events[0]
+		if e.cancel {
+			heap.Pop(&s.events)
+			continue
+		}
+		if e.at > end {
+			break
+		}
+		s.Step()
+	}
+	if s.now < end {
+		s.now = end
+	}
+}
+
+// Run executes events until the queue is empty. maxEvents guards against
+// runaway models; zero means no limit.
+func (s *Sim) Run(maxEvents uint64) {
+	for s.Step() {
+		if maxEvents > 0 && s.nRun >= maxEvents {
+			return
+		}
+	}
+}
+
+// Ticker repeatedly invokes fn every period until cancelled via the
+// returned stop function.
+func (s *Sim) Ticker(period Time, fn func()) (stop func()) {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	var ev *Event
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			ev = s.After(period, tick)
+		}
+	}
+	ev = s.After(period, tick)
+	return func() {
+		stopped = true
+		s.Cancel(ev)
+	}
+}

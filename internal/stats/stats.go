@@ -1,0 +1,244 @@
+// Package stats provides the statistical machinery the evaluation uses:
+// sample collections with quantiles and CDFs, Jain's fairness index, and
+// streaming mean/variance accumulators.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Sample accumulates float64 observations.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddTime appends a duration observation in milliseconds.
+func (s *Sample) AddTime(t sim.Time) { s.Add(t.Millis()) }
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Values returns the raw observations (not a copy).
+func (s *Sample) Values() []float64 { return s.xs }
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Sample) Stddev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear
+// interpolation; 0 for an empty sample.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[len(s.xs)-1]
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s.xs) {
+		return s.xs[lo]
+	}
+	return s.xs[lo]*(1-frac) + s.xs[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 { return s.Quantile(0) }
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 { return s.Quantile(1) }
+
+// CDF returns (value, cumulative probability) pairs at the given points.
+func (s *Sample) CDF(points int) [][2]float64 {
+	if len(s.xs) == 0 || points < 2 {
+		return nil
+	}
+	s.sort()
+	out := make([][2]float64, 0, points)
+	for i := 0; i < points; i++ {
+		p := float64(i) / float64(points-1)
+		out = append(out, [2]float64{s.Quantile(p), p})
+	}
+	return out
+}
+
+// Merge appends all observations from other.
+func (s *Sample) Merge(other *Sample) {
+	s.xs = append(s.xs, other.xs...)
+	s.sorted = false
+}
+
+// Summary renders a one-line summary.
+func (s *Sample) Summary() string {
+	return fmt.Sprintf("n=%d min=%.2f p25=%.2f med=%.2f p75=%.2f p95=%.2f p99=%.2f max=%.2f mean=%.2f",
+		s.N(), s.Min(), s.Quantile(0.25), s.Median(), s.Quantile(0.75),
+		s.Quantile(0.95), s.Quantile(0.99), s.Max(), s.Mean())
+}
+
+// JainIndex computes Jain's fairness index over the shares:
+// (Σx)² / (n·Σx²). It is 1 for perfect fairness and 1/n for a single
+// winner. An empty or all-zero input yields 0.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	// Scale by the maximum so extreme magnitudes cannot overflow the
+	// squared terms; the index is scale-invariant.
+	var maxV float64
+	for _, x := range xs {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	if maxV == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		v := x / maxV
+		sum += v
+		sq += v * v
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// Shares normalises xs to fractions of their total (zero total -> zeros).
+func Shares(xs []float64) []float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	out := make([]float64, len(xs))
+	if sum == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / sum
+	}
+	return out
+}
+
+// Jitter is the RFC 3550 interarrival jitter estimator.
+type Jitter struct {
+	last    sim.Time // last transit time
+	haveOne bool
+	j       float64 // smoothed jitter, ns
+}
+
+// Observe records a packet with the given network transit time.
+func (j *Jitter) Observe(transit sim.Time) {
+	if !j.haveOne {
+		j.last = transit
+		j.haveOne = true
+		return
+	}
+	d := float64(transit - j.last)
+	if d < 0 {
+		d = -d
+	}
+	j.last = transit
+	j.j += (d - j.j) / 16
+}
+
+// Value returns the current jitter estimate.
+func (j *Jitter) Value() sim.Time { return sim.Time(j.j) }
+
+// Table is a minimal fixed-width text table renderer for experiment
+// output.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Mean() != 3 || s.Min() != 1 || s.Max() != 5 || s.Median() != 3 {
+		t.Fatalf("basics wrong: %s", s.Summary())
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Median() != 0 || s.Stddev() != 0 || s.CDF(10) != nil {
+		t.Fatal("empty sample should yield zeros")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	var s Sample
+	s.Add(0)
+	s.Add(10)
+	if got := s.Quantile(0.5); got != 5 {
+		t.Fatalf("median of {0,10} = %v, want 5", got)
+	}
+	if s.Quantile(-1) != 0 || s.Quantile(2) != 10 {
+		t.Fatal("clamping broken")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	check := func(vals []float64, a, b float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		qa, qb := math.Abs(a)-math.Floor(math.Abs(a)), math.Abs(b)-math.Floor(math.Abs(b))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		var s Sample
+		for _, v := range vals {
+			s.Add(v)
+		}
+		return s.Quantile(qa) <= s.Quantile(qb)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Stddev(); math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("stddev = %v, want ~2.14", got)
+	}
+}
+
+func TestCDFShape(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cdf := s.CDF(11)
+	if len(cdf) != 11 {
+		t.Fatalf("cdf points = %d", len(cdf))
+	}
+	if cdf[0][1] != 0 || cdf[10][1] != 1 {
+		t.Fatal("cdf endpoints wrong")
+	}
+	if !sort.SliceIsSorted(cdf, func(i, j int) bool { return cdf[i][0] < cdf[j][0] }) {
+		t.Fatal("cdf not monotone")
+	}
+}
+
+func TestMergeAndAddTime(t *testing.T) {
+	var a, b Sample
+	a.Add(1)
+	b.AddTime(2 * sim.Millisecond)
+	a.Merge(&b)
+	if a.N() != 2 || a.Max() != 2 {
+		t.Fatalf("merge broken: %s", a.Summary())
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal shares Jain = %v, want 1", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("single winner Jain = %v, want 0.25", got)
+	}
+	if JainIndex(nil) != 0 || JainIndex([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate Jain should be 0")
+	}
+}
+
+// TestJainBounds: 1/n <= J <= 1 for any non-negative non-zero allocation.
+func TestJainBounds(t *testing.T) {
+	check := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Abs(v))
+			}
+		}
+		sum := 0.0
+		for _, x := range xs {
+			sum += x
+		}
+		if len(xs) == 0 || sum == 0 {
+			return true
+		}
+		j := JainIndex(xs)
+		return j >= 1/float64(len(xs))-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShares(t *testing.T) {
+	s := Shares([]float64{1, 3})
+	if s[0] != 0.25 || s[1] != 0.75 {
+		t.Fatalf("shares = %v", s)
+	}
+	z := Shares([]float64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero shares wrong")
+	}
+}
+
+func TestJitterEstimator(t *testing.T) {
+	var j Jitter
+	// Constant transit: zero jitter.
+	for i := 0; i < 100; i++ {
+		j.Observe(10 * sim.Millisecond)
+	}
+	if j.Value() != 0 {
+		t.Fatalf("constant transit jitter = %v", j.Value())
+	}
+	// Alternate +-5 ms: jitter converges toward ~10 ms difference-based
+	// estimate scaled by the 1/16 gain (bounded above by 10 ms).
+	var k Jitter
+	for i := 0; i < 1000; i++ {
+		d := 10 * sim.Millisecond
+		if i%2 == 0 {
+			d = 20 * sim.Millisecond
+		}
+		k.Observe(d)
+	}
+	if k.Value() < 5*sim.Millisecond || k.Value() > 10*sim.Millisecond {
+		t.Fatalf("alternating jitter = %v, want 5-10ms", k.Value())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Header: []string{"a", "long-col"}}
+	tb.AddRow("x", "y")
+	tb.AddRow("wide-cell", "z")
+	out := tb.String()
+	if out == "" || len(out) < 20 {
+		t.Fatal("table render empty")
+	}
+}

@@ -1,0 +1,142 @@
+package tcp
+
+// span is a half-open byte range [start, end).
+type span struct{ start, end int64 }
+
+// spanSet is a sorted list of disjoint spans.
+type spanSet struct {
+	s []span
+}
+
+// insert adds [start, end), merging with neighbours.
+func (ss *spanSet) insert(start, end int64) {
+	if start >= end {
+		return
+	}
+	// A fresh output slice: the two-append case below would otherwise
+	// clobber elements of ss.s before they are read.
+	out := make([]span, 0, len(ss.s)+1)
+	placed := false
+	for _, sp := range ss.s {
+		switch {
+		case sp.end < start:
+			out = append(out, sp)
+		case end < sp.start:
+			if !placed {
+				out = append(out, span{start, end})
+				placed = true
+			}
+			out = append(out, sp)
+		default:
+			// Overlapping or adjacent: absorb into the candidate.
+			if sp.start < start {
+				start = sp.start
+			}
+			if sp.end > end {
+				end = sp.end
+			}
+		}
+	}
+	if !placed {
+		out = append(out, span{start, end})
+	}
+	ss.s = out
+}
+
+// pruneBelow removes coverage below seq.
+func (ss *spanSet) pruneBelow(seq int64) {
+	out := ss.s[:0]
+	for _, sp := range ss.s {
+		if sp.end <= seq {
+			continue
+		}
+		if sp.start < seq {
+			sp.start = seq
+		}
+		out = append(out, sp)
+	}
+	ss.s = out
+}
+
+// contains reports whether [seq, seq+n) is fully covered.
+func (ss *spanSet) contains(seq, n int64) bool {
+	for _, sp := range ss.s {
+		if seq >= sp.start && seq+n <= sp.end {
+			return true
+		}
+	}
+	return false
+}
+
+// bytes reports total covered bytes.
+func (ss *spanSet) bytes() int64 {
+	var n int64
+	for _, sp := range ss.s {
+		n += sp.end - sp.start
+	}
+	return n
+}
+
+// max reports the highest covered byte (0 when empty).
+func (ss *spanSet) max() int64 {
+	if len(ss.s) == 0 {
+		return 0
+	}
+	return ss.s[len(ss.s)-1].end
+}
+
+// empty reports whether the set covers nothing.
+func (ss *spanSet) empty() bool { return len(ss.s) == 0 }
+
+// clear removes all spans.
+func (ss *spanSet) clear() { ss.s = ss.s[:0] }
+
+// nextGap finds the first uncovered range at or after seq and below limit,
+// clamped to at most n bytes. It returns (start, length); length 0 means
+// no gap.
+func (ss *spanSet) nextGap(seq, limit, n int64) (int64, int64) {
+	for _, sp := range ss.s {
+		if sp.end <= seq {
+			continue
+		}
+		if seq < sp.start {
+			break
+		}
+		// seq is inside sp; jump past it.
+		seq = sp.end
+	}
+	if seq >= limit {
+		return 0, 0
+	}
+	length := n
+	// Trim at the next covered span.
+	for _, sp := range ss.s {
+		if sp.start > seq {
+			if seq+length > sp.start {
+				length = sp.start - seq
+			}
+			break
+		}
+	}
+	if seq+length > limit {
+		length = limit - seq
+	}
+	return seq, length
+}
+
+// blocks copies up to k spans, highest first (fresh SACK info first, as
+// receivers report).
+func (ss *spanSet) blocks(k int) []span {
+	n := len(ss.s)
+	if n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]span, 0, k)
+	for i := n - 1; i >= 0 && len(out) < k; i-- {
+		out = append(out, ss.s[i])
+	}
+	return out
+}

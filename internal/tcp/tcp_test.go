@@ -1,0 +1,163 @@
+package tcp
+
+import (
+	"testing"
+
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// pipe is a test harness: two hosts joined by a fixed-delay link with
+// scriptable loss.
+type pipeNet struct {
+	s     *sim.Sim
+	a, b  *Host
+	delay sim.Time
+	// drop, when non-nil, reports whether to drop a packet in transit.
+	drop func(*pkt.Packet) bool
+
+	delivered int
+}
+
+func newPipe(seed uint64, delay sim.Time) *pipeNet {
+	p := &pipeNet{s: sim.New(seed), delay: delay}
+	p.a = &Host{Sim: p.s, ID: 1}
+	p.b = &Host{Sim: p.s, ID: 2}
+	return p
+}
+
+// connect wires a connection's endpoints through the pipe.
+func (p *pipeNet) connect(c *Conn) {
+	p.a.Out = func(q *pkt.Packet) {
+		if p.drop != nil && p.drop(q) {
+			return
+		}
+		p.s.After(p.delay, func() { p.delivered++; c.Server().Input(q) })
+	}
+	p.b.Out = func(q *pkt.Packet) {
+		if p.drop != nil && p.drop(q) {
+			return
+		}
+		p.s.After(p.delay, func() { p.delivered++; c.Client().Input(q) })
+	}
+}
+
+func TestBulkTransferNoLoss(t *testing.T) {
+	p := newPipe(1, 5*sim.Millisecond)
+	c := NewConn(Options{Client: p.a, Server: p.b, Flow: 1})
+	p.connect(c)
+	c.OpenInstant()
+	c.Client().SendData(1 << 20)
+	p.s.RunUntil(10 * sim.Second)
+	if got := c.Server().TotalReceived(); got != 1<<20 {
+		t.Fatalf("received %d bytes, want %d", got, 1<<20)
+	}
+	if c.Client().Retransmits != 0 {
+		t.Errorf("unexpected retransmits: %d", c.Client().Retransmits)
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	p := newPipe(1, 5*sim.Millisecond)
+	c := NewConn(Options{Client: p.a, Server: p.b, Flow: 1})
+	p.connect(c)
+	c.Open()
+	c.Client().SendData(5000)
+	p.s.RunUntil(2 * sim.Second)
+	if !c.Client().Established() || !c.Server().Established() {
+		t.Fatal("handshake did not complete")
+	}
+	if got := c.Server().TotalReceived(); got != 5000 {
+		t.Fatalf("received %d bytes, want 5000", got)
+	}
+}
+
+// TestBurstLossRecovery drops a contiguous burst mid-transfer and checks
+// SACK recovery restores everything without wedging.
+func TestBurstLossRecovery(t *testing.T) {
+	p := newPipe(1, 5*sim.Millisecond)
+	c := NewConn(Options{Client: p.a, Server: p.b, Flow: 1})
+	dropped := 0
+	p.drop = func(q *pkt.Packet) bool {
+		if q.TCP != nil && q.Size > HeaderLen && q.TCP.Seq >= 200000 && q.TCP.Seq < 300000 && q.Retries == 0 && dropped < 64 && q.TCP.Seq != 0 {
+			// Drop first transmissions in this range (retransmits pass:
+			// mark via Retries field reuse).
+			q.Retries = 1 // abuse: mark seen so retransmit passes
+			dropped++
+			return true
+		}
+		return false
+	}
+	// The marker trick doesn't survive since retransmits are new packets;
+	// instead track seen seqs.
+	seen := map[int64]bool{}
+	p.drop = func(q *pkt.Packet) bool {
+		if q.TCP == nil || q.Size <= HeaderLen {
+			return false
+		}
+		s := q.TCP.Seq
+		if s >= 200000 && s < 300000 && !seen[s] {
+			seen[s] = true
+			return true
+		}
+		return false
+	}
+	p.connect(c)
+	c.OpenInstant()
+	c.Client().SendData(2 << 20)
+	p.s.RunUntil(30 * sim.Second)
+	if got := c.Server().TotalReceived(); got != 2<<20 {
+		t.Fatalf("received %d bytes, want %d (retr=%d to=%d)",
+			got, 2<<20, c.Client().Retransmits, c.Client().Timeouts)
+	}
+	if c.Client().Retransmits == 0 {
+		t.Error("expected retransmissions")
+	}
+}
+
+// TestRandomLossRecovery applies heavy random loss in both directions and
+// checks the transfer still completes (RTO paths exercised).
+func TestRandomLossRecovery(t *testing.T) {
+	p := newPipe(7, 5*sim.Millisecond)
+	c := NewConn(Options{Client: p.a, Server: p.b, Flow: 1})
+	rng := sim.NewRand(99)
+	p.drop = func(q *pkt.Packet) bool { return rng.Float64() < 0.05 }
+	p.connect(c)
+	c.OpenInstant()
+	c.Client().SendData(1 << 20)
+	p.s.RunUntil(120 * sim.Second)
+	if got := c.Server().TotalReceived(); got != 1<<20 {
+		t.Fatalf("received %d bytes, want %d (retr=%d to=%d)",
+			got, 1<<20, c.Client().Retransmits, c.Client().Timeouts)
+	}
+}
+
+// TestTailLossRTO drops the final segments of a transfer so only the RTO
+// can recover them.
+func TestTailLossRTO(t *testing.T) {
+	p := newPipe(3, 5*sim.Millisecond)
+	c := NewConn(Options{Client: p.a, Server: p.b, Flow: 1})
+	seen := map[int64]bool{}
+	total := int64(500000)
+	p.drop = func(q *pkt.Packet) bool {
+		if q.TCP == nil || q.Size <= HeaderLen {
+			return false
+		}
+		s := q.TCP.Seq
+		if s >= total-3*MSS && !seen[s] {
+			seen[s] = true
+			return true
+		}
+		return false
+	}
+	p.connect(c)
+	c.OpenInstant()
+	c.Client().SendData(total)
+	p.s.RunUntil(30 * sim.Second)
+	if got := c.Server().TotalReceived(); got != total {
+		t.Fatalf("received %d bytes, want %d (to=%d)", got, total, c.Client().Timeouts)
+	}
+	if c.Client().Timeouts == 0 {
+		t.Error("expected an RTO for tail loss")
+	}
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func ev(at sim.Time, k Kind) Event {
+	return Event{At: at, Kind: k, Node: 1, Peer: 2, Size: 100}
+}
+
+func TestCountsAndOrder(t *testing.T) {
+	l := NewLog(16)
+	l.Add(ev(1, Enqueue))
+	l.Add(ev(2, TxDone))
+	l.Add(ev(3, Deliver))
+	if l.Count(Enqueue) != 1 || l.Count(TxDone) != 1 || l.Count(Deliver) != 1 {
+		t.Fatal("counts wrong")
+	}
+	evs := l.Events()
+	if len(evs) != 3 || evs[0].At != 1 || evs[2].At != 3 {
+		t.Fatalf("events wrong: %+v", evs)
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	l := NewLog(4)
+	for i := sim.Time(1); i <= 10; i++ {
+		l.Add(ev(i, Enqueue))
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.At != sim.Time(7+i) {
+			t.Fatalf("ring order wrong: %+v", evs)
+		}
+	}
+	if l.Count(Enqueue) != 10 {
+		t.Fatal("counter lost history")
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Add(ev(1, Drop)) // must not panic
+	if l.Count(Drop) != 0 || l.Events() != nil {
+		t.Fatal("nil log misbehaves")
+	}
+}
+
+func TestDump(t *testing.T) {
+	l := NewLog(8)
+	l.Add(Event{At: 5 * sim.Millisecond, Kind: Drop, Node: 2, Peer: 10, Size: 1500, Note: "qdisc-full"})
+	out := l.Dump(10)
+	if !strings.Contains(out, "drop") || !strings.Contains(out, "qdisc-full") {
+		t.Fatalf("dump missing fields:\n%s", out)
+	}
+	// Cap applies.
+	for i := 0; i < 8; i++ {
+		l.Add(ev(sim.Time(i), Enqueue))
+	}
+	if lines := strings.Count(l.Dump(3), "\n"); lines != 4 { // header + 3
+		t.Fatalf("dump cap broken: %d lines", lines)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Enqueue.String() != "enq" || Deliver.String() != "deliver" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	l := NewLog(0)
+	for i := 0; i < 5000; i++ {
+		l.Add(ev(sim.Time(i), Enqueue))
+	}
+	if len(l.Events()) != 4096 {
+		t.Fatalf("default capacity wrong: %d", len(l.Events()))
+	}
+}

@@ -1,0 +1,164 @@
+// Package traffic provides the application-level traffic models of the
+// paper's evaluation: ICMP ping (latency), UDP constant-bitrate floods,
+// VoIP streams with delay/jitter/loss measurement, and an emulated web
+// client measuring page-load time over parallel TCP connections.
+package traffic
+
+import (
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Host is a node's application layer: it owns the protocol demultiplexer
+// that receives packets from the node's network stack and dispatches them
+// to endpoints (flows register by flow id; ICMP echo is answered
+// automatically, mirroring a kernel's responder).
+type Host struct {
+	Sim *sim.Sim
+	ID  pkt.NodeID
+	// Out injects a packet into the node's network stack (the WiFi MAC
+	// or the wired link).
+	Out func(*pkt.Packet)
+
+	handlers map[uint64]func(*pkt.Packet)
+	pingers  map[int]*Pinger
+
+	// Unclaimed counts packets that matched no handler.
+	Unclaimed int64
+}
+
+// NewHost creates an application layer for one node.
+func NewHost(s *sim.Sim, id pkt.NodeID, out func(*pkt.Packet)) *Host {
+	return &Host{
+		Sim: s, ID: id, Out: out,
+		handlers: make(map[uint64]func(*pkt.Packet)),
+		pingers:  make(map[int]*Pinger),
+	}
+}
+
+// Register installs a handler for packets of the given flow id.
+func (h *Host) Register(flow uint64, fn func(*pkt.Packet)) {
+	h.handlers[flow] = fn
+}
+
+// Deliver dispatches a packet arriving at this host. It is installed as
+// the node's receive hook.
+func (h *Host) Deliver(p *pkt.Packet) {
+	if p.Proto == pkt.ProtoICMP {
+		h.icmp(p)
+		return
+	}
+	if fn, ok := h.handlers[p.Flow]; ok {
+		fn(p)
+		return
+	}
+	h.Unclaimed++
+}
+
+// icmp answers echo requests and routes replies to their pinger.
+func (h *Host) icmp(p *pkt.Packet) {
+	if !p.IsReply {
+		reply := &pkt.Packet{
+			Size:    p.Size,
+			Proto:   pkt.ProtoICMP,
+			Src:     h.ID,
+			Dst:     p.Src,
+			Flow:    p.Flow,
+			AC:      p.AC,
+			Created: p.Created, // echo the request timestamp for RTT
+			EchoID:  p.EchoID,
+			EchoSeq: p.EchoSeq,
+			IsReply: true,
+		}
+		h.Out(reply)
+		return
+	}
+	if pg, ok := h.pingers[p.EchoID]; ok {
+		pg.reply(p)
+		return
+	}
+	h.Unclaimed++
+}
+
+// Pinger sends periodic ICMP echo requests and collects round-trip times.
+type Pinger struct {
+	host     *Host
+	dst      pkt.NodeID
+	interval sim.Time
+	size     int
+	ac       pkt.AC
+	id       int
+	seq      int
+	stop     func()
+
+	// RTT holds round-trip samples in milliseconds.
+	RTT stats.Sample
+	// Sent and Received count echo requests and matching replies.
+	Sent, Received int64
+}
+
+// PingerConfig configures a Pinger.
+type PingerConfig struct {
+	Dst      pkt.NodeID
+	Interval sim.Time // default 100 ms
+	Size     int      // default 64 bytes
+	AC       pkt.AC   // default best effort
+	ID       int      // echo identifier; must be unique per host
+}
+
+// NewPinger creates (but does not start) a pinger on h.
+func NewPinger(h *Host, cfg PingerConfig) *Pinger {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * sim.Millisecond
+	}
+	if cfg.Size <= 0 {
+		cfg.Size = 64
+	}
+	p := &Pinger{
+		host: h, dst: cfg.Dst, interval: cfg.Interval,
+		size: cfg.Size, ac: cfg.AC, id: cfg.ID,
+	}
+	if _, dup := h.pingers[cfg.ID]; dup {
+		panic("traffic: duplicate pinger id")
+	}
+	h.pingers[cfg.ID] = p
+	return p
+}
+
+// Start begins sending echo requests.
+func (p *Pinger) Start() {
+	if p.stop != nil {
+		return
+	}
+	p.stop = p.host.Sim.Ticker(p.interval, p.sendOne)
+}
+
+// Stop halts the pinger.
+func (p *Pinger) Stop() {
+	if p.stop != nil {
+		p.stop()
+		p.stop = nil
+	}
+}
+
+func (p *Pinger) sendOne() {
+	p.seq++
+	p.Sent++
+	p.host.Out(&pkt.Packet{
+		Size:    p.size,
+		Proto:   pkt.ProtoICMP,
+		Src:     p.host.ID,
+		Dst:     p.dst,
+		Flow:    pingFlowBase + uint64(p.id), // distinct flow per pinger
+		AC:      p.ac,
+		Created: p.host.Sim.Now(),
+		EchoID:  p.id,
+		EchoSeq: p.seq,
+	})
+}
+
+func (p *Pinger) reply(rep *pkt.Packet) {
+	p.Received++
+	p.RTT.AddTime(p.host.Sim.Now() - rep.Created)
+}

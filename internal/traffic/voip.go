@@ -1,0 +1,120 @@
+package traffic
+
+import (
+	"repro/internal/emodel"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// VoIP stream parameters modelling a G.711 call: one 160-byte voice frame
+// every 20 ms plus RTP/UDP/IP headers.
+const (
+	VoIPFrameInterval = 20 * sim.Millisecond
+	VoIPPacketSize    = 160 + 40 // payload + RTP/UDP/IP headers
+)
+
+// VoIPSource sends a one-way voice stream.
+type VoIPSource struct {
+	host *Host
+	dst  pkt.NodeID
+	flow uint64
+	ac   pkt.AC
+	seq  int64
+	stop func()
+
+	Sent int64
+}
+
+// NewVoIPSource creates (but does not start) a voice stream toward dst,
+// marked with the given access category (the paper runs both BE and VO
+// variants).
+func NewVoIPSource(h *Host, dst pkt.NodeID, flow uint64, ac pkt.AC) *VoIPSource {
+	return &VoIPSource{host: h, dst: dst, flow: flow, ac: ac}
+}
+
+// Start begins the stream.
+func (v *VoIPSource) Start() {
+	if v.stop != nil {
+		return
+	}
+	v.stop = v.host.Sim.Ticker(VoIPFrameInterval, v.sendOne)
+}
+
+// Stop halts the stream.
+func (v *VoIPSource) Stop() {
+	if v.stop != nil {
+		v.stop()
+		v.stop = nil
+	}
+}
+
+func (v *VoIPSource) sendOne() {
+	v.seq++
+	v.Sent++
+	v.host.Out(&pkt.Packet{
+		Size:    VoIPPacketSize,
+		Proto:   pkt.ProtoUDP,
+		Src:     v.host.ID,
+		Dst:     v.dst,
+		Flow:    v.flow,
+		AC:      v.ac,
+		Created: v.host.Sim.Now(),
+		SeqNo:   v.seq,
+	})
+}
+
+// VoIPSink receives a voice stream and measures what the E-model needs:
+// mean one-way delay, RFC 3550 jitter and loss.
+type VoIPSink struct {
+	host *Host
+
+	Received int64
+	MaxSeq   int64
+	Delay    stats.Sample
+	jitter   stats.Jitter
+}
+
+// NewVoIPSink registers a sink for flow on h.
+func NewVoIPSink(h *Host, flow uint64) *VoIPSink {
+	s := &VoIPSink{host: h}
+	h.Register(flow, s.receive)
+	return s
+}
+
+func (s *VoIPSink) receive(p *pkt.Packet) {
+	now := s.host.Sim.Now()
+	s.Received++
+	if p.SeqNo > s.MaxSeq {
+		s.MaxSeq = p.SeqNo
+	}
+	transit := now - p.Created
+	s.Delay.AddTime(transit)
+	s.jitter.Observe(transit)
+}
+
+// LossPct reports packet loss in percent.
+func (s *VoIPSink) LossPct() float64 {
+	if s.MaxSeq == 0 {
+		return 100
+	}
+	lost := s.MaxSeq - s.Received
+	if lost < 0 {
+		lost = 0
+	}
+	return 100 * float64(lost) / float64(s.MaxSeq)
+}
+
+// Metrics assembles the E-model inputs. wiredDelay is additional one-way
+// delay outside the measured path (zero when the measurement spans the
+// whole path).
+func (s *VoIPSink) Metrics() emodel.Metrics {
+	return emodel.Metrics{
+		OneWayDelay: sim.Time(s.Delay.Mean() * float64(sim.Millisecond)),
+		Jitter:      s.jitter.Value(),
+		LossPct:     s.LossPct(),
+	}
+}
+
+// MOS evaluates the stream's estimated mean opinion score.
+func (s *VoIPSink) MOS() float64 { return emodel.MOS(s.Metrics()) }

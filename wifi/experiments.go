@@ -1,0 +1,70 @@
+package wifi
+
+import "repro/internal/exp"
+
+// The experiment runners regenerate the paper's tables and figures. Each
+// takes a config embedding RunConfig (seed, duration, warmup, reps) and
+// returns a result value with a String method that renders the rows the
+// paper reports. See EXPERIMENTS.md for the mapping.
+
+// RunConfig controls repetitions and timing for experiment runners.
+type RunConfig = exp.RunConfig
+
+// Experiment configurations.
+type (
+	// LatencyConfig drives Figures 1 and 4.
+	LatencyConfig = exp.LatencyConfig
+	// UDPConfig drives Figure 5 and Table 1's measured column.
+	UDPConfig = exp.UDPConfig
+	// FairnessConfig drives Figure 6.
+	FairnessConfig = exp.FairnessConfig
+	// ThroughputConfig drives Figure 7.
+	ThroughputConfig = exp.ThroughputConfig
+	// SparseConfig drives Figure 8.
+	SparseConfig = exp.SparseConfig
+	// ScaleConfig drives Figures 9 and 10 (§4.1.5).
+	ScaleConfig = exp.ScaleConfig
+	// VoIPConfig drives Table 2.
+	VoIPConfig = exp.VoIPConfig
+	// WebConfig drives Figure 11.
+	WebConfig = exp.WebConfig
+)
+
+// Experiment results.
+type (
+	LatencyResult    = exp.LatencyResult
+	UDPResult        = exp.UDPResult
+	FairnessResult   = exp.FairnessResult
+	ThroughputResult = exp.ThroughputResult
+	SparseResult     = exp.SparseResult
+	ScaleResult      = exp.ScaleResult
+	VoIPResult       = exp.VoIPResult
+	WebResult        = exp.WebResult
+	Table1Result     = exp.Table1Result
+)
+
+// Runners, one per table/figure.
+var (
+	RunLatency    = exp.RunLatency
+	RunUDP        = exp.RunUDP
+	RunTable1     = exp.RunTable1
+	RunFairness   = exp.RunFairness
+	RunThroughput = exp.RunThroughput
+	RunSparse     = exp.RunSparse
+	RunScale      = exp.RunScale
+	RunVoIP       = exp.RunVoIP
+	RunWeb        = exp.RunWeb
+)
+
+// TrafficKind selects the load mix for RunFairness.
+type TrafficKind = exp.TrafficKind
+
+// Traffic mixes of Figure 6.
+const (
+	TrafficUDP      = exp.TrafficUDP
+	TrafficTCPDown  = exp.TrafficTCPDown
+	TrafficTCPBidir = exp.TrafficTCPBidir
+)
+
+// TrafficKinds lists the mixes in the paper's order.
+var TrafficKinds = exp.TrafficKinds
