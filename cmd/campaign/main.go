@@ -1,0 +1,184 @@
+// campaign drives the parallel experiment-campaign engine from the
+// command line: list the registered scenarios, run a selection of them
+// across every core, or sweep chosen parameter axes.
+//
+// Usage:
+//
+//	campaign list
+//	campaign run  [-s udp -s fairness] [-reps 10] [-dur 30] [-workers 8]
+//	              [-out results.json] [-csv results.csv]
+//	campaign sweep -s udp -axis scheme=FIFO,Airtime -axis rate-mbps=10,50,100
+//
+// run executes the scenarios' default grids; sweep is run plus axis
+// overrides. Aggregated output (JSON/CSV artifacts and the printed
+// table) is byte-identical for any -workers value: per-run seeds derive
+// from job coordinates and aggregation folds in matrix order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+func (l *stringList) Set(s string) error {
+	*l = append(*l, s)
+	return nil
+}
+
+type axisOverrides map[string][]string
+
+func (a axisOverrides) String() string { return fmt.Sprint(map[string][]string(a)) }
+func (a axisOverrides) Set(s string) error {
+	name, values, ok := strings.Cut(s, "=")
+	if !ok || name == "" || values == "" {
+		return fmt.Errorf("want -axis name=v1,v2,..., got %q", s)
+	}
+	a[name] = strings.Split(values, ",")
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	reg := exp.NewRegistry()
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "list":
+		list(reg)
+	case "run", "sweep":
+		execute(reg, cmd, args)
+	default:
+		fmt.Fprintf(os.Stderr, "campaign: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `campaign — parallel experiment campaigns over the simulated testbed
+
+commands:
+  list                 show registered scenarios and their parameter axes
+  run   [flags]        run scenarios over their default parameter grids
+  sweep [flags]        run with -axis overrides sweeping chosen parameters
+
+flags of run and sweep:
+`)
+	fs := executeFlags(&options{})
+	fs.SetOutput(os.Stderr)
+	fs.PrintDefaults()
+}
+
+func list(reg *campaign.Registry) {
+	for _, sc := range reg.Scenarios() {
+		fmt.Printf("%-12s %s\n", sc.Name, sc.Desc)
+		for _, a := range sc.Axes {
+			fmt.Printf("  %-18s %s\n", a.Name, strings.Join(a.Values, ", "))
+		}
+	}
+}
+
+type options struct {
+	scenarios stringList
+	axes      axisOverrides
+	reps      int
+	dur       float64
+	warmup    float64
+	seed      uint64
+	workers   int
+	out       string
+	csv       string
+	quiet     bool
+}
+
+func executeFlags(o *options) *flag.FlagSet {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	o.axes = make(axisOverrides)
+	fs.Var(&o.scenarios, "s", "scenario to run (repeatable; default all)")
+	fs.Var(o.axes, "axis", "axis override name=v1,v2,... (repeatable, sweep)")
+	fs.IntVar(&o.reps, "reps", 3, "repetitions per grid point")
+	fs.Float64Var(&o.dur, "dur", 10, "measured seconds per repetition")
+	fs.Float64Var(&o.warmup, "warmup", 2, "settling seconds excluded from measurement")
+	fs.Uint64Var(&o.seed, "seed", 42, "campaign base seed")
+	fs.IntVar(&o.workers, "workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	fs.StringVar(&o.out, "out", "", "write JSON artifact to this path")
+	fs.StringVar(&o.csv, "csv", "", "write CSV artifact to this path")
+	fs.BoolVar(&o.quiet, "q", false, "suppress progress output")
+	return fs
+}
+
+func execute(reg *campaign.Registry, cmd string, args []string) {
+	var o options
+	fs := executeFlags(&o)
+	fs.Parse(args)
+	if cmd == "sweep" && len(o.axes) == 0 {
+		fmt.Fprintln(os.Stderr, "campaign sweep: need at least one -axis name=v1,v2,...")
+		os.Exit(2)
+	}
+
+	plan := campaign.Plan{
+		Scenarios: o.scenarios,
+		Overrides: o.axes,
+		Reps:      o.reps,
+		Duration:  sim.Time(o.dur * float64(sim.Second)),
+		Warmup:    sim.Time(o.warmup * float64(sim.Second)),
+		BaseSeed:  o.seed,
+		Workers:   o.workers,
+	}
+	if !o.quiet {
+		plan.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	start := time.Now()
+	res, err := reg.Execute(plan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	if !o.quiet {
+		fmt.Fprintf(os.Stderr, "%d runs (%d cells × %d reps) in %.1fs\n",
+			res.Runs, len(res.Cells), res.Reps, time.Since(start).Seconds())
+	}
+
+	fmt.Print(res.Render())
+
+	if o.out != "" {
+		writeArtifact(o.out, res.WriteJSON)
+	}
+	if o.csv != "" {
+		writeArtifact(o.csv, res.WriteCSV)
+	}
+}
+
+func writeArtifact(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}

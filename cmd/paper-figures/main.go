@@ -3,13 +3,19 @@
 //
 // Usage:
 //
-//	paper-figures -all                 # everything (slow)
+//	paper-figures -all                 # everything (parallel)
 //	paper-figures -fig 5 -fig 6        # specific figures
 //	paper-figures -table 1 -table 2    # specific tables
 //	paper-figures -dur 30 -reps 5      # paper-scale runs
+//	paper-figures -workers 1           # serial baseline
 //
 // Output is textual: airtime-share rows, latency quantiles and CDF points,
 // throughput rows — the same series the paper plots.
+//
+// Execution runs on the campaign engine: the independent cells of each
+// figure (scheme × traffic × page ...) and the repetitions inside each
+// cell are sharded across -workers goroutines, while results print in the
+// paper's fixed order. Numbers are identical for any worker count.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"os"
 	"strconv"
 
+	"repro/internal/campaign"
 	"repro/internal/exp"
 	"repro/internal/mac"
 	"repro/internal/sim"
@@ -36,6 +43,18 @@ func (l *intList) Set(s string) error {
 	return nil
 }
 
+// cells runs the figure's n independent experiment cells across the
+// worker pool and returns them in cell order, so printing stays
+// deterministic. The -workers budget is split between concurrent cells
+// and the repetitions inside each cell (campaign.Split), so total
+// concurrency stays near the cap; the per-cell RunConfig handed to fn
+// carries the inner share.
+func cells[T any](workers int, base exp.RunConfig, n int, fn func(i int, run exp.RunConfig) T) []T {
+	outer, inner := campaign.Split(workers, n)
+	base.Workers = inner
+	return campaign.Map(n, outer, func(i int) T { return fn(i, base) })
+}
+
 func main() {
 	var figs, tables intList
 	flag.Var(&figs, "fig", "figure number to regenerate (repeatable: 1,4,5,6,7,8,9,10,11)")
@@ -47,6 +66,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "base random seed")
 	stations := flag.Int("stations", 30, "clients in the scaling experiment")
 	cdf := flag.Bool("cdf", false, "print full CDF point series for latency figures")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	run := exp.RunConfig{
@@ -54,6 +74,7 @@ func main() {
 		Duration: sim.Time(*dur * float64(sim.Second)),
 		Warmup:   sim.Time(*warm * float64(sim.Second)),
 		Reps:     *reps,
+		Workers:  *workers,
 	}
 	if *all {
 		figs = intList{1, 4, 5, 6, 7, 8, 9, 10, 11}
@@ -72,17 +93,28 @@ func main() {
 		case 2:
 			section("Table 2: VoIP MOS and throughput")
 			fmt.Printf("%-8s %-4s %-6s %6s %10s\n", "scheme", "qos", "delay", "MOS", "thrp(Mbps)")
+			type voipCell struct {
+				scheme mac.Scheme
+				vo     bool
+				delay  sim.Time
+			}
+			var grid []voipCell
 			for _, scheme := range mac.Schemes {
 				for _, vo := range []bool{true, false} {
 					for _, d := range []sim.Time{5 * sim.Millisecond, 50 * sim.Millisecond} {
-						r := exp.RunVoIP(exp.VoIPConfig{Run: run, Scheme: scheme, UseVO: vo, WiredDelay: d})
-						qos := "BE"
-						if vo {
-							qos = "VO"
-						}
-						fmt.Printf("%-8s %-4s %-6s %6.2f %10.1f\n", scheme, qos, d, r.MOS, r.TotalMbps)
+						grid = append(grid, voipCell{scheme, vo, d})
 					}
 				}
+			}
+			for _, r := range cells(*workers, run, len(grid), func(i int, run exp.RunConfig) *exp.VoIPResult {
+				c := grid[i]
+				return exp.RunVoIP(exp.VoIPConfig{Run: run, Scheme: c.scheme, UseVO: c.vo, WiredDelay: c.delay})
+			}) {
+				qos := "BE"
+				if r.UseVO {
+					qos = "VO"
+				}
+				fmt.Printf("%-8s %-4s %-6s %6.2f %10.1f\n", r.Scheme, qos, r.Delay, r.MOS, r.TotalMbps)
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown table %d\n", tb)
@@ -93,65 +125,104 @@ func main() {
 		switch f {
 		case 1:
 			section("Figure 1: latency teaser, FIFO vs Airtime-fair FQ")
-			for _, scheme := range []mac.Scheme{mac.SchemeFIFO, mac.SchemeAirtimeFQ} {
-				r := exp.RunLatency(exp.LatencyConfig{Run: run, Scheme: scheme})
+			schemes := []mac.Scheme{mac.SchemeFIFO, mac.SchemeAirtimeFQ}
+			for _, r := range cells(*workers, run, len(schemes), func(i int, run exp.RunConfig) *exp.LatencyResult {
+				return exp.RunLatency(exp.LatencyConfig{Run: run, Scheme: schemes[i]})
+			}) {
 				fmt.Print(r)
 				printCDF(*cdf, "fast", r.Fast.CDF(21))
 				printCDF(*cdf, "slow", r.Slow.CDF(21))
 			}
 		case 4:
 			section("Figure 4: latency CDFs under TCP download")
-			for _, scheme := range []mac.Scheme{mac.SchemeFIFO, mac.SchemeFQCoDel, mac.SchemeFQMAC, mac.SchemeAirtimeFQ} {
-				r := exp.RunLatency(exp.LatencyConfig{Run: run, Scheme: scheme})
+			schemes := []mac.Scheme{mac.SchemeFIFO, mac.SchemeFQCoDel, mac.SchemeFQMAC, mac.SchemeAirtimeFQ}
+			for _, r := range cells(*workers, run, len(schemes), func(i int, run exp.RunConfig) *exp.LatencyResult {
+				return exp.RunLatency(exp.LatencyConfig{Run: run, Scheme: schemes[i]})
+			}) {
 				fmt.Print(r)
 				printCDF(*cdf, "fast", r.Fast.CDF(21))
 				printCDF(*cdf, "slow", r.Slow.CDF(21))
 			}
 		case 5:
 			section("Figure 5: airtime shares, one-way UDP")
-			for _, scheme := range mac.Schemes {
-				fmt.Print(exp.RunUDP(exp.UDPConfig{Run: run, Scheme: scheme}))
+			for _, r := range cells(*workers, run, len(mac.Schemes), func(i int, run exp.RunConfig) *exp.UDPResult {
+				return exp.RunUDP(exp.UDPConfig{Run: run, Scheme: mac.Schemes[i]})
+			}) {
+				fmt.Print(r)
 			}
 		case 6:
 			section("Figure 6: Jain's airtime fairness index")
+			type fairCell struct {
+				scheme  mac.Scheme
+				traffic exp.TrafficKind
+			}
+			var grid []fairCell
 			for _, scheme := range mac.Schemes {
 				for _, tr := range exp.TrafficKinds {
-					fmt.Print(exp.RunFairness(exp.FairnessConfig{Run: run, Scheme: scheme, Traffic: tr}))
+					grid = append(grid, fairCell{scheme, tr})
 				}
+			}
+			for _, r := range cells(*workers, run, len(grid), func(i int, run exp.RunConfig) *exp.FairnessResult {
+				c := grid[i]
+				return exp.RunFairness(exp.FairnessConfig{Run: run, Scheme: c.scheme, Traffic: c.traffic})
+			}) {
+				fmt.Print(r)
 			}
 		case 7:
 			section("Figure 7: TCP download throughput")
-			for _, scheme := range mac.Schemes {
-				fmt.Print(exp.RunThroughput(exp.ThroughputConfig{Run: run, Scheme: scheme}))
+			for _, r := range cells(*workers, run, len(mac.Schemes), func(i int, run exp.RunConfig) *exp.ThroughputResult {
+				return exp.RunThroughput(exp.ThroughputConfig{Run: run, Scheme: mac.Schemes[i]})
+			}) {
+				fmt.Print(r)
 			}
 		case 8:
 			section("Figure 8: sparse station optimisation")
-			for _, tcp := range []bool{false, true} {
-				fmt.Print(exp.RunSparse(exp.SparseConfig{Run: run, TCP: tcp}))
+			for _, r := range cells(*workers, run, 2, func(i int, run exp.RunConfig) *exp.SparseResult {
+				return exp.RunSparse(exp.SparseConfig{Run: run, TCP: i == 1})
+			}) {
+				fmt.Print(r)
 			}
 		case 9:
 			section("Figure 9 (+§4.1.5 totals): 30-station airtime and throughput")
-			for _, scheme := range []mac.Scheme{mac.SchemeFQCoDel, mac.SchemeFQMAC, mac.SchemeAirtimeFQ} {
-				fmt.Print(exp.RunScale(exp.ScaleConfig{Run: run, Scheme: scheme, Stations: *stations}))
+			schemes := []mac.Scheme{mac.SchemeFQCoDel, mac.SchemeFQMAC, mac.SchemeAirtimeFQ}
+			for _, r := range cells(*workers, run, len(schemes), func(i int, run exp.RunConfig) *exp.ScaleResult {
+				return exp.RunScale(exp.ScaleConfig{Run: run, Scheme: schemes[i], Stations: *stations})
+			}) {
+				fmt.Print(r)
 			}
 		case 10:
 			section("Figure 10: 30-station latency (same runs as Figure 9)")
-			for _, scheme := range []mac.Scheme{mac.SchemeFQCoDel, mac.SchemeFQMAC, mac.SchemeAirtimeFQ} {
-				r := exp.RunScale(exp.ScaleConfig{Run: run, Scheme: scheme, Stations: *stations})
+			schemes := []mac.Scheme{mac.SchemeFQCoDel, mac.SchemeFQMAC, mac.SchemeAirtimeFQ}
+			for _, r := range cells(*workers, run, len(schemes), func(i int, run exp.RunConfig) *exp.ScaleResult {
+				return exp.RunScale(exp.ScaleConfig{Run: run, Scheme: schemes[i], Stations: *stations})
+			}) {
 				fmt.Print(r)
 				printCDF(*cdf, "fast", r.FastRTT.CDF(21))
 				printCDF(*cdf, "slow", r.SlowRTT.CDF(21))
 			}
 		case 11:
 			section("Figure 11: web page-load times (fast station browsing)")
+			type webCell struct {
+				scheme mac.Scheme
+				page   traffic.WebPage
+			}
+			var grid []webCell
 			for _, scheme := range mac.Schemes {
 				for _, page := range []traffic.WebPage{traffic.SmallPage, traffic.LargePage} {
-					fmt.Print(exp.RunWeb(exp.WebConfig{Run: run, Scheme: scheme, Page: page}))
+					grid = append(grid, webCell{scheme, page})
 				}
 			}
+			for _, r := range cells(*workers, run, len(grid), func(i int, run exp.RunConfig) *exp.WebResult {
+				c := grid[i]
+				return exp.RunWeb(exp.WebConfig{Run: run, Scheme: c.scheme, Page: c.page})
+			}) {
+				fmt.Print(r)
+			}
 			section("Figure 11 appendix variant: slow station browsing")
-			for _, scheme := range mac.Schemes {
-				fmt.Print(exp.RunWeb(exp.WebConfig{Run: run, Scheme: scheme, Page: traffic.SmallPage, SlowFetches: true}))
+			for _, r := range cells(*workers, run, len(mac.Schemes), func(i int, run exp.RunConfig) *exp.WebResult {
+				return exp.RunWeb(exp.WebConfig{Run: run, Scheme: mac.Schemes[i], Page: traffic.SmallPage, SlowFetches: true})
+			}) {
+				fmt.Print(r)
 			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %d\n", f)

@@ -1,0 +1,106 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Param is one resolved axis assignment of a grid point.
+type Param struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// MetricSummary aggregates one scalar metric across repetitions.
+type MetricSummary struct {
+	Name   string  `json:"name"`
+	Mean   float64 `json:"mean"`
+	CI95   float64 `json:"ci95"` // half-width of the 95% interval
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// DistSummary aggregates one sample distribution, merged across
+// repetitions.
+type DistSummary struct {
+	Name   string  `json:"name"`
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Cell is the aggregated result of one (scenario, grid point): every
+// scalar metric summarised over repetitions, every distribution merged.
+type Cell struct {
+	Scenario string          `json:"scenario"`
+	Params   []Param         `json:"params,omitempty"`
+	Reps     int             `json:"reps"`
+	Seeds    []uint64        `json:"seeds"`
+	Metrics  []MetricSummary `json:"metrics,omitempty"`
+	Dists    []DistSummary   `json:"dists,omitempty"`
+}
+
+// Label renders the cell's coordinates, e.g. "udp scheme=FIFO rate=50".
+func (c *Cell) Label() string {
+	var b strings.Builder
+	b.WriteString(c.Scenario)
+	for _, p := range c.Params {
+		fmt.Fprintf(&b, " %s=%s", p.Name, p.Value)
+	}
+	return b.String()
+}
+
+// aggregateCell folds one cell's repetition results, in repetition order,
+// into summaries. The fold order is fixed by the caller, so the output is
+// independent of which workers produced the inputs and when.
+func aggregateCell(sc *Scenario, params []Param, seeds []uint64, reps []*Metrics) *Cell {
+	cell := &Cell{Scenario: sc.Name, Params: params, Reps: len(reps), Seeds: seeds}
+	if len(reps) == 0 {
+		return cell
+	}
+	// Scalar and sample name order comes from the first repetition; every
+	// repetition of a scenario emits the same metric set.
+	for _, s := range reps[0].scalars {
+		xs := make([]float64, 0, len(reps))
+		for _, m := range reps {
+			if v, ok := m.Scalar(s.name); ok {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			continue
+		}
+		mean, half, sd := stats.MeanCI95(xs)
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs[1:] {
+			mn = math.Min(mn, x)
+			mx = math.Max(mx, x)
+		}
+		cell.Metrics = append(cell.Metrics, MetricSummary{
+			Name: s.name, Mean: mean, CI95: half,
+			Stddev: sd, Min: mn, Max: mx,
+		})
+	}
+	for _, ns := range reps[0].samples {
+		var merged stats.Sample
+		for _, m := range reps {
+			if i, ok := m.sampleIndex[ns.name]; ok {
+				merged.Merge(m.samples[i].sample)
+			}
+		}
+		cell.Dists = append(cell.Dists, DistSummary{
+			Name: ns.name, N: merged.N(), Mean: merged.Mean(),
+			Median: merged.Median(), P95: merged.Quantile(0.95),
+			P99: merged.Quantile(0.99), Min: merged.Min(), Max: merged.Max(),
+		})
+	}
+	return cell
+}

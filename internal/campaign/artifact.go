@@ -1,0 +1,80 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/stats"
+)
+
+// WriteJSON emits the result as indented JSON. Field order and float
+// formatting are fixed, so equal results produce byte-identical output.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV emits one row per aggregated metric and distribution, in cell
+// order: scenario, parameters, kind, metric name and the summary columns.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"scenario", "params", "kind", "metric", "n",
+		"mean", "ci95", "stddev", "median", "p95", "p99", "min", "max"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, c := range r.Cells {
+		params := ""
+		for i, p := range c.Params {
+			if i > 0 {
+				params += " "
+			}
+			params += p.Name + "=" + p.Value
+		}
+		for _, m := range c.Metrics {
+			row := []string{c.Scenario, params, "scalar", m.Name,
+				strconv.Itoa(c.Reps), f(m.Mean), f(m.CI95), f(m.Stddev),
+				"", "", "", f(m.Min), f(m.Max)}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		for _, d := range c.Dists {
+			row := []string{c.Scenario, params, "dist", d.Name,
+				strconv.Itoa(d.N), f(d.Mean), "", "",
+				f(d.Median), f(d.P95), f(d.P99), f(d.Min), f(d.Max)}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Render returns a fixed-width text report of every cell, for terminal
+// output.
+func (r *Result) Render() string {
+	t := &stats.Table{Header: []string{"cell", "metric", "mean±ci95", "med", "p95", "min", "max", "n"}}
+	num := func(v float64) string { return strconv.FormatFloat(v, 'g', 5, 64) }
+	for _, c := range r.Cells {
+		label := c.Label()
+		for _, m := range c.Metrics {
+			t.AddRow(label, m.Name,
+				fmt.Sprintf("%s±%s", num(m.Mean), num(m.CI95)),
+				"", "", num(m.Min), num(m.Max), strconv.Itoa(c.Reps))
+			label = ""
+		}
+		for _, d := range c.Dists {
+			t.AddRow(label, d.Name, num(d.Mean), num(d.Median),
+				num(d.P95), num(d.Min), num(d.Max), strconv.Itoa(d.N))
+			label = ""
+		}
+	}
+	return t.String()
+}

@@ -1,0 +1,259 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// synthetic builds a registry with two deterministic scenarios whose
+// metrics depend only on the derived seed and parameters.
+func synthetic() *Registry {
+	r := NewRegistry()
+	r.Register(&Scenario{
+		Name: "alpha",
+		Desc: "seed-dependent scalar and distribution",
+		Axes: []Axis{
+			{Name: "scheme", Values: []string{"a", "b", "c"}},
+			{Name: "rate", Values: []string{"10", "50"}},
+		},
+		Run: func(ctx Ctx) (*Metrics, error) {
+			rate, err := strconv.Atoi(ctx.Param("rate"))
+			if err != nil {
+				return nil, err
+			}
+			m := NewMetrics()
+			m.Add("seed-lo", float64(ctx.Seed%1000))
+			m.Add("rate-x2", float64(2*rate))
+			var s stats.Sample
+			x := ctx.Seed
+			for i := 0; i < 16; i++ {
+				x = splitmix64(x)
+				s.Add(float64(x % 997))
+			}
+			m.AddSample("dist", &s)
+			return m, nil
+		},
+	})
+	r.Register(&Scenario{
+		Name: "beta",
+		Desc: "axis-free scenario",
+		Run: func(ctx Ctx) (*Metrics, error) {
+			m := NewMetrics()
+			m.Add("dur-sec", ctx.Duration.Seconds())
+			m.Add("rep", float64(ctx.Rep))
+			return m, nil
+		},
+	})
+	return r
+}
+
+// TestDeterministicAcrossWorkers is the core engine guarantee: the JSON
+// artifact is byte-identical for 1, 4 and 8 workers.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	var ref []byte
+	for _, workers := range []int{1, 4, 8} {
+		res, err := synthetic().Execute(Plan{
+			Reps: 5, Duration: 3 * sim.Second, Warmup: sim.Second,
+			BaseSeed: 7, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(ref, buf.Bytes()) {
+			t.Fatalf("workers=%d artifact differs from workers=1", workers)
+		}
+	}
+}
+
+func TestMatrixExpansion(t *testing.T) {
+	res, err := synthetic().Execute(Plan{Reps: 2, Workers: 2, Duration: sim.Second, Warmup: sim.Second, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alpha: 3 schemes × 2 rates = 6 cells; beta: 1 cell.
+	if len(res.Cells) != 7 {
+		t.Fatalf("cells = %d, want 7", len(res.Cells))
+	}
+	if res.Runs != 14 {
+		t.Fatalf("runs = %d, want 14", res.Runs)
+	}
+	// Cell order is scenario registration order × axis expansion order.
+	if got := res.Cells[0].Label(); got != "alpha scheme=a rate=10" {
+		t.Fatalf("cell 0 label = %q", got)
+	}
+	if got := res.Cells[1].Label(); got != "alpha scheme=a rate=50" {
+		t.Fatalf("cell 1 label = %q", got)
+	}
+	if got := res.Cells[6].Label(); got != "beta" {
+		t.Fatalf("cell 6 label = %q", got)
+	}
+	// Seeds are distinct across every (cell, rep) of a scenario.
+	seen := make(map[uint64]bool)
+	for _, c := range res.Cells[:6] {
+		if len(c.Seeds) != 2 {
+			t.Fatalf("cell %s has %d seeds", c.Label(), len(c.Seeds))
+		}
+		for _, s := range c.Seeds {
+			if seen[s] {
+				t.Fatalf("seed %d reused", s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestSweepOverrides(t *testing.T) {
+	res, err := synthetic().Execute(Plan{
+		Scenarios: []string{"alpha"},
+		Overrides: map[string][]string{"rate": {"100"}, "scheme": {"b"}},
+		Reps:      1, Workers: 1, Duration: sim.Second, Warmup: sim.Second, BaseSeed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(res.Cells))
+	}
+	c := res.Cells[0]
+	if c.Label() != "alpha scheme=b rate=100" {
+		t.Fatalf("label = %q", c.Label())
+	}
+	for _, m := range c.Metrics {
+		if m.Name == "rate-x2" && m.Mean != 200 {
+			t.Fatalf("rate-x2 = %v, want 200", m.Mean)
+		}
+	}
+	// Unknown axis and unknown scenario are errors.
+	if _, err := synthetic().Execute(Plan{Overrides: map[string][]string{"nope": {"1"}}}); err == nil {
+		t.Fatal("unknown axis accepted")
+	}
+	if _, err := synthetic().Execute(Plan{Scenarios: []string{"nope"}}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestDeriveSeedProperties(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for _, name := range []string{"alpha", "beta"} {
+		for point := 0; point < 8; point++ {
+			for rep := 0; rep < 8; rep++ {
+				s := DeriveSeed(42, name, point, rep)
+				if s == 0 {
+					t.Fatal("zero seed derived")
+				}
+				if seen[s] {
+					t.Fatalf("seed collision at %s/%d/%d", name, point, rep)
+				}
+				seen[s] = true
+				if s != DeriveSeed(42, name, point, rep) {
+					t.Fatal("derivation not reproducible")
+				}
+			}
+		}
+	}
+	if DeriveSeed(1, "alpha", 0, 0) == DeriveSeed(2, "alpha", 0, 0) {
+		t.Fatal("base seed ignored")
+	}
+}
+
+func TestRunErrorPropagates(t *testing.T) {
+	r := NewRegistry()
+	r.Register(&Scenario{
+		Name: "boom",
+		Run: func(ctx Ctx) (*Metrics, error) {
+			if ctx.Rep == 2 {
+				return nil, fmt.Errorf("rep 2 exploded")
+			}
+			m := NewMetrics()
+			m.Add("ok", 1)
+			return m, nil
+		},
+	})
+	if _, err := r.Execute(Plan{Reps: 4, Workers: 4}); err == nil {
+		t.Fatal("error swallowed")
+	}
+	// Panics are converted, not fatal.
+	r2 := NewRegistry()
+	r2.Register(&Scenario{
+		Name: "panic",
+		Run:  func(ctx Ctx) (*Metrics, error) { panic("kaboom") },
+	})
+	if _, err := r2.Execute(Plan{Reps: 1, Workers: 1}); err == nil {
+		t.Fatal("panic swallowed")
+	}
+}
+
+func TestMapOrderAndCoverage(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		got := Map(37, workers, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+	if Map(0, 4, func(i int) int { return i }) != nil {
+		t.Fatal("empty map not nil")
+	}
+}
+
+func TestArtifactFormats(t *testing.T) {
+	res, err := synthetic().Execute(Plan{Reps: 2, Workers: 2, BaseSeed: 3, Duration: sim.Second, Warmup: sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonBuf, csvBuf bytes.Buffer
+	if err := res.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"scenario": "alpha"`, `"base_seed": 3`, `"name": "seed-lo"`} {
+		if !bytes.Contains(jsonBuf.Bytes(), []byte(want)) {
+			t.Errorf("JSON artifact missing %q", want)
+		}
+	}
+	for _, want := range []string{"scenario,params,kind", "alpha,scheme=a rate=10,scalar,seed-lo", "dist"} {
+		if !bytes.Contains(csvBuf.Bytes(), []byte(want)) {
+			t.Errorf("CSV artifact missing %q", want)
+		}
+	}
+	if r := res.Render(); !bytes.Contains([]byte(r), []byte("mean±ci95")) {
+		t.Error("text render missing header")
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var calls int
+	var last int
+	_, err := synthetic().Execute(Plan{
+		Scenarios: []string{"beta"}, Reps: 6, Workers: 1,
+		Progress: func(done, total int) {
+			calls++
+			last = total
+			if done < 1 || done > total {
+				t.Errorf("done %d out of range", done)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 6 || last != 6 {
+		t.Fatalf("progress calls = %d (total %d), want 6", calls, last)
+	}
+}

@@ -1,0 +1,299 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Plan selects and sizes a campaign.
+type Plan struct {
+	// Scenarios names the scenarios to run, in the given order; empty
+	// means every registered scenario in registration order.
+	Scenarios []string
+
+	// Overrides replaces the listed axes' value sets (a sweep). Each
+	// named axis must exist on at least one selected scenario; scenarios
+	// without it are unaffected.
+	Overrides map[string][]string
+
+	Reps     int      // repetitions per grid point (default 3)
+	Duration sim.Time // measured interval per repetition (default 10 s)
+	Warmup   sim.Time // settling time excluded from measurement (default 2 s)
+	BaseSeed uint64   // campaign base seed (default 42)
+	Workers  int      // worker goroutines (default GOMAXPROCS)
+
+	// Progress, if set, is called after each completed run with the
+	// number of finished runs and the matrix size. Calls may come from
+	// any worker.
+	Progress func(done, total int)
+}
+
+func (p *Plan) fill() {
+	if p.Reps <= 0 {
+		p.Reps = 3
+	}
+	if p.Duration <= 0 {
+		p.Duration = 10 * sim.Second
+	}
+	if p.Warmup <= 0 {
+		p.Warmup = 2 * sim.Second
+	}
+	if p.BaseSeed == 0 {
+		p.BaseSeed = 42
+	}
+	if p.Workers <= 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Result is a completed campaign: one aggregated Cell per (scenario,
+// grid point), in deterministic plan order. Marshalling a Result produces
+// byte-identical artifacts for any worker count.
+type Result struct {
+	BaseSeed    uint64  `json:"base_seed"`
+	Reps        int     `json:"reps"`
+	DurationSec float64 `json:"duration_sec"`
+	WarmupSec   float64 `json:"warmup_sec"`
+	Cells       []*Cell `json:"cells"`
+
+	// Runs is the executed matrix size (cells × reps).
+	Runs int `json:"runs"`
+}
+
+// job is one schedulable run: a repetition of a scenario at a grid point.
+type job struct {
+	sc   *Scenario
+	ctx  Ctx
+	cell int // index into the cell table
+	rep  int
+}
+
+// Execute expands the plan into a (scenario, point, repetition) matrix,
+// shards it across the worker pool, and aggregates. The first run error
+// (in matrix order) aborts the campaign's result.
+func (r *Registry) Execute(p Plan) (*Result, error) {
+	p.fill()
+	selected := r.scenarios
+	if len(p.Scenarios) > 0 {
+		selected = make([]*Scenario, 0, len(p.Scenarios))
+		for _, name := range p.Scenarios {
+			sc := r.Get(name)
+			if sc == nil {
+				return nil, fmt.Errorf("campaign: unknown scenario %q (have %v)", name, r.Names())
+			}
+			selected = append(selected, sc)
+		}
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("campaign: no scenarios registered")
+	}
+	// Every override must name an axis of at least one selected scenario;
+	// scenarios without the axis simply don't sweep it.
+	for name := range p.Overrides {
+		found := false
+		var known []string
+		for _, sc := range selected {
+			for _, a := range sc.Axes {
+				known = append(known, a.Name)
+				if a.Name == name {
+					found = true
+				}
+			}
+		}
+		if !found {
+			sort.Strings(known)
+			return nil, fmt.Errorf("campaign: unknown axis %q (have %v)", name, known)
+		}
+	}
+
+	// Expand the matrix up front: the full job list, with seeds derived
+	// from coordinates, exists before any worker starts.
+	type cellKey struct {
+		sc     *Scenario
+		params []Param
+		seeds  []uint64
+	}
+	var cells []cellKey
+	var jobs []job
+	for _, sc := range selected {
+		points, err := expand(sc.Axes, p.Overrides)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: scenario %q: %w", sc.Name, err)
+		}
+		for pi, point := range points {
+			params := make([]Param, len(sc.Axes))
+			pm := make(map[string]string, len(sc.Axes))
+			for ai, a := range sc.Axes {
+				params[ai] = Param{Name: a.Name, Value: point[ai]}
+				pm[a.Name] = point[ai]
+			}
+			ck := cellKey{sc: sc, params: params, seeds: make([]uint64, p.Reps)}
+			cellIdx := len(cells)
+			for rep := 0; rep < p.Reps; rep++ {
+				seed := DeriveSeed(p.BaseSeed, sc.Name, pi, rep)
+				ck.seeds[rep] = seed
+				jobs = append(jobs, job{
+					sc: sc,
+					ctx: Ctx{
+						Seed: seed, Rep: rep,
+						Duration: p.Duration, Warmup: p.Warmup,
+						params: pm,
+					},
+					cell: cellIdx,
+					rep:  rep,
+				})
+			}
+			cells = append(cells, ck)
+		}
+	}
+
+	// Shard the matrix across the pool. Results land in a slice indexed
+	// by job position, so completion order is irrelevant. A failed job
+	// stops further dispatch (in-flight runs drain) — a long campaign
+	// should not burn every core before reporting a broken cell.
+	outs := make([]*Metrics, len(jobs))
+	errs := make([]error, len(jobs))
+	var done atomic.Int64
+	var failed atomic.Bool
+	next := make(chan int)
+	var wg sync.WaitGroup
+	workers := p.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				outs[i], errs[i] = runJob(jobs[i])
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+				if p.Progress != nil {
+					p.Progress(int(done.Add(1)), len(jobs))
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		if failed.Load() {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			j := jobs[i]
+			return nil, fmt.Errorf("campaign: scenario %q rep %d (seed %d): %w",
+				j.sc.Name, j.rep, j.ctx.Seed, err)
+		}
+	}
+
+	// Aggregate in matrix order — deterministic fold, worker-independent.
+	res := &Result{
+		BaseSeed: p.BaseSeed, Reps: p.Reps,
+		DurationSec: p.Duration.Seconds(), WarmupSec: p.Warmup.Seconds(),
+		Runs: len(jobs),
+	}
+	byCell := make([][]*Metrics, len(cells))
+	for i := range byCell {
+		byCell[i] = make([]*Metrics, 0, p.Reps)
+	}
+	for i, j := range jobs {
+		byCell[j.cell] = append(byCell[j.cell], outs[i])
+	}
+	for ci, ck := range cells {
+		res.Cells = append(res.Cells, aggregateCell(ck.sc, ck.params, ck.seeds, byCell[ci]))
+	}
+	return res, nil
+}
+
+// runJob executes one run, converting a panic in scenario code into an
+// error so a bad cell cannot take down the whole campaign process.
+func runJob(j job) (m *Metrics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	m, err = j.sc.Run(j.ctx)
+	if err == nil && m == nil {
+		err = fmt.Errorf("scenario returned no metrics")
+	}
+	return m, err
+}
+
+// Split divides a worker budget (0 or less means GOMAXPROCS) between n
+// concurrent tasks and the parallelism available inside each task:
+// outer tasks run at once, each allowed inner workers, with
+// outer×inner staying near the budget. Use it when parallel work nests
+// — e.g. experiment cells that themselves parallelise repetitions — so
+// the user's worker cap bounds total concurrency instead of being
+// applied multiplicatively at every level.
+func Split(workers, n int) (outer, inner int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	outer = workers
+	if outer > n {
+		outer = n
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	inner = workers / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return outer, inner
+}
+
+// Map runs fn(0..n-1) across a pool of workers (0 or less means
+// GOMAXPROCS) and returns the results in index order. It is the
+// lightweight sharding primitive the experiment runners use to
+// parallelise repetitions: results are positionally stable, so callers
+// can fold them in a deterministic order regardless of worker count.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,31 @@
+package campaign
+
+import "hash/fnv"
+
+// splitmix64 is the finalising mix of the SplitMix64 generator — a strong
+// bijective scrambler, so distinct job coordinates map to distinct,
+// well-spread seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed maps a job's coordinates — campaign base seed, scenario
+// name, grid-point index and repetition — to the seed of that run's
+// simulator world. The derivation depends only on the coordinates, never
+// on scheduling, so a campaign's per-run seeds are identical for any
+// worker count. A zero result is remapped to 1 so downstream "zero means
+// default" conventions cannot silently reseed a run.
+func DeriveSeed(base uint64, scenario string, point, rep int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(scenario))
+	x := splitmix64(base ^ h.Sum64())
+	x = splitmix64(x ^ uint64(point))
+	x = splitmix64(x ^ uint64(rep))
+	if x == 0 {
+		x = 1
+	}
+	return x
+}

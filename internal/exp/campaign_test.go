@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/mac"
+	"repro/internal/sim"
+)
+
+// TestRegistryComplete: every paper experiment is registered.
+func TestRegistryComplete(t *testing.T) {
+	r := NewRegistry()
+	want := []string{"latency", "udp", "fairness", "throughput", "sparse",
+		"scale", "voip", "web", "table1"}
+	names := r.Names()
+	if len(names) != len(want) {
+		t.Fatalf("scenarios = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("scenario[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+	for _, sc := range r.Scenarios() {
+		if sc.Desc == "" {
+			t.Errorf("scenario %q has no description", sc.Name)
+		}
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkers is the acceptance check for the
+// engine on real simulations: a multi-scheme sweep's aggregated JSON
+// artifact is byte-identical for 1, 4 and 8 workers.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	plan := func(workers int) campaign.Plan {
+		return campaign.Plan{
+			Scenarios: []string{"udp", "fairness"},
+			Overrides: map[string][]string{
+				"scheme":    {"FIFO", "Airtime"},
+				"rate-mbps": {"20"},
+				"traffic":   {"udp"},
+			},
+			Reps:     3,
+			Duration: 2 * sim.Second,
+			Warmup:   1 * sim.Second,
+			BaseSeed: 11,
+			Workers:  workers,
+		}
+	}
+	var ref []byte
+	for _, workers := range []int{1, 4, 8} {
+		res, err := NewRegistry().Execute(plan(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res.Cells) != 4 { // udp×2 schemes + fairness×2 schemes
+			t.Fatalf("workers=%d: cells = %d, want 4", workers, len(res.Cells))
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(ref, buf.Bytes()) {
+			t.Fatalf("workers=%d artifact differs from workers=1", workers)
+		}
+	}
+}
+
+// TestRunnersWorkerInvariant: the standalone Run* runners also produce
+// identical results for serial and parallel repetition execution.
+func TestRunnersWorkerInvariant(t *testing.T) {
+	mk := func(workers int) RunConfig {
+		return RunConfig{Seed: 5, Duration: 2 * sim.Second, Warmup: sim.Second,
+			Reps: 3, Workers: workers}
+	}
+	serial := RunUDP(UDPConfig{Run: mk(1), Scheme: mac.SchemeAirtimeFQ})
+	parallel := RunUDP(UDPConfig{Run: mk(4), Scheme: mac.SchemeAirtimeFQ})
+	for i := range serial.Shares {
+		if serial.Shares[i] != parallel.Shares[i] ||
+			serial.Goodput[i] != parallel.Goodput[i] ||
+			serial.AggMean[i] != parallel.AggMean[i] {
+			t.Fatalf("station %d differs between worker counts", i)
+		}
+	}
+	if serial.TotalBps != parallel.TotalBps {
+		t.Fatal("total differs between worker counts")
+	}
+}
+
+// TestScenarioParamErrors: bad parameter values surface as errors, not
+// panics, through the engine.
+func TestScenarioParamErrors(t *testing.T) {
+	_, err := NewRegistry().Execute(campaign.Plan{
+		Scenarios: []string{"udp"},
+		Overrides: map[string][]string{"scheme": {"NoSuchScheme"}},
+		Reps:      1, Duration: sim.Second, Warmup: sim.Second, Workers: 1,
+	})
+	if err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := ParseScheme("DTT"); err != nil {
+		t.Fatalf("DTT not parseable: %v", err)
+	}
+}

@@ -3,17 +3,24 @@ package exp
 import (
 	"fmt"
 
+	"repro/internal/campaign"
 	"repro/internal/sim"
 )
 
 // RunConfig controls repetition and timing common to all experiments. The
 // paper uses 30 repetitions of 30 s; the defaults here are scaled down for
 // interactive use and raised by cmd/paper-figures.
+//
+// Repetitions are independent simulation worlds, so every runner shards
+// them across Workers goroutines through the campaign engine. Results are
+// folded in repetition order and are therefore identical for any worker
+// count.
 type RunConfig struct {
 	Seed     uint64   // base seed; repetition i uses Seed+i
 	Duration sim.Time // measured interval per repetition (default 10 s)
 	Warmup   sim.Time // excluded settling time (default 2 s)
 	Reps     int      // repetitions (default 3)
+	Workers  int      // parallel repetition workers (default GOMAXPROCS)
 }
 
 func (c *RunConfig) fill() {
@@ -33,5 +40,27 @@ func (c *RunConfig) fill() {
 
 // End returns the absolute end time of the measured interval.
 func (c *RunConfig) End() sim.Time { return c.Warmup + c.Duration }
+
+// SeedFor returns the seed of repetition rep under the historical
+// base-plus-offset convention the standalone runners use. (Campaign
+// scenarios instead receive fully derived seeds via campaign.DeriveSeed.)
+func (c *RunConfig) SeedFor(rep int) uint64 { return c.Seed + uint64(rep) }
+
+// withSeed returns a single-repetition copy of c seeded with seed, the
+// form the per-repetition experiment cores consume.
+func (c RunConfig) withSeed(seed uint64) RunConfig {
+	c.Seed = seed
+	c.Reps = 1
+	return c
+}
+
+// eachRep executes fn once per repetition — sharded across c.Workers via
+// the campaign engine's pool — and returns the per-repetition results in
+// repetition order, so callers can fold them deterministically.
+func eachRep[T any](c RunConfig, fn func(run RunConfig) T) []T {
+	return campaign.Map(c.Reps, c.Workers, func(rep int) T {
+		return fn(c.withSeed(c.SeedFor(rep)))
+	})
+}
 
 func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

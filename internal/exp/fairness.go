@@ -42,38 +42,51 @@ type FairnessResult struct {
 	Shares  []float64
 }
 
-// RunFairness executes one scheme × traffic cell.
+// fairnessRep executes one repetition and returns Jain's index and the
+// per-station airtime shares.
+func fairnessRep(run RunConfig, cfg FairnessConfig) (jain float64, shares []float64) {
+	n := NewNet(NetConfig{
+		Seed:     run.Seed,
+		Scheme:   cfg.Scheme,
+		Stations: DefaultStations(),
+	})
+	for _, st := range n.Stations {
+		switch cfg.Traffic {
+		case TrafficUDP:
+			n.DownloadUDP(st, 50e6, pkt.ACBE)
+		case TrafficTCPDown:
+			n.DownloadTCP(st, pkt.ACBE)
+		case TrafficTCPBidir:
+			n.DownloadTCP(st, pkt.ACBE)
+			n.UploadTCP(st, pkt.ACBE)
+		}
+	}
+	n.Run(run.Warmup)
+	snap := n.SnapshotAirtime()
+	n.Run(run.End())
+	air := n.AirtimeSince(snap)
+	return stats.JainIndex(air), stats.Shares(air)
+}
+
+// RunFairness executes one scheme × traffic cell, repetitions in
+// parallel.
 func RunFairness(cfg FairnessConfig) *FairnessResult {
 	cfg.Run.fill()
 	res := &FairnessResult{Scheme: cfg.Scheme, Traffic: cfg.Traffic}
-	for rep := 0; rep < cfg.Run.Reps; rep++ {
-		n := NewNet(NetConfig{
-			Seed:     cfg.Run.Seed + uint64(rep),
-			Scheme:   cfg.Scheme,
-			Stations: DefaultStations(),
-		})
-		for _, st := range n.Stations {
-			switch cfg.Traffic {
-			case TrafficUDP:
-				n.DownloadUDP(st, 50e6, pkt.ACBE)
-			case TrafficTCPDown:
-				n.DownloadTCP(st, pkt.ACBE)
-			case TrafficTCPBidir:
-				n.DownloadTCP(st, pkt.ACBE)
-				n.UploadTCP(st, pkt.ACBE)
-			}
-		}
-		n.Run(cfg.Run.Warmup)
-		snap := n.SnapshotAirtime()
-		n.Run(cfg.Run.End())
-		air := n.AirtimeSince(snap)
-		res.Jain += stats.JainIndex(air)
-		shares := stats.Shares(air)
+	type rep struct {
+		jain   float64
+		shares []float64
+	}
+	for _, r := range eachRep(cfg.Run, func(run RunConfig) rep {
+		jain, shares := fairnessRep(run, cfg)
+		return rep{jain, shares}
+	}) {
+		res.Jain += r.jain
 		if res.Shares == nil {
-			res.Shares = shares
+			res.Shares = r.shares
 		} else {
-			for i := range shares {
-				res.Shares[i] += shares[i]
+			for i := range r.shares {
+				res.Shares[i] += r.shares[i]
 			}
 		}
 	}

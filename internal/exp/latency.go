@@ -26,36 +26,48 @@ type LatencyResult struct {
 	Fast, Slow stats.Sample
 }
 
-// RunLatency executes the experiment.
+// latencyRep executes one repetition and returns the merged fast- and
+// slow-station RTT samples.
+func latencyRep(run RunConfig, cfg LatencyConfig) (fast, slow stats.Sample) {
+	n := NewNet(NetConfig{
+		Seed:     run.Seed,
+		Scheme:   cfg.Scheme,
+		Stations: DefaultStations(),
+	})
+	for _, st := range n.Stations {
+		n.DownloadTCP(st, pkt.ACBE)
+		if cfg.Bidir {
+			n.UploadTCP(st, pkt.ACBE)
+		}
+	}
+	// Let the bulk flows reach steady state before measuring latency.
+	n.Run(run.Warmup)
+	pingers := make([]*traffic.Pinger, len(n.Stations))
+	for i, st := range n.Stations {
+		pingers[i] = n.Ping(st, 0, i+1)
+	}
+	n.Run(run.End())
+	for i, st := range n.Stations {
+		if strings.HasPrefix(st.Name, "fast") {
+			fast.Merge(&pingers[i].RTT)
+		} else {
+			slow.Merge(&pingers[i].RTT)
+		}
+	}
+	return fast, slow
+}
+
+// RunLatency executes the experiment, repetitions in parallel.
 func RunLatency(cfg LatencyConfig) *LatencyResult {
 	cfg.Run.fill()
 	res := &LatencyResult{Scheme: cfg.Scheme}
-	for rep := 0; rep < cfg.Run.Reps; rep++ {
-		n := NewNet(NetConfig{
-			Seed:     cfg.Run.Seed + uint64(rep),
-			Scheme:   cfg.Scheme,
-			Stations: DefaultStations(),
-		})
-		for _, st := range n.Stations {
-			n.DownloadTCP(st, pkt.ACBE)
-			if cfg.Bidir {
-				n.UploadTCP(st, pkt.ACBE)
-			}
-		}
-		// Let the bulk flows reach steady state before measuring latency.
-		n.Run(cfg.Run.Warmup)
-		pingers := make([]*traffic.Pinger, len(n.Stations))
-		for i, st := range n.Stations {
-			pingers[i] = n.Ping(st, 0, i+1)
-		}
-		n.Run(cfg.Run.End())
-		for i, st := range n.Stations {
-			if strings.HasPrefix(st.Name, "fast") {
-				res.Fast.Merge(&pingers[i].RTT)
-			} else {
-				res.Slow.Merge(&pingers[i].RTT)
-			}
-		}
+	type rep struct{ fast, slow stats.Sample }
+	for _, r := range eachRep(cfg.Run, func(run RunConfig) rep {
+		fast, slow := latencyRep(run, cfg)
+		return rep{fast, slow}
+	}) {
+		res.Fast.Merge(&r.fast)
+		res.Slow.Merge(&r.slow)
 	}
 	return res
 }

@@ -36,59 +36,80 @@ type ScaleResult struct {
 // slow station the 1 Mbps DSSS rate with HT disabled.
 func RunScale(cfg ScaleConfig) *ScaleResult {
 	cfg.Run.fill()
-	if cfg.Stations < 4 {
-		cfg.Stations = 30
-	}
-	fastRate := phy.MCS(7, true)
-	specs := make([]StationSpec, 0, cfg.Stations)
-	// Station 0 is slow; the last is ping-only; the rest are fast bulk.
-	specs = append(specs, StationSpec{Name: "slow", Rate: phy.Legacy(1)})
-	for i := 1; i < cfg.Stations-1; i++ {
-		specs = append(specs, StationSpec{Name: fmt.Sprintf("fast%02d", i), Rate: fastRate})
-	}
-	specs = append(specs, StationSpec{Name: "pingonly", Rate: fastRate})
+	specs := scaleSpecs(cfg.Stations)
 
 	res := &ScaleResult{Scheme: cfg.Scheme}
-	for rep := 0; rep < cfg.Run.Reps; rep++ {
-		n := NewNet(NetConfig{
-			Seed:     cfg.Run.Seed + uint64(rep),
-			Scheme:   cfg.Scheme,
-			Stations: specs,
-		})
-		recv := make([]func() int64, 0, len(n.Stations)-1)
-		for _, st := range n.Stations[:len(n.Stations)-1] {
-			conn := n.DownloadTCP(st, pkt.ACBE)
-			recv = append(recv, conn.Server().TotalReceived)
-		}
-		n.Run(cfg.Run.Warmup)
-		snap := n.SnapshotAirtime()
-		snaps := make([]int64, len(recv))
-		for i, f := range recv {
-			snaps[i] = f()
-		}
-		pSlow := n.Ping(n.Stations[0], 0, 1)
-		pFast := n.Ping(n.Stations[1], 0, 2)
-		pSparse := n.Ping(n.Stations[len(n.Stations)-1], 0, 3)
-		n.Run(cfg.Run.End())
-
-		air := n.AirtimeSince(snap)
-		shares := stats.Shares(air)
-		res.SlowShare += shares[0]
-		for i := 1; i < len(shares)-1; i++ {
-			res.FastShares.Add(shares[i])
-		}
-		res.SlowRTT.Merge(&pSlow.RTT)
-		res.FastRTT.Merge(&pFast.RTT)
-		res.SparseRTT.Merge(&pSparse.RTT)
-		var total int64
-		for i, f := range recv {
-			total += f() - snaps[i]
-		}
-		res.TotalMbps += float64(total) * 8 / cfg.Run.Duration.Seconds() / 1e6
+	for _, r := range eachRep(cfg.Run, func(run RunConfig) *ScaleResult {
+		return scaleRep(run, cfg, specs)
+	}) {
+		res.SlowShare += r.SlowShare
+		res.FastShares.Merge(&r.FastShares)
+		res.SlowRTT.Merge(&r.SlowRTT)
+		res.FastRTT.Merge(&r.FastRTT)
+		res.SparseRTT.Merge(&r.SparseRTT)
+		res.TotalMbps += r.TotalMbps
 	}
 	f := float64(cfg.Run.Reps)
 	res.SlowShare /= f
 	res.TotalMbps /= f
+	return res
+}
+
+// scaleSpecs builds the scaled population: station 0 is the 1 Mbps
+// legacy client, the last is ping-only, the rest are fast bulk stations.
+// Counts below 4 fall back to the paper's 30.
+func scaleSpecs(count int) []StationSpec {
+	if count < 4 {
+		count = 30
+	}
+	fastRate := phy.MCS(7, true)
+	specs := make([]StationSpec, 0, count)
+	specs = append(specs, StationSpec{Name: "slow", Rate: phy.Legacy(1)})
+	for i := 1; i < count-1; i++ {
+		specs = append(specs, StationSpec{Name: fmt.Sprintf("fast%02d", i), Rate: fastRate})
+	}
+	specs = append(specs, StationSpec{Name: "pingonly", Rate: fastRate})
+	return specs
+}
+
+// scaleRep executes one repetition of the scaled setup on its own world.
+func scaleRep(run RunConfig, cfg ScaleConfig, specs []StationSpec) *ScaleResult {
+	res := &ScaleResult{Scheme: cfg.Scheme}
+	n := NewNet(NetConfig{
+		Seed:     run.Seed,
+		Scheme:   cfg.Scheme,
+		Stations: specs,
+	})
+	recv := make([]func() int64, 0, len(n.Stations)-1)
+	for _, st := range n.Stations[:len(n.Stations)-1] {
+		conn := n.DownloadTCP(st, pkt.ACBE)
+		recv = append(recv, conn.Server().TotalReceived)
+	}
+	n.Run(run.Warmup)
+	snap := n.SnapshotAirtime()
+	snaps := make([]int64, len(recv))
+	for i, f := range recv {
+		snaps[i] = f()
+	}
+	pSlow := n.Ping(n.Stations[0], 0, 1)
+	pFast := n.Ping(n.Stations[1], 0, 2)
+	pSparse := n.Ping(n.Stations[len(n.Stations)-1], 0, 3)
+	n.Run(run.End())
+
+	air := n.AirtimeSince(snap)
+	shares := stats.Shares(air)
+	res.SlowShare = shares[0]
+	for i := 1; i < len(shares)-1; i++ {
+		res.FastShares.Add(shares[i])
+	}
+	res.SlowRTT.Merge(&pSlow.RTT)
+	res.FastRTT.Merge(&pFast.RTT)
+	res.SparseRTT.Merge(&pSparse.RTT)
+	var total int64
+	for i, f := range recv {
+		total += f() - snaps[i]
+	}
+	res.TotalMbps = float64(total) * 8 / run.Duration.Seconds() / 1e6
 	return res
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/mac"
 	"repro/internal/pkt"
 	"repro/internal/stats"
@@ -24,33 +25,48 @@ type SparseResult struct {
 	Enabled, Disabled stats.Sample
 }
 
-// RunSparse executes both variants under the Airtime scheme.
+// sparseRep executes one repetition of one variant and returns the
+// sparse station's RTT sample.
+func sparseRep(run RunConfig, cfg SparseConfig, disable bool) stats.Sample {
+	n := NewNet(NetConfig{
+		Seed:     run.Seed,
+		Scheme:   mac.SchemeAirtimeFQ,
+		Stations: FourStations(),
+		AP:       mac.Config{DisableSparse: disable},
+	})
+	for _, st := range n.Stations[:3] {
+		if cfg.TCP {
+			n.DownloadTCP(st, pkt.ACBE)
+		} else {
+			n.DownloadUDP(st, 50e6, pkt.ACBE)
+		}
+	}
+	n.Run(run.Warmup)
+	p := n.Ping(n.Stations[3], 0, 1)
+	n.Run(run.End())
+	var s stats.Sample
+	s.Merge(&p.RTT)
+	return s
+}
+
+// RunSparse executes both variants under the Airtime scheme; the
+// (variant, repetition) matrix runs in parallel.
 func RunSparse(cfg SparseConfig) *SparseResult {
 	cfg.Run.fill()
 	res := &SparseResult{TCP: cfg.TCP}
-	for _, disable := range []bool{false, true} {
-		for rep := 0; rep < cfg.Run.Reps; rep++ {
-			n := NewNet(NetConfig{
-				Seed:     cfg.Run.Seed + uint64(rep),
-				Scheme:   mac.SchemeAirtimeFQ,
-				Stations: FourStations(),
-				AP:       mac.Config{DisableSparse: disable},
-			})
-			for _, st := range n.Stations[:3] {
-				if cfg.TCP {
-					n.DownloadTCP(st, pkt.ACBE)
-				} else {
-					n.DownloadUDP(st, 50e6, pkt.ACBE)
-				}
-			}
-			n.Run(cfg.Run.Warmup)
-			p := n.Ping(n.Stations[3], 0, 1)
-			n.Run(cfg.Run.End())
-			if disable {
-				res.Disabled.Merge(&p.RTT)
-			} else {
-				res.Enabled.Merge(&p.RTT)
-			}
+	reps := cfg.Run.Reps
+	// Matrix order: enabled reps 0..R-1, then disabled — the historical
+	// fold order, kept so results stay identical.
+	samples := campaign.Map(2*reps, cfg.Run.Workers, func(i int) stats.Sample {
+		disable := i >= reps
+		run := cfg.Run.withSeed(cfg.Run.SeedFor(i % reps))
+		return sparseRep(run, cfg, disable)
+	})
+	for i := range samples {
+		if i >= reps {
+			res.Disabled.Merge(&samples[i])
+		} else {
+			res.Enabled.Merge(&samples[i])
 		}
 	}
 	return res

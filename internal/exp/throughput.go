@@ -24,37 +24,54 @@ type ThroughputResult struct {
 	Average float64
 }
 
-// RunThroughput executes the experiment.
+// throughputRep executes one repetition on its own world and returns the
+// per-station goodput in Mbps. run must be a filled single-rep config.
+func throughputRep(run RunConfig, cfg ThroughputConfig) (names []string, mbps []float64) {
+	n := NewNet(NetConfig{
+		Seed:     run.Seed,
+		Scheme:   cfg.Scheme,
+		Stations: DefaultStations(),
+	})
+	recv := make([]func() int64, len(n.Stations))
+	for i, st := range n.Stations {
+		conn := n.DownloadTCP(st, pkt.ACBE)
+		srv := conn.Server() // station side of the download
+		recv[i] = srv.TotalReceived
+		if cfg.Bidir {
+			n.UploadTCP(st, pkt.ACBE)
+		}
+	}
+	n.Run(run.Warmup)
+	snaps := make([]int64, len(recv))
+	for i, f := range recv {
+		snaps[i] = f()
+	}
+	n.Run(run.End())
+	mbps = make([]float64, len(recv))
+	for i, f := range recv {
+		mbps[i] = float64(f()-snaps[i]) * 8 / run.Duration.Seconds() / 1e6
+	}
+	return n.StationNames(), mbps
+}
+
+// RunThroughput executes the experiment, repetitions in parallel.
 func RunThroughput(cfg ThroughputConfig) *ThroughputResult {
 	cfg.Run.fill()
 	res := &ThroughputResult{Scheme: cfg.Scheme}
-	for rep := 0; rep < cfg.Run.Reps; rep++ {
-		n := NewNet(NetConfig{
-			Seed:     cfg.Run.Seed + uint64(rep),
-			Scheme:   cfg.Scheme,
-			Stations: DefaultStations(),
-		})
-		recv := make([]func() int64, len(n.Stations))
-		for i, st := range n.Stations {
-			conn := n.DownloadTCP(st, pkt.ACBE)
-			srv := conn.Server() // station side of the download
-			recv[i] = srv.TotalReceived
-			if cfg.Bidir {
-				n.UploadTCP(st, pkt.ACBE)
-			}
-		}
-		n.Run(cfg.Run.Warmup)
-		snaps := make([]int64, len(recv))
-		for i, f := range recv {
-			snaps[i] = f()
-		}
-		n.Run(cfg.Run.End())
+	type rep struct {
+		names []string
+		mbps  []float64
+	}
+	for _, r := range eachRep(cfg.Run, func(run RunConfig) rep {
+		names, mbps := throughputRep(run, cfg)
+		return rep{names, mbps}
+	}) {
 		if res.Names == nil {
-			res.Names = n.StationNames()
-			res.Mbps = make([]float64, len(recv))
+			res.Names = r.names
+			res.Mbps = make([]float64, len(r.mbps))
 		}
-		for i, f := range recv {
-			res.Mbps[i] += float64(f()-snaps[i]) * 8 / cfg.Run.Duration.Seconds() / 1e6
+		for i, v := range r.mbps {
+			res.Mbps[i] += v
 		}
 	}
 	f := float64(cfg.Run.Reps)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/mac"
 	"repro/internal/model"
 	"repro/internal/pkt"
@@ -28,25 +29,32 @@ type UDPResult struct {
 	TotalBps float64
 }
 
-// RunUDP executes the experiment. Results average over repetitions.
+// udpRep executes one repetition on its own world.
+func udpRep(run RunConfig, cfg UDPConfig) *UDPResult {
+	n := NewNet(NetConfig{
+		Seed:     run.Seed,
+		Scheme:   cfg.Scheme,
+		Stations: DefaultStations(),
+	})
+	sinks := make([]*sinkRef, len(n.Stations))
+	for i, st := range n.Stations {
+		_, sink := n.DownloadUDP(st, cfg.RateBps, pkt.ACBE)
+		sinks[i] = &sinkRef{bytes: func() int64 { return sink.RcvdBytes }}
+	}
+	return measureStations(n, run, sinks)
+}
+
+// RunUDP executes the experiment, repetitions in parallel. Results
+// average over repetitions.
 func RunUDP(cfg UDPConfig) *UDPResult {
 	cfg.Run.fill()
 	if cfg.RateBps <= 0 {
 		cfg.RateBps = 50e6
 	}
 	var res *UDPResult
-	for rep := 0; rep < cfg.Run.Reps; rep++ {
-		n := NewNet(NetConfig{
-			Seed:     cfg.Run.Seed + uint64(rep),
-			Scheme:   cfg.Scheme,
-			Stations: DefaultStations(),
-		})
-		sinks := make([]*sinkRef, len(n.Stations))
-		for i, st := range n.Stations {
-			_, sink := n.DownloadUDP(st, cfg.RateBps, pkt.ACBE)
-			sinks[i] = &sinkRef{bytes: func() int64 { return sink.RcvdBytes }}
-		}
-		one := measureStations(n, cfg.Run, sinks)
+	for _, one := range eachRep(cfg.Run, func(run RunConfig) *UDPResult {
+		return udpRep(run, cfg)
+	}) {
 		res = accumulate(res, one, cfg.Scheme)
 	}
 	finish(res, cfg.Run.Reps)
@@ -160,48 +168,52 @@ type Table1Result struct {
 	Baseline, Fair []Table1Row
 }
 
-// RunTable1 runs the UDP experiment under the FIFO and Airtime schemes,
-// feeds the measured aggregation levels into the analytical model
-// (§2.2.1) and assembles the paper's Table 1.
-func RunTable1(run RunConfig) *Table1Result {
-	res := &Table1Result{}
-	for _, fair := range []bool{false, true} {
-		scheme := mac.SchemeFIFO
-		if fair {
-			scheme = mac.SchemeAirtimeFQ
+// table1Rows measures one scheme and feeds the measured aggregation
+// levels into the analytical model (§2.2.1) to build one table block.
+func table1Rows(run RunConfig, fair bool) []Table1Row {
+	scheme := mac.SchemeFIFO
+	if fair {
+		scheme = mac.SchemeAirtimeFQ
+	}
+	m := RunUDP(UDPConfig{Run: run, Scheme: scheme})
+	params := make([]model.StationParams, len(m.Names))
+	specs := DefaultStations()
+	for i := range m.Names {
+		agg := m.AggMean[i]
+		if agg < 1 {
+			agg = 1
 		}
-		m := RunUDP(UDPConfig{Run: run, Scheme: scheme})
-		params := make([]model.StationParams, len(m.Names))
-		specs := DefaultStations()
-		for i := range m.Names {
-			agg := m.AggMean[i]
-			if agg < 1 {
-				agg = 1
-			}
-			params[i] = model.StationParams{
-				Name: m.Names[i], AggSize: agg, PktLen: 1500, Rate: specs[i].Rate,
-			}
-		}
-		preds := model.Predict(params, fair)
-		rows := make([]Table1Row, len(preds))
-		for i, p := range preds {
-			rows[i] = Table1Row{
-				Name:         p.Name,
-				AggSize:      params[i].AggSize,
-				AirtimeShare: p.AirtimeShare,
-				PHYMbps:      params[i].Rate.Mbps(),
-				BaseMbps:     p.BaseRate / 1e6,
-				RateMbps:     p.Rate / 1e6,
-				ExpMbps:      m.Goodput[i] / 1e6,
-			}
-		}
-		if fair {
-			res.Fair = rows
-		} else {
-			res.Baseline = rows
+		params[i] = model.StationParams{
+			Name: m.Names[i], AggSize: agg, PktLen: 1500, Rate: specs[i].Rate,
 		}
 	}
-	return res
+	preds := model.Predict(params, fair)
+	rows := make([]Table1Row, len(preds))
+	for i, p := range preds {
+		rows[i] = Table1Row{
+			Name:         p.Name,
+			AggSize:      params[i].AggSize,
+			AirtimeShare: p.AirtimeShare,
+			PHYMbps:      params[i].Rate.Mbps(),
+			BaseMbps:     p.BaseRate / 1e6,
+			RateMbps:     p.Rate / 1e6,
+			ExpMbps:      m.Goodput[i] / 1e6,
+		}
+	}
+	return rows
+}
+
+// RunTable1 runs the UDP experiment under the FIFO and Airtime schemes —
+// in parallel, splitting the worker budget between the two scheme blocks
+// and the repetitions inside each — and assembles the paper's Table 1.
+func RunTable1(run RunConfig) *Table1Result {
+	outer, inner := campaign.Split(run.Workers, 2)
+	innerRun := run
+	innerRun.Workers = inner
+	blocks := campaign.Map(2, outer, func(i int) []Table1Row {
+		return table1Rows(innerRun, i == 1)
+	})
+	return &Table1Result{Baseline: blocks[0], Fair: blocks[1]}
 }
 
 // String renders the two blocks in the paper's layout.

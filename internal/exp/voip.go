@@ -30,46 +30,56 @@ type VoIPResult struct {
 	TotalMbps float64
 }
 
-// RunVoIP executes the experiment.
+// voipRep executes one repetition and returns the MOS estimate and total
+// bulk throughput.
+func voipRep(run RunConfig, cfg VoIPConfig) (mos, totalMbps float64) {
+	n := NewNet(NetConfig{
+		Seed:       run.Seed,
+		Scheme:     cfg.Scheme,
+		Stations:   FourStations(), // fast1 fast2 slow fast3
+		WiredDelay: cfg.WiredDelay,
+	})
+	recv := make([]func() int64, 0, len(n.Stations))
+	var slow *Station
+	for _, st := range n.Stations {
+		conn := n.DownloadTCP(st, pkt.ACBE)
+		recv = append(recv, conn.Server().TotalReceived)
+		if st.Name == "slow" {
+			slow = st
+		}
+	}
+	ac := pkt.ACBE
+	if cfg.UseVO {
+		ac = pkt.ACVO
+	}
+	n.Run(run.Warmup)
+	_, sink := n.VoIPDown(slow, ac)
+	snaps := make([]int64, len(recv))
+	for i, f := range recv {
+		snaps[i] = f()
+	}
+	n.Run(run.End())
+	var total int64
+	for i, f := range recv {
+		total += f() - snaps[i]
+	}
+	return sink.MOS(), float64(total) * 8 / run.Duration.Seconds() / 1e6
+}
+
+// RunVoIP executes the experiment, repetitions in parallel.
 func RunVoIP(cfg VoIPConfig) *VoIPResult {
 	cfg.Run.fill()
 	if cfg.WiredDelay <= 0 {
 		cfg.WiredDelay = 5 * sim.Millisecond
 	}
 	res := &VoIPResult{Scheme: cfg.Scheme, UseVO: cfg.UseVO, Delay: cfg.WiredDelay}
-	for rep := 0; rep < cfg.Run.Reps; rep++ {
-		n := NewNet(NetConfig{
-			Seed:       cfg.Run.Seed + uint64(rep),
-			Scheme:     cfg.Scheme,
-			Stations:   FourStations(), // fast1 fast2 slow fast3
-			WiredDelay: cfg.WiredDelay,
-		})
-		recv := make([]func() int64, 0, len(n.Stations))
-		var slow *Station
-		for _, st := range n.Stations {
-			conn := n.DownloadTCP(st, pkt.ACBE)
-			recv = append(recv, conn.Server().TotalReceived)
-			if st.Name == "slow" {
-				slow = st
-			}
-		}
-		ac := pkt.ACBE
-		if cfg.UseVO {
-			ac = pkt.ACVO
-		}
-		n.Run(cfg.Run.Warmup)
-		_, sink := n.VoIPDown(slow, ac)
-		snaps := make([]int64, len(recv))
-		for i, f := range recv {
-			snaps[i] = f()
-		}
-		n.Run(cfg.Run.End())
-		res.MOS += sink.MOS()
-		var total int64
-		for i, f := range recv {
-			total += f() - snaps[i]
-		}
-		res.TotalMbps += float64(total) * 8 / cfg.Run.Duration.Seconds() / 1e6
+	type rep struct{ mos, totalMbps float64 }
+	for _, r := range eachRep(cfg.Run, func(run RunConfig) rep {
+		mos, total := voipRep(run, cfg)
+		return rep{mos, total}
+	}) {
+		res.MOS += r.mos
+		res.TotalMbps += r.totalMbps
 	}
 	f := float64(cfg.Run.Reps)
 	res.MOS /= f

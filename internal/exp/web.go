@@ -27,31 +27,40 @@ type WebResult struct {
 	PLT    stats.Sample
 }
 
-// RunWeb executes the experiment.
+// webRep executes one repetition and returns the page-load-time sample.
+func webRep(run RunConfig, cfg WebConfig) stats.Sample {
+	n := NewNet(NetConfig{
+		Seed:     run.Seed,
+		Scheme:   cfg.Scheme,
+		Stations: DefaultStations(), // fast1 fast2 slow
+	})
+	var browser *Station
+	if cfg.SlowFetches {
+		browser = n.Stations[2]
+		n.DownloadTCP(n.Stations[0], pkt.ACBE)
+		n.DownloadTCP(n.Stations[1], pkt.ACBE)
+	} else {
+		browser = n.Stations[0]
+		n.DownloadTCP(n.Stations[2], pkt.ACBE)
+	}
+	n.Run(run.Warmup)
+	wc := n.Web(browser, cfg.Page)
+	wc.Start()
+	n.Run(run.End())
+	wc.Stop()
+	var s stats.Sample
+	s.Merge(&wc.PLT)
+	return s
+}
+
+// RunWeb executes the experiment, repetitions in parallel.
 func RunWeb(cfg WebConfig) *WebResult {
 	cfg.Run.fill()
 	res := &WebResult{Scheme: cfg.Scheme, Page: cfg.Page.Name}
-	for rep := 0; rep < cfg.Run.Reps; rep++ {
-		n := NewNet(NetConfig{
-			Seed:     cfg.Run.Seed + uint64(rep),
-			Scheme:   cfg.Scheme,
-			Stations: DefaultStations(), // fast1 fast2 slow
-		})
-		var browser *Station
-		if cfg.SlowFetches {
-			browser = n.Stations[2]
-			n.DownloadTCP(n.Stations[0], pkt.ACBE)
-			n.DownloadTCP(n.Stations[1], pkt.ACBE)
-		} else {
-			browser = n.Stations[0]
-			n.DownloadTCP(n.Stations[2], pkt.ACBE)
-		}
-		n.Run(cfg.Run.Warmup)
-		wc := n.Web(browser, cfg.Page)
-		wc.Start()
-		n.Run(cfg.Run.End())
-		wc.Stop()
-		res.PLT.Merge(&wc.PLT)
+	for _, s := range eachRep(cfg.Run, func(run RunConfig) stats.Sample {
+		return webRep(run, cfg)
+	}) {
+		res.PLT.Merge(&s)
 	}
 	return res
 }

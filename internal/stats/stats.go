@@ -125,6 +125,32 @@ func (s *Sample) Summary() string {
 		s.Quantile(0.95), s.Quantile(0.99), s.Max(), s.Mean())
 }
 
+// MeanCI95 returns the mean of xs, the half-width of its 95% confidence
+// interval under the normal approximation (1.96·s/√n), and the sample
+// standard deviation s. Half-width and s are 0 for fewer than two
+// observations.
+func MeanCI95(xs []float64) (mean, half, sd float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / float64(n)
+	if n < 2 {
+		return mean, 0, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd = math.Sqrt(ss / float64(n-1))
+	return mean, 1.96 * sd / math.Sqrt(float64(n)), sd
+}
+
 // JainIndex computes Jain's fairness index over the shares:
 // (Σx)² / (n·Σx²). It is 1 for perfect fairness and 1/n for a single
 // winner. An empty or all-zero input yields 0.

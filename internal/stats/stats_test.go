@@ -180,3 +180,26 @@ func TestTableRender(t *testing.T) {
 		t.Fatal("table render empty")
 	}
 }
+
+func TestMeanCI95(t *testing.T) {
+	mean, half, sd := MeanCI95(nil)
+	if mean != 0 || half != 0 || sd != 0 {
+		t.Fatal("empty input must yield zeros")
+	}
+	mean, half, sd = MeanCI95([]float64{7})
+	if mean != 7 || half != 0 || sd != 0 {
+		t.Fatal("single observation must yield zero interval")
+	}
+	mean, half, sd = MeanCI95([]float64{2, 4, 6, 8})
+	if mean != 5 {
+		t.Fatalf("mean = %v, want 5", mean)
+	}
+	// s = sqrt(20/3), half = 1.96*s/2.
+	wantSD := math.Sqrt(20.0 / 3)
+	if math.Abs(sd-wantSD) > 1e-12 {
+		t.Fatalf("sd = %v, want %v", sd, wantSD)
+	}
+	if math.Abs(half-1.96*wantSD/2) > 1e-12 {
+		t.Fatalf("half = %v", half)
+	}
+}
