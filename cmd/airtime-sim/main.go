@@ -23,24 +23,28 @@ import (
 	"repro/internal/traffic"
 )
 
+// parseScheme resolves any registered scheme name through the registry,
+// keeping the historical lowercase aliases for the paper schemes.
 func parseScheme(s string) (mac.Scheme, error) {
 	switch strings.ToLower(s) {
-	case "fifo":
-		return mac.SchemeFIFO, nil
-	case "fqcodel", "fq-codel":
+	case "fqcodel":
 		return mac.SchemeFQCoDel, nil
-	case "fqmac", "fq-mac":
+	case "fqmac":
 		return mac.SchemeFQMAC, nil
-	case "airtime", "airtime-fq":
+	case "airtime-fq":
 		return mac.SchemeAirtimeFQ, nil
-	case "dtt":
-		return mac.SchemeDTT, nil
 	}
-	return 0, fmt.Errorf("unknown scheme %q (fifo|fqcodel|fqmac|airtime|dtt)", s)
+	scheme, err := exp.ParseScheme(s)
+	if err != nil {
+		return 0, fmt.Errorf("unknown scheme %q (one of: %s)",
+			s, strings.ToLower(strings.Join(mac.SchemeNames(), "|")))
+	}
+	return scheme, nil
 }
 
 func main() {
-	schemeFlag := flag.String("scheme", "airtime", "queueing scheme: fifo|fqcodel|fqmac|airtime|dtt")
+	schemeFlag := flag.String("scheme", "airtime",
+		"queueing scheme: fifo|fqcodel|fqmac|airtime|dtt|airtime-rr|weighted-airtime (any registered scheme)")
 	fast := flag.Int("fast", 2, "number of fast stations")
 	fastMCS := flag.Int("fast-mcs", 15, "MCS index of fast stations")
 	slow := flag.Int("slow", 1, "number of slow stations")
@@ -51,6 +55,7 @@ func main() {
 	warm := flag.Float64("warmup", 3, "warmup seconds")
 	seed := flag.Uint64("seed", 1, "random seed")
 	loss := flag.Float64("mpdu-loss", 0, "per-MPDU random loss probability")
+	slowWeight := flag.Float64("slow-weight", 0, "airtime weight of slow stations (weighted schemes only; 0 = default 1)")
 	amsdu := flag.Int("amsdu", 0, "A-MSDU bundle size in bytes (0 disables two-level aggregation)")
 	traceN := flag.Int("trace", 0, "dump the last N AP trace events")
 	flag.Parse()
@@ -71,15 +76,19 @@ func main() {
 	if *slowMCS >= 0 {
 		slowRate = phy.MCS(*slowMCS, true)
 	}
+	weights := make(map[string]float64)
 	for i := 0; i < *slow; i++ {
-		specs = append(specs, exp.StationSpec{
-			Name: fmt.Sprintf("slow%d", i+1), Rate: slowRate,
-		})
+		name := fmt.Sprintf("slow%d", i+1)
+		specs = append(specs, exp.StationSpec{Name: name, Rate: slowRate})
+		if *slowWeight > 0 {
+			weights[name] = *slowWeight
+		}
 	}
 
 	n := exp.NewNet(exp.NetConfig{
 		Seed: *seed, Scheme: scheme, Stations: specs,
-		AP: mac.Config{PerMPDULoss: *loss, MaxAMSDU: *amsdu},
+		AP:             mac.Config{PerMPDULoss: *loss, MaxAMSDU: *amsdu},
+		StationWeights: weights,
 	})
 	var tl *trace.Log
 	if *traceN > 0 {

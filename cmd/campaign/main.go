@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/exp"
+	"repro/internal/mac"
 	"repro/internal/sim"
 )
 
@@ -58,6 +59,8 @@ func main() {
 	switch cmd {
 	case "list":
 		list(reg)
+	case "schemes":
+		schemes(args)
 	case "run", "sweep":
 		execute(reg, cmd, args)
 	default:
@@ -71,7 +74,9 @@ func usage() {
 	fmt.Fprint(os.Stderr, `campaign — parallel experiment campaigns over the simulated testbed
 
 commands:
-  list                 show registered scenarios and their parameter axes
+  list                 show registered scenarios, their parameter axes and
+                       the registered transmit-path schemes
+  schemes [-csv]       print registered scheme names (for scripting sweeps)
   run   [flags]        run scenarios over their default parameter grids
   sweep [flags]        run with -axis overrides sweeping chosen parameters
 
@@ -83,11 +88,32 @@ flags of run and sweep:
 }
 
 func list(reg *campaign.Registry) {
+	fmt.Println("scenarios:")
 	for _, sc := range reg.Scenarios() {
 		fmt.Printf("%-12s %s\n", sc.Name, sc.Desc)
 		for _, a := range sc.Axes {
 			fmt.Printf("  %-18s %s\n", a.Name, strings.Join(a.Values, ", "))
 		}
+	}
+	fmt.Println("\nregistered schemes (usable in any scheme axis):")
+	for _, s := range mac.AllSchemes() {
+		fmt.Printf("%-18s %s\n", s, s.Desc())
+	}
+}
+
+// schemes prints the registered scheme names, one per line (or
+// comma-separated with -csv), for scripting sweeps over every scheme.
+func schemes(args []string) {
+	fs := flag.NewFlagSet("schemes", flag.ExitOnError)
+	csv := fs.Bool("csv", false, "print one comma-separated line")
+	fs.Parse(args)
+	names := mac.SchemeNames()
+	if *csv {
+		fmt.Println(strings.Join(names, ","))
+		return
+	}
+	for _, n := range names {
+		fmt.Println(n)
 	}
 }
 

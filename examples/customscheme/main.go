@@ -1,0 +1,60 @@
+// customscheme demonstrates the pluggable transmit path: a new queueing
+// scheme is registered at runtime — no simulator changes — by composing
+// an existing queue substrate with a scheduler, then compared against
+// the paper's configurations on the standard three-station testbed.
+//
+// The custom scheme here is the Airtime-RR ablation built by hand (the
+// integrated §3.1 structure plus a strict round-robin station
+// scheduler), alongside the Weighted-Airtime policy knob giving the slow
+// station half the default airtime share.
+package main
+
+import (
+	"fmt"
+
+	"repro/wifi"
+)
+
+func main() {
+	custom := wifi.RegisterScheme("Example-RR", wifi.Composition{
+		Desc:     "integrated queueing + hand-rolled round-robin scheduler",
+		Queueing: wifi.NewIntegratedQueueing,
+		Scheduler: func(_ *wifi.Node, _ wifi.AC) wifi.StationScheduler {
+			return wifi.NewRoundRobinScheduler()
+		},
+	})
+
+	run := func(scheme wifi.Scheme, weights map[string]float64) {
+		tb := wifi.NewTestbed(wifi.TestbedConfig{
+			Seed:     1,
+			Scheme:   scheme,
+			Stations: wifi.DefaultStations(),
+			Weights:  weights,
+		})
+		for _, st := range tb.Stations() {
+			tb.DownloadUDP(st, 50e6)
+		}
+		tb.Run(10 * wifi.Second)
+		shares := tb.AirtimeShares()
+		fmt.Printf("%-18s", scheme)
+		for i, st := range tb.Stations() {
+			fmt.Printf("  %s=%5.1f%%", st.Name, 100*shares[i])
+		}
+		fmt.Printf("  Jain=%.3f\n", tb.JainIndex())
+	}
+
+	fmt.Println("Airtime shares under saturating UDP downloads:")
+	run(wifi.SchemeFIFO, nil)
+	run(wifi.SchemeAirtimeFQ, nil)
+	run(custom, nil)
+	run(wifi.SchemeWeightedAirtime, map[string]float64{"slow": 0.5})
+
+	fmt.Println("\nThe registered scheme slots in by value or by name:")
+	if s, ok := wifi.SchemeByName("example-rr"); ok {
+		fmt.Printf("  SchemeByName(\"example-rr\") = %v\n", s)
+	}
+	fmt.Printf("  registered: %v\n", wifi.SchemeNames())
+	fmt.Println("\nRound-robin fixes scheduling but not accounting: the slow")
+	fmt.Println("station still out-consumes the fast ones. Deficit accounting")
+	fmt.Println("(Airtime) equalises shares; weights skew them deliberately.")
+}

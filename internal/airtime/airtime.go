@@ -36,6 +36,11 @@ type Station struct {
 	// access category. Set once at registration.
 	Backlogged func() bool
 
+	// Weight scales the deficit replenished per round: a station with
+	// weight 2 earns twice the airtime share of a weight-1 station. Zero
+	// means the default weight of 1 (the paper's equal-share policy).
+	Weight float64
+
 	deficit sim.Time
 	next    *Station
 	inList  listID
@@ -49,6 +54,14 @@ type Station struct {
 
 // Deficit exposes the current deficit (for tests and tracing).
 func (s *Station) Deficit() sim.Time { return s.deficit }
+
+// replenish scales the per-round quantum by the station's weight.
+func (s *Station) replenish(q sim.Time) sim.Time {
+	if s.Weight <= 0 || s.Weight == 1 {
+		return q
+	}
+	return sim.Time(float64(q) * s.Weight)
+}
 
 type stationList struct {
 	head, tail *Station
@@ -106,7 +119,7 @@ func (sc *Scheduler) Activate(st *Station) {
 	if st.inList != listNone {
 		return
 	}
-	st.deficit = sc.quantum()
+	st.deficit = st.replenish(sc.quantum())
 	if sc.SparseOpt {
 		sc.newL.pushTail(st, listNew)
 	} else {
@@ -140,7 +153,7 @@ func (sc *Scheduler) Next() *Station {
 			return nil
 		}
 		if st.deficit <= 0 {
-			st.deficit += sc.quantum()
+			st.deficit += st.replenish(sc.quantum())
 			st.Rounds++
 			if fromNew {
 				sc.newL.popHead()

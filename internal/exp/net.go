@@ -11,6 +11,7 @@ package exp
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/ether"
 	"repro/internal/mac"
@@ -57,6 +58,11 @@ type NetConfig struct {
 	// StationMAC overrides the clients' MAC parameters (their scheme is
 	// always FIFO — the paper modifies only the access point).
 	StationMAC mac.Config
+
+	// StationWeights assigns relative airtime weights by station name.
+	// Only schemes whose scheduler honours weights (Weighted-Airtime)
+	// are affected; the paper's schemes ignore them.
+	StationWeights map[string]float64
 }
 
 // Station is one wireless client node with its application attachments.
@@ -82,7 +88,9 @@ type Net struct {
 	flowCtr uint64
 }
 
-// NewNet builds the testbed.
+// NewNet builds the testbed. The scheme must be registered; resolve
+// names through ParseScheme first (an unregistered scheme panics here,
+// as a testbed cannot exist without its transmit path).
 func NewNet(cfg NetConfig) *Net {
 	if cfg.WiredDelay == 0 {
 		cfg.WiredDelay = 1 * sim.Millisecond
@@ -93,7 +101,11 @@ func NewNet(cfg NetConfig) *Net {
 
 	apCfg := cfg.AP
 	apCfg.Scheme = cfg.Scheme
-	n.AP = mac.NewNode(env, APID, "ap", apCfg)
+	ap, err := mac.NewNode(env, APID, "ap", apCfg)
+	if err != nil {
+		panic(fmt.Sprintf("exp: building AP: %v", err))
+	}
+	n.AP = ap
 
 	n.Link = ether.NewLink(s, ether.GigabitRate, cfg.WiredDelay)
 	n.Server = traffic.NewHost(s, ServerID, n.Link.SendAToB)
@@ -116,7 +128,25 @@ func NewNet(cfg NetConfig) *Net {
 	for i, spec := range cfg.Stations {
 		n.addStation(pkt.NodeID(int(StationID)+i), spec, staCfg)
 	}
+	for name, w := range cfg.StationWeights {
+		st := n.stationByName(name)
+		if st == nil {
+			panic(fmt.Sprintf("exp: StationWeights names unknown station %q (stations: %s)",
+				name, strings.Join(n.StationNames(), ", ")))
+		}
+		n.AP.SetStationWeight(st.APView, w)
+	}
 	return n
+}
+
+// stationByName returns the station with the given name, or nil.
+func (n *Net) stationByName(name string) *Station {
+	for _, st := range n.Stations {
+		if st.Name == name {
+			return st
+		}
+	}
+	return nil
 }
 
 // downlink feeds packets arriving from the wire into the AP's transmit
@@ -124,7 +154,10 @@ func NewNet(cfg NetConfig) *Net {
 func (n *Net) downlink(p *pkt.Packet) { n.AP.Input(p) }
 
 func (n *Net) addStation(id pkt.NodeID, spec StationSpec, cfg mac.Config) {
-	node := mac.NewNode(n.Env, id, spec.Name, cfg)
+	node, err := mac.NewNode(n.Env, id, spec.Name, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("exp: building station %s: %v", spec.Name, err))
+	}
 	host := traffic.NewHost(n.Sim, id, node.Input)
 	node.Deliver = host.Deliver
 	apView := n.AP.AddStation(node, spec.Rate)

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"repro/internal/campaign"
 	"repro/internal/mac"
@@ -16,19 +17,16 @@ import (
 // point on its own simulator world, with the seed the engine derived for
 // that run, so the engine can shard the whole matrix freely.
 
-// allSchemes includes the DTT comparison baseline next to the paper's
-// four configurations.
-var allSchemes = append(append([]mac.Scheme{}, mac.Schemes...), mac.SchemeDTT)
-
-// ParseScheme resolves a scheme's display name ("FIFO", "FQ-CoDel",
-// "FQ-MAC", "Airtime", "DTT").
+// ParseScheme resolves a scheme's registered name ("FIFO", "FQ-CoDel",
+// "FQ-MAC", "Airtime", "DTT", plus anything added via
+// mac.RegisterScheme, e.g. "Airtime-RR" and "Weighted-Airtime").
+// Matching is case-insensitive.
 func ParseScheme(name string) (mac.Scheme, error) {
-	for _, s := range allSchemes {
-		if s.String() == name {
-			return s, nil
-		}
+	if s, ok := mac.SchemeByName(name); ok {
+		return s, nil
 	}
-	return 0, fmt.Errorf("unknown scheme %q", name)
+	return 0, fmt.Errorf("unknown scheme %q (registered: %s)",
+		name, strings.Join(mac.SchemeNames(), ", "))
 }
 
 func schemeNames(schemes []mac.Scheme) []string {
@@ -276,6 +274,35 @@ func NewRegistry() *campaign.Registry {
 			plt := webRep(ctxRun(ctx), cfg)
 			m := campaign.NewMetrics()
 			addDist(m, "plt-ms", &plt)
+			return m, nil
+		},
+	})
+
+	r.Register(&campaign.Scenario{
+		Name: "weighted-udp",
+		Desc: "airtime shares under per-station weights (Weighted-Airtime scheme)",
+		Axes: []campaign.Axis{
+			{Name: "scheme", Values: []string{"Weighted-Airtime"}}, // sweep: any registered scheme
+			{Name: "slow-weight", Values: []string{"2"}},           // sweep: 0.5,1,2,4
+		},
+		Run: func(ctx campaign.Ctx) (*campaign.Metrics, error) {
+			scheme, err := ctxScheme(ctx)
+			if err != nil {
+				return nil, err
+			}
+			w, err := strconv.ParseFloat(ctx.Param("slow-weight"), 64)
+			if err != nil || !(w > 0) {
+				return nil, fmt.Errorf("bad slow-weight %q", ctx.Param("slow-weight"))
+			}
+			res := udpRep(ctxRun(ctx), UDPConfig{
+				Scheme: scheme, RateBps: 50e6,
+				Weights: map[string]float64{"slow": w},
+			})
+			m := campaign.NewMetrics()
+			for i, name := range res.Names {
+				m.Add("share-"+name, res.Shares[i])
+				m.Add("goodput-mbps-"+name, res.Goodput[i]/1e6)
+			}
 			return m, nil
 		},
 	})

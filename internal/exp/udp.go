@@ -16,6 +16,10 @@ type UDPConfig struct {
 	Run     RunConfig
 	Scheme  mac.Scheme
 	RateBps float64 // offered load per station (default 50 Mbps)
+
+	// Weights assigns relative airtime weights by station name (only
+	// weight-honouring schemes such as Weighted-Airtime react).
+	Weights map[string]float64
 }
 
 // UDPResult reports per-station airtime shares, goodput and mean
@@ -32,9 +36,10 @@ type UDPResult struct {
 // udpRep executes one repetition on its own world.
 func udpRep(run RunConfig, cfg UDPConfig) *UDPResult {
 	n := NewNet(NetConfig{
-		Seed:     run.Seed,
-		Scheme:   cfg.Scheme,
-		Stations: DefaultStations(),
+		Seed:           run.Seed,
+		Scheme:         cfg.Scheme,
+		Stations:       DefaultStations(),
+		StationWeights: cfg.Weights,
 	})
 	sinks := make([]*sinkRef, len(n.Stations))
 	for i, st := range n.Stations {

@@ -18,15 +18,25 @@ type rig struct {
 	received map[pkt.NodeID][]*pkt.Packet
 }
 
+// mustNode is NewNode for tests with a known-registered scheme.
+func mustNode(t testing.TB, env *Env, id pkt.NodeID, name string, cfg Config) *Node {
+	t.Helper()
+	n, err := NewNode(env, id, name, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
 func newRig(t *testing.T, apCfg Config, rates ...phy.Rate) *rig {
 	t.Helper()
 	s := sim.New(1)
 	r := &rig{s: s, env: NewEnv(s), received: make(map[pkt.NodeID][]*pkt.Packet)}
-	r.ap = NewNode(r.env, 1, "ap", apCfg)
+	r.ap = mustNode(t, r.env, 1, "ap", apCfg)
 	r.ap.Deliver = func(p *pkt.Packet) { r.received[1] = append(r.received[1], p) }
 	for i, rate := range rates {
 		id := pkt.NodeID(10 + i)
-		sta := NewNode(r.env, id, "sta", Config{Scheme: SchemeFIFO})
+		sta := mustNode(t, r.env, id, "sta", Config{Scheme: SchemeFIFO})
 		sta.Deliver = func(p *pkt.Packet) { r.received[id] = append(r.received[id], p) }
 		r.ap.AddStation(sta, rate)
 		sta.AddStation(r.ap, rate)
@@ -446,7 +456,7 @@ func TestStationChurn(t *testing.T) {
 
 		// A new station joins and gets traffic.
 		id := pkt.NodeID(30)
-		sta := NewNode(r.env, id, "late", Config{Scheme: SchemeFIFO})
+		sta := mustNode(t, r.env, id, "late", Config{Scheme: SchemeFIFO})
 		sta.Deliver = func(p *pkt.Packet) { r.received[id] = append(r.received[id], p) }
 		r.ap.AddStation(sta, phy.MCS(7, true))
 		sta.AddStation(r.ap, phy.MCS(7, true))

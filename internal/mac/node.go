@@ -1,28 +1,35 @@
 // Package mac models the 802.11n MAC layer and the Linux WiFi transmit
 // path it hosts: EDCA channel access over a shared medium, A-MPDU
-// aggregation with block acknowledgement and retries, a two-deep hardware
-// queue per access category, and — selectable per node — the four queueing
-// configurations the paper evaluates (Scheme).
+// aggregation with block acknowledgement and retries, and a two-deep
+// hardware queue per access category.
+//
+// The transmit path between Input and aggregation is pluggable: a scheme
+// composes a queue substrate (TxQueueing) with an optional station
+// scheduler (sched.StationScheduler), and nodes resolve their scheme
+// through a registry (RegisterScheme). The five configurations the paper
+// evaluates are registered at init; further schemes register themselves
+// without touching this package.
 package mac
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/airtime"
 	"repro/internal/channel"
-	"repro/internal/dtt"
-	"repro/internal/fqcodel"
 	"repro/internal/mactid"
 	"repro/internal/minstrel"
 	"repro/internal/phy"
 	"repro/internal/pkt"
 	"repro/internal/qdisc"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
-// Scheme selects the queue management configuration of a node, matching
-// the four setups of §4.
+// Scheme identifies one registered queue-management configuration of a
+// node. The zero value is SchemeFIFO; values beyond the five paper
+// schemes come from RegisterScheme.
 type Scheme int
 
 const (
@@ -44,16 +51,17 @@ const (
 	SchemeDTT
 )
 
-var schemeNames = [...]string{"FIFO", "FQ-CoDel", "FQ-MAC", "Airtime", "DTT"}
-
+// String returns the scheme's registered name.
 func (s Scheme) String() string {
-	if int(s) < len(schemeNames) {
-		return schemeNames[s]
+	if info, ok := lookupScheme(s); ok {
+		return info.name
 	}
 	return fmt.Sprintf("Scheme(%d)", int(s))
 }
 
-// Schemes lists all four configurations in the paper's presentation order.
+// Schemes lists the four configurations of the paper's §4 evaluation in
+// its presentation order. The DTT baseline and anything added later are
+// not part of this list; AllSchemes covers every registered scheme.
 var Schemes = []Scheme{SchemeFIFO, SchemeFQCoDel, SchemeFQMAC, SchemeAirtimeFQ}
 
 // Config parameterises a node's MAC and queueing behaviour. The zero value
@@ -145,9 +153,8 @@ type Node struct {
 	env *Env
 	cfg Config
 
-	qdiscs [pkt.NumACs]qdisc.Qdisc // qdisc-backed schemes only
-	fq     *mactid.Fq              // integrated structure, FQ-MAC/Airtime/DTT
-	sched  [pkt.NumACs]Scheduler   // nil for the unscheduled schemes
+	queue TxQueueing                         // the scheme's queue substrate
+	sched [pkt.NumACs]sched.StationScheduler // nil for the unscheduled schemes
 
 	stations     map[pkt.NodeID]*Station
 	stationOrder []*Station
@@ -156,9 +163,8 @@ type Node struct {
 	rr    [pkt.NumACs][]*tidState
 	rrIdx [pkt.NumACs]int
 
-	txqs      [pkt.NumACs]*txq
-	driverLen int // packets held in driver buf_q across all TIDs
-	reorder   map[reorderKey]*reorderState
+	txqs    [pkt.NumACs]*txq
+	reorder map[reorderKey]*reorderState
 
 	// Deliver receives every packet that arrives over the air for this
 	// node's upper layers. Must be set before traffic flows.
@@ -174,9 +180,15 @@ type Node struct {
 }
 
 // NewNode creates a node with the given queueing scheme and attaches it to
-// the environment's medium.
-func NewNode(env *Env, id pkt.NodeID, name string, cfg Config) *Node {
+// the environment's medium. The scheme must be registered (the five paper
+// schemes always are; see RegisterScheme).
+func NewNode(env *Env, id pkt.NodeID, name string, cfg Config) (*Node, error) {
 	cfg.fill()
+	info, ok := lookupScheme(cfg.Scheme)
+	if !ok {
+		return nil, fmt.Errorf("mac: unknown scheme %v (registered: %s)",
+			cfg.Scheme, strings.Join(sortedSchemeNames(), ", "))
+	}
 	n := &Node{ID: id, Name: name, env: env, cfg: cfg,
 		stations: make(map[pkt.NodeID]*Station),
 		reorder:  make(map[reorderKey]*reorderState)}
@@ -184,37 +196,13 @@ func NewNode(env *Env, id pkt.NodeID, name string, cfg Config) *Node {
 		n.txqs[ac] = &txq{node: n, ac: pkt.AC(ac), par: EDCA(pkt.AC(ac))}
 		n.txqs[ac].resetCW()
 	}
-	switch cfg.Scheme {
-	case SchemeFIFO:
-		for ac := range n.qdiscs {
-			n.qdiscs[ac] = qdisc.NewPFIFO(cfg.QdiscLimit)
-		}
-	case SchemeFQCoDel:
-		for ac := range n.qdiscs {
-			n.qdiscs[ac] = fqcodel.New(fqcodel.Config{
-				Flows: cfg.FQFlows, Limit: cfg.FQLimit,
-				Clock: env.Sim.Now,
-			})
-		}
-	case SchemeFQMAC, SchemeAirtimeFQ, SchemeDTT:
-		n.fq = mactid.New(mactid.Config{Flows: cfg.FQFlows, Limit: cfg.FQLimit})
+	n.queue = info.comp.Queueing(n)
+	if f := info.comp.Scheduler; f != nil {
 		for ac := 0; ac < pkt.NumACs; ac++ {
-			switch cfg.Scheme {
-			case SchemeAirtimeFQ:
-				n.sched[ac] = newAirtimeSched(&airtime.Scheduler{
-					Quantum:   cfg.AirtimeQuantum,
-					SparseOpt: !cfg.DisableSparse,
-				}, pkt.AC(ac))
-			case SchemeDTT:
-				n.sched[ac] = newDTTSched(&dtt.Scheduler{
-					Quantum: cfg.AirtimeQuantum,
-				}, pkt.AC(ac))
-			}
+			n.sched[ac] = f(n, pkt.AC(ac))
 		}
-	default:
-		panic(fmt.Sprintf("mac: unknown scheme %v", cfg.Scheme))
 	}
-	return n
+	return n, nil
 }
 
 // Config returns the node's effective configuration.
@@ -223,16 +211,30 @@ func (n *Node) Config() Config { return n.cfg }
 // Scheme returns the node's queueing scheme.
 func (n *Node) Scheme() Scheme { return n.cfg.Scheme }
 
-// FqStats exposes the integrated queue structure (nil unless FQ-MAC or
-// Airtime scheme).
-func (n *Node) FqStats() *mactid.Fq { return n.fq }
+// Queueing exposes the node's queue substrate.
+func (n *Node) Queueing() TxQueueing { return n.queue }
 
-// Qdisc exposes the qdisc of an access category (nil for FQ-MAC/Airtime).
-func (n *Node) Qdisc(ac pkt.AC) qdisc.Qdisc { return n.qdiscs[ac] }
+// FqStats exposes the integrated queue structure (nil unless the node's
+// substrate is the integrated per-TID FQ-CoDel structure).
+func (n *Node) FqStats() *mactid.Fq {
+	if s, ok := n.queue.(*integratedQueueing); ok {
+		return s.fq
+	}
+	return nil
+}
 
-// StationScheduler exposes the per-AC station scheduler (nil unless the
-// Airtime or DTT scheme is active).
-func (n *Node) StationScheduler(ac pkt.AC) Scheduler { return n.sched[ac] }
+// Qdisc exposes the qdisc of an access category (nil for the integrated
+// substrate).
+func (n *Node) Qdisc(ac pkt.AC) qdisc.Qdisc {
+	if s, ok := n.queue.(*qdiscQueueing); ok {
+		return s.qdiscs[ac]
+	}
+	return nil
+}
+
+// StationScheduler exposes the per-AC station scheduler (nil for the
+// unscheduled schemes).
+func (n *Node) StationScheduler(ac pkt.AC) sched.StationScheduler { return n.sched[ac] }
 
 // AddStation registers a wireless peer reachable at the given PHY rate and
 // returns its per-peer state. The first peer added becomes the default
@@ -245,13 +247,14 @@ func (n *Node) AddStation(peer *Node, rate phy.Rate) *Station {
 	s := &Station{Peer: peer, Rate: rate, owner: n}
 	for ac := 0; ac < pkt.NumACs; ac++ {
 		t := &tidState{sta: s, ac: pkt.AC(ac)}
-		if n.fq != nil {
-			t.fq = n.fq.NewTID()
-		}
+		t.q = n.queue.NewTID(pkt.AC(ac))
 		s.tids[ac] = t
 		n.rr[ac] = append(n.rr[ac], t)
-		tt := t
-		s.air[ac].Backlogged = func() bool { return tt.backlogged() }
+		if sc := n.sched[ac]; sc != nil {
+			tt := t
+			t.schedEntry = sc.Register(func() bool { return tt.backlogged() })
+			t.schedEntry.User = s
+		}
 	}
 	s.updateCodelParams(n.env.Sim.Now())
 	n.stations[peer.ID] = s
@@ -273,6 +276,18 @@ func (n *Node) Station(id pkt.NodeID) *Station { return n.stations[id] }
 func (n *Node) SetRate(s *Station, rate phy.Rate) {
 	s.Rate = rate
 	s.updateCodelParams(n.env.Sim.Now())
+}
+
+// SetStationWeight sets the station's relative airtime weight (0 or 1 =
+// the default equal share). Weights take effect only under schemes whose
+// scheduler honours them (sched.Weighted), such as Weighted-Airtime; the
+// paper's schemes ignore them.
+func (n *Node) SetStationWeight(s *Station, weight float64) {
+	for ac := 0; ac < pkt.NumACs; ac++ {
+		if ws, ok := n.sched[ac].(sched.Weighted); ok && s.tids[ac].schedEntry != nil {
+			ws.SetWeight(s.tids[ac].schedEntry, weight)
+		}
+	}
 }
 
 // EnableAutoRate attaches a link-quality model and a Minstrel-style rate
@@ -323,12 +338,8 @@ func (n *Node) RemoveStation(s *Station) {
 			}
 		}
 		// Drop everything queued for the station.
-		n.driverLen -= t.bufq.Len()
-		t.bufq.Drain(nil)
 		t.retryq.Drain(nil)
-		if t.fq != nil {
-			t.fq.Purge()
-		}
+		t.q.Purge()
 	}
 }
 
@@ -358,46 +369,11 @@ func (n *Node) Input(p *pkt.Packet) {
 	tid := sta.tids[ac]
 	now := n.env.Sim.Now()
 
-	if n.fq != nil {
-		before := n.fq.Drops()
-		tid.fq.Enqueue(p, now)
-		if d := n.fq.Drops() - before; d > 0 {
-			n.InputDrops += d
-			n.trace(trace.Drop, p.Dst, ac, d, "fq-overlimit")
-		}
-		if n.sched[ac] != nil {
-			n.sched[ac].Activate(sta)
-		}
-	} else {
-		if !n.qdiscs[ac].Enqueue(p) {
-			n.InputDrops++
-			n.trace(trace.Drop, p.Dst, ac, p.Size, "qdisc-full")
-		}
-		n.pullQdisc(ac)
+	n.queue.Enqueue(tid.q, p, now)
+	if sc := n.sched[ac]; sc != nil {
+		sc.Activate(tid.schedEntry)
 	}
 	n.schedule(ac)
-}
-
-// pullQdisc drains the qdisc into the per-TID driver queues while the
-// shared driver buffer has room — the unmanaged lower-layer queueing of
-// Figure 2 that defeats qdisc-level AQM.
-func (n *Node) pullQdisc(ac pkt.AC) {
-	q := n.qdiscs[ac]
-	if q == nil {
-		return
-	}
-	for n.driverLen < n.cfg.DriverBuf {
-		p := q.Dequeue()
-		if p == nil {
-			return
-		}
-		sta := n.route(p)
-		if sta == nil {
-			continue
-		}
-		sta.tids[ac].bufq.Push(p)
-		n.driverLen++
-	}
 }
 
 // schedule fills the access category's hardware queue with aggregates and
@@ -418,21 +394,26 @@ func (n *Node) schedule(ac pkt.AC) {
 	}
 }
 
-// nextAggregate picks the TID to serve — via the airtime scheduler or
-// round-robin — and builds one aggregate from it.
+// nextAggregate picks the TID to serve — via the scheme's station
+// scheduler or round-robin — and builds one aggregate from it.
 func (n *Node) nextAggregate(ac pkt.AC) *Aggregate {
 	if sc := n.sched[ac]; sc != nil {
 		for {
-			sta := sc.Next()
-			if sta == nil {
+			e := sc.Next()
+			if e == nil {
 				return nil
+			}
+			sta, ok := e.User.(*Station)
+			if !ok {
+				panic(fmt.Sprintf("mac: scheme %v scheduler returned an entry with no station owner; "+
+					"StationScheduler.Next must return entries obtained from Register", n.cfg.Scheme))
 			}
 			if agg := n.buildAggregate(sta.tids[ac]); agg != nil {
 				return agg
 			}
 		}
 	}
-	n.pullQdisc(ac)
+	n.queue.Refill(ac)
 	lst := n.rr[ac]
 	for i := 0; i < len(lst); i++ {
 		idx := (n.rrIdx[ac] + i) % len(lst)
@@ -473,7 +454,7 @@ func (n *Node) txComplete(q *txq, agg *Aggregate, collided bool, occupied sim.Ti
 		n.trace(trace.TxDone, sta.Peer.ID, q.ac, len(agg.Pkts), note)
 	}
 	if sc := n.sched[q.ac]; sc != nil {
-		sc.ChargeTx(sta, occupied, n.env.Sim.Now()-agg.Built)
+		sc.ChargeTx(agg.TID.schedEntry, occupied, n.env.Sim.Now()-agg.Built)
 	}
 
 	if collided {
@@ -558,7 +539,7 @@ func (n *Node) txComplete(q *txq, agg *Aggregate, collided bool, occupied sim.Ti
 		}
 	}
 	if sc := n.sched[q.ac]; sc != nil && agg.TID.backlogged() {
-		sc.Activate(sta)
+		sc.Activate(agg.TID.schedEntry)
 	}
 
 	if len(delivered) > 0 {
@@ -574,7 +555,7 @@ func (n *Node) receiveAggregate(from *Node, ac pkt.AC, pkts []*pkt.Packet, dur s
 	if sta, ok := n.stations[from.ID]; ok {
 		sta.RxAirtime += dur
 		if sc := n.sched[ac]; sc != nil {
-			sc.ChargeRx(sta, dur)
+			sc.ChargeRx(sta.tids[ac].schedEntry, dur)
 		}
 	}
 	if n.Deliver == nil {
@@ -600,24 +581,19 @@ func (n *Node) trace(kind trace.Kind, peer pkt.NodeID, ac pkt.AC, size int, note
 }
 
 // QueuedPackets reports every packet queued at the node for transmission
-// (qdisc + driver or integrated structure + retry queues), for tests.
+// (queue substrate + retry queues + hardware queues), for tests.
 func (n *Node) QueuedPackets() int {
 	total := 0
 	for ac := 0; ac < pkt.NumACs; ac++ {
-		if n.qdiscs[ac] != nil {
-			total += n.qdiscs[ac].Len()
-		}
+		total += n.queue.UpperLen(pkt.AC(ac))
 		for _, t := range n.rr[ac] {
-			total += t.retryq.Len() + t.bufq.Len()
+			total += t.retryq.Len() + t.q.Len()
 		}
 		if q := n.txqs[ac]; q != nil {
 			for _, agg := range q.hwq {
 				total += len(agg.Pkts)
 			}
 		}
-	}
-	if n.fq != nil {
-		total += n.fq.Len()
 	}
 	return total
 }

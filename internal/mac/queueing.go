@@ -1,0 +1,199 @@
+package mac
+
+import (
+	"repro/internal/codel"
+	"repro/internal/fqcodel"
+	"repro/internal/mactid"
+	"repro/internal/pkt"
+	"repro/internal/qdisc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TIDQueue is the per-(station, TID) face of a TxQueueing substrate: the
+// queue the MAC pops packets from when it builds an aggregate for that
+// station's traffic identifier.
+type TIDQueue interface {
+	// Backlogged reports whether the queue holds packets.
+	Backlogged() bool
+	// Len reports the packets held.
+	Len() int
+	// Pop removes the next packet under the station's CoDel parameters
+	// (substrates without AQM ignore them), or returns nil.
+	Pop(now sim.Time, pa codel.Params) *pkt.Packet
+	// Purge drops everything held (station removal).
+	Purge()
+}
+
+// TxQueueing is the queue substrate of a node's transmit path — the
+// layer between Input and aggregation where packets wait. The three
+// substrates model the paper's configurations: a qdisc (PFIFO or
+// FQ-CoDel) above unmanaged per-TID driver FIFOs sharing one buffer
+// budget (Figure 2), and the integrated per-TID FQ-CoDel structure of
+// §3.1 that replaces both layers. Schemes compose a substrate with an
+// optional station scheduler via RegisterScheme.
+type TxQueueing interface {
+	// NewTID allocates the queue state for a new (station, access
+	// category) pair.
+	NewTID(ac pkt.AC) TIDQueue
+	// Enqueue accepts a packet routed to the given TID queue. Drops are
+	// accounted on the owning node (Node.DropInput).
+	Enqueue(q TIDQueue, p *pkt.Packet, now sim.Time)
+	// Refill tops up the per-TID queues from any upper queue the
+	// substrate keeps: the qdisc substrates pull packets into the driver
+	// FIFOs while the shared buffer budget allows, the integrated
+	// substrate has nothing above its TID queues.
+	Refill(ac pkt.AC)
+	// UpperLen reports packets held above the per-TID queues (the qdisc
+	// backlog; zero for the integrated substrate).
+	UpperLen(ac pkt.AC) int
+}
+
+// DropInput records packets the queue substrate dropped at input: count
+// is added to InputDrops and one drop trace event of the given size is
+// emitted. Exposed for TxQueueing implementations.
+func (n *Node) DropInput(dst pkt.NodeID, ac pkt.AC, size int, note string, count int) {
+	n.InputDrops += count
+	n.trace(trace.Drop, dst, ac, size, note)
+}
+
+// --- Qdisc-over-driver-FIFOs substrate -----------------------------------
+
+// qdiscQueueing models the stock transmit path of Figure 2: a qdisc per
+// access category feeding per-TID driver FIFOs that share one buffer
+// budget. The unmanaged lower-layer queueing is what defeats qdisc-level
+// AQM in the paper's baseline measurements.
+type qdiscQueueing struct {
+	n         *Node
+	qdiscs    [pkt.NumACs]qdisc.Qdisc
+	driverLen int // packets held in driver buf_q across all TIDs
+}
+
+// NewFIFOQueueing returns the unmodified-stack substrate: a PFIFO qdisc
+// above the driver FIFOs.
+func NewFIFOQueueing(n *Node) TxQueueing {
+	s := &qdiscQueueing{n: n}
+	for ac := range s.qdiscs {
+		s.qdiscs[ac] = qdisc.NewPFIFO(n.cfg.QdiscLimit)
+	}
+	return s
+}
+
+// NewFQCoDelQueueing returns the second baseline: an FQ-CoDel qdisc
+// above the (still unmanaged) driver FIFOs.
+func NewFQCoDelQueueing(n *Node) TxQueueing {
+	s := &qdiscQueueing{n: n}
+	for ac := range s.qdiscs {
+		s.qdiscs[ac] = fqcodel.New(fqcodel.Config{
+			Flows: n.cfg.FQFlows, Limit: n.cfg.FQLimit,
+			Clock: n.env.Sim.Now,
+		})
+	}
+	return s
+}
+
+// fifoTIDQueue is one TID's driver FIFO (buf_q of Figure 2).
+type fifoTIDQueue struct {
+	s    *qdiscQueueing
+	bufq pkt.Queue
+}
+
+func (s *qdiscQueueing) NewTID(pkt.AC) TIDQueue { return &fifoTIDQueue{s: s} }
+
+func (s *qdiscQueueing) Enqueue(_ TIDQueue, p *pkt.Packet, _ sim.Time) {
+	ac := p.AC
+	if !s.qdiscs[ac].Enqueue(p) {
+		s.n.DropInput(p.Dst, ac, p.Size, "qdisc-full", 1)
+	}
+	s.Refill(ac)
+}
+
+// Refill drains the qdisc into the per-TID driver queues while the
+// shared driver buffer has room.
+func (s *qdiscQueueing) Refill(ac pkt.AC) {
+	q := s.qdiscs[ac]
+	if q == nil {
+		return
+	}
+	for s.driverLen < s.n.cfg.DriverBuf {
+		p := q.Dequeue()
+		if p == nil {
+			return
+		}
+		sta := s.n.route(p)
+		if sta == nil {
+			continue
+		}
+		sta.tids[ac].q.(*fifoTIDQueue).bufq.Push(p)
+		s.driverLen++
+	}
+}
+
+func (s *qdiscQueueing) UpperLen(ac pkt.AC) int { return s.qdiscs[ac].Len() }
+
+func (q *fifoTIDQueue) Backlogged() bool { return !q.bufq.Empty() }
+
+func (q *fifoTIDQueue) Len() int { return q.bufq.Len() }
+
+func (q *fifoTIDQueue) Pop(sim.Time, codel.Params) *pkt.Packet {
+	p := q.bufq.Pop()
+	if p != nil {
+		q.s.driverLen--
+	}
+	return p
+}
+
+func (q *fifoTIDQueue) Purge() {
+	q.s.driverLen -= q.bufq.Len()
+	q.bufq.Drain(nil)
+}
+
+// --- Integrated per-TID FQ-CoDel substrate -------------------------------
+
+// integratedQueueing is the paper's §3.1 structure: the qdisc layer is
+// bypassed and every TID queues in one shared mactid.Fq.
+type integratedQueueing struct {
+	n  *Node
+	fq *mactid.Fq
+}
+
+// NewIntegratedQueueing returns the integrated per-TID FQ-CoDel
+// substrate of §3.1.
+func NewIntegratedQueueing(n *Node) TxQueueing {
+	return &integratedQueueing{
+		n:  n,
+		fq: mactid.New(mactid.Config{Flows: n.cfg.FQFlows, Limit: n.cfg.FQLimit}),
+	}
+}
+
+// fqTIDQueue is one TID's view onto the shared structure.
+type fqTIDQueue struct {
+	s   *integratedQueueing
+	tid *mactid.TID
+}
+
+func (s *integratedQueueing) NewTID(pkt.AC) TIDQueue {
+	return &fqTIDQueue{s: s, tid: s.fq.NewTID()}
+}
+
+func (s *integratedQueueing) Enqueue(q TIDQueue, p *pkt.Packet, now sim.Time) {
+	before := s.fq.Drops()
+	q.(*fqTIDQueue).tid.Enqueue(p, now)
+	if d := s.fq.Drops() - before; d > 0 {
+		s.n.DropInput(p.Dst, p.AC, d, "fq-overlimit", d)
+	}
+}
+
+func (s *integratedQueueing) Refill(pkt.AC) {}
+
+func (s *integratedQueueing) UpperLen(pkt.AC) int { return 0 }
+
+func (q *fqTIDQueue) Backlogged() bool { return q.tid.Backlogged() }
+
+func (q *fqTIDQueue) Len() int { return q.tid.Len() }
+
+func (q *fqTIDQueue) Pop(now sim.Time, pa codel.Params) *pkt.Packet {
+	return q.tid.Dequeue(now, pa)
+}
+
+func (q *fqTIDQueue) Purge() { q.tid.Purge() }

@@ -18,9 +18,9 @@ func TestReorderPropertyUnderLoss(t *testing.T) {
 		for seed := uint64(1); seed <= 3; seed++ {
 			s := sim.New(seed)
 			env := NewEnv(s)
-			ap := NewNode(env, 1, "ap", Config{Scheme: SchemeFQMAC, PerMPDULoss: loss})
+			ap := mustNode(t, env, 1, "ap", Config{Scheme: SchemeFQMAC, PerMPDULoss: loss})
 			var got []int64
-			sta := NewNode(env, 10, "sta", Config{Scheme: SchemeFIFO})
+			sta := mustNode(t, env, 10, "sta", Config{Scheme: SchemeFIFO})
 			sta.Deliver = func(p *pkt.Packet) { got = append(got, p.SeqNo) }
 			ap.Deliver = func(*pkt.Packet) {}
 			ap.AddStation(sta, phy.MCS(3, true))
@@ -58,7 +58,7 @@ func TestReorderTimeoutSkipsPermanentHole(t *testing.T) {
 	env := NewEnv(s)
 	// Retry limit 0 effectively: limit 1 + high loss targeted — instead
 	// construct the gap directly through the reorder API.
-	ap := NewNode(env, 1, "ap", Config{Scheme: SchemeFQMAC})
+	ap := mustNode(t, env, 1, "ap", Config{Scheme: SchemeFQMAC})
 	var got []int
 	ap.Deliver = func(p *pkt.Packet) { got = append(got, p.MacSeq) }
 	key := reorderKey{src: 99, tid: 0}

@@ -1,112 +1,11 @@
 package mac
 
-import (
-	"repro/internal/airtime"
-	"repro/internal/dtt"
-	"repro/internal/pkt"
-	"repro/internal/sim"
-)
+import "repro/internal/sched"
 
-// Scheduler abstracts the per-access-category station scheduler so the
-// paper's deficit scheduler (§3.2) and the DTT comparison baseline
-// (Garroppo et al., the closest prior work per §5) are interchangeable.
-type Scheduler interface {
-	// Activate notifies that st has become backlogged on this category.
-	Activate(st *Station)
-	// Next picks the station to build the next aggregate, or nil.
-	Next() *Station
-	// ChargeTx accounts a completed transmission to st. air is the time
-	// actually spent on the medium; wall is the time from aggregate
-	// submission to completion (including queueing and contention).
-	ChargeTx(st *Station, air, wall sim.Time)
-	// ChargeRx accounts a received transmission's airtime to st.
-	ChargeRx(st *Station, air sim.Time)
-}
-
-// airtimeSched adapts airtime.Scheduler (which works on embedded
-// airtime.Station entries) to the Scheduler interface. It charges actual
-// airtime for both directions — the paper's accuracy improvement over
-// DTT.
-type airtimeSched struct {
-	inner *airtime.Scheduler
-	ac    pkt.AC
-	owner map[*airtime.Station]*Station
-}
-
-func newAirtimeSched(inner *airtime.Scheduler, ac pkt.AC) *airtimeSched {
-	return &airtimeSched{inner: inner, ac: ac, owner: make(map[*airtime.Station]*Station)}
-}
-
-func (a *airtimeSched) entry(st *Station) *airtime.Station {
-	e := &st.air[a.ac]
-	if _, ok := a.owner[e]; !ok {
-		a.owner[e] = st
-	}
-	return e
-}
-
-func (a *airtimeSched) Activate(st *Station) { a.inner.Activate(a.entry(st)) }
-
-func (a *airtimeSched) Next() *Station {
-	e := a.inner.Next()
-	if e == nil {
-		return nil
-	}
-	return a.owner[e]
-}
-
-func (a *airtimeSched) ChargeTx(st *Station, air, _ sim.Time) {
-	a.inner.ChargeTx(a.entry(st), air)
-}
-
-func (a *airtimeSched) ChargeRx(st *Station, air sim.Time) {
-	a.inner.ChargeRx(a.entry(st), air)
-}
-
-// dttSched adapts the DTT scheduler. Faithful to the original proposal,
-// it charges the wall-clock time from submission to completion (which
-// includes time spent waiting for other stations — the inaccuracy the
-// paper's §3.2 calls out) and does not account received airtime.
-type dttSched struct {
-	inner *dtt.Scheduler
-	ac    pkt.AC
-	owner map[*dtt.Entry]*Station
-	entry map[*Station]*dtt.Entry
-}
-
-func newDTTSched(inner *dtt.Scheduler, ac pkt.AC) *dttSched {
-	return &dttSched{
-		inner: inner, ac: ac,
-		owner: make(map[*dtt.Entry]*Station),
-		entry: make(map[*Station]*dtt.Entry),
-	}
-}
-
-func (d *dttSched) get(st *Station) *dtt.Entry {
-	e, ok := d.entry[st]
-	if !ok {
-		ac := d.ac
-		e = d.inner.Register(func() bool { return st.tids[ac].backlogged() })
-		d.entry[st] = e
-		d.owner[e] = st
-	}
-	return e
-}
-
-func (d *dttSched) Activate(st *Station) { d.inner.Activate(d.get(st)) }
-
-func (d *dttSched) Next() *Station {
-	e := d.inner.Next()
-	if e == nil {
-		return nil
-	}
-	return d.owner[e]
-}
-
-func (d *dttSched) ChargeTx(st *Station, _, wall sim.Time) {
-	d.inner.Charge(d.get(st), wall)
-}
-
-func (d *dttSched) ChargeRx(*Station, sim.Time) {
-	// DTT only accounts transmissions it schedules.
-}
+// Scheduler is the station-scheduler interface of the pluggable transmit
+// path, kept as an alias of sched.StationScheduler for compatibility
+// with pre-registry callers. The concrete policies — the paper's deficit
+// airtime scheduler, the DTT comparison baseline and the round-robin
+// baseline — live in package sched; schemes bind one via the Scheduler
+// factory of their Composition.
+type Scheduler = sched.StationScheduler

@@ -1,13 +1,12 @@
 package mac
 
 import (
-	"repro/internal/airtime"
 	"repro/internal/channel"
 	"repro/internal/codel"
-	"repro/internal/mactid"
 	"repro/internal/minstrel"
 	"repro/internal/phy"
 	"repro/internal/pkt"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -28,7 +27,6 @@ type Station struct {
 
 	owner *Node
 	tids  [pkt.NumACs]*tidState
-	air   [pkt.NumACs]airtime.Station
 
 	codelPa      codel.Params
 	codelSlow    bool
@@ -118,11 +116,14 @@ type tidState struct {
 	sta *Station
 	ac  pkt.AC
 
-	// FQ-MAC / Airtime-FQ modes: the shared integrated structure.
-	fq *mactid.TID
+	// q is the TID's queue within the scheme's substrate: a driver FIFO
+	// under the qdisc substrates (buf_q of Figure 2), a TID view of the
+	// shared structure under the integrated substrate.
+	q TIDQueue
 
-	// FIFO / FQ-CoDel-qdisc modes: the driver's FIFO (buf_q of Figure 2).
-	bufq pkt.Queue
+	// schedEntry is the TID's handle in the scheme's station scheduler
+	// (nil for the unscheduled schemes).
+	schedEntry *sched.Entry
 
 	// All modes: MPDUs awaiting retransmission (retry_q of Figure 2).
 	retryq pkt.Queue
@@ -136,36 +137,22 @@ type tidState struct {
 // backlogged reports whether the TID can contribute packets to an
 // aggregate right now.
 func (t *tidState) backlogged() bool {
-	if !t.retryq.Empty() || !t.bufq.Empty() {
-		return true
-	}
-	return t.fq != nil && t.fq.Backlogged()
+	return !t.retryq.Empty() || t.q.Backlogged()
 }
 
 // queuedPackets reports the number of packets queued on this TID
-// (excluding the shared fq structure's other TIDs).
+// (excluding the substrate's upper queues and other TIDs).
 func (t *tidState) queuedPackets() int {
-	n := t.retryq.Len() + t.bufq.Len()
-	if t.fq != nil {
-		n += t.fq.Len()
-	}
-	return n
+	return t.retryq.Len() + t.q.Len()
 }
 
 // pop removes the next packet for aggregation, consulting the retry queue
-// first, then the mode-appropriate backing queue.
+// first, then the TID's substrate queue.
 func (t *tidState) pop(now sim.Time) *pkt.Packet {
 	if p := t.retryq.Pop(); p != nil {
 		return p
 	}
-	if t.fq != nil {
-		return t.fq.Dequeue(now, t.sta.codelPa)
-	}
-	p := t.bufq.Pop()
-	if p != nil {
-		t.sta.owner.driverLen--
-	}
-	return p
+	return t.q.Pop(now, t.sta.codelPa)
 }
 
 // Aggregate is one built A-MPDU (or single MPDU for VO/legacy) awaiting
@@ -241,11 +228,10 @@ func (n *Node) buildAggregate(t *tidState) *Aggregate {
 		}
 		agg.Groups = append(agg.Groups, group)
 		agg.FrameBytes = newBytes
-		// In the qdisc-backed modes the driver refills its buffer as it
-		// drains, preserving the shared-space dynamics of Figure 2.
-		if t.fq == nil && n.qdiscs[t.ac] != nil {
-			n.pullQdisc(t.ac)
-		}
+		// Under the qdisc substrates the driver refills its buffer as it
+		// drains, preserving the shared-space dynamics of Figure 2; the
+		// integrated substrate has nothing to refill.
+		n.queue.Refill(t.ac)
 	}
 	if len(agg.Pkts) == 0 {
 		return nil

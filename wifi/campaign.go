@@ -38,6 +38,7 @@ func DeriveSeed(base uint64, scenario string, point, rep int) uint64 {
 	return campaign.DeriveSeed(base, scenario, point, rep)
 }
 
-// ParseScheme resolves a scheme display name ("FIFO", "FQ-CoDel",
-// "FQ-MAC", "Airtime", "DTT") to its Scheme value.
+// ParseScheme resolves a registered scheme name ("FIFO", "FQ-CoDel",
+// "FQ-MAC", "Airtime", "DTT", "Airtime-RR", "Weighted-Airtime", or any
+// scheme added via RegisterScheme) to its Scheme value.
 func ParseScheme(name string) (Scheme, error) { return exp.ParseScheme(name) }

@@ -1,0 +1,108 @@
+package wifi_test
+
+import (
+	"testing"
+
+	"repro/wifi"
+)
+
+// TestCustomSchemeEndToEnd: a scheme registered through the public
+// facade — never seen by internal/mac — runs a full testbed simulation
+// through Testbed.Run, resolves by name, and is sweepable through the
+// campaign engine.
+func TestCustomSchemeEndToEnd(t *testing.T) {
+	scheme := wifi.RegisterScheme("test-wifi-custom", wifi.Composition{
+		Desc:     "integrated queueing + round-robin scheduler, registered via the wifi facade",
+		Queueing: wifi.NewIntegratedQueueing,
+		Scheduler: func(_ *wifi.Node, _ wifi.AC) wifi.StationScheduler {
+			return wifi.NewRoundRobinScheduler()
+		},
+	})
+
+	if got, ok := wifi.SchemeByName("TEST-WIFI-CUSTOM"); !ok || got != scheme {
+		t.Fatalf("SchemeByName = %v, %v; want %v, true", got, ok, scheme)
+	}
+	if _, err := wifi.ParseScheme("test-wifi-custom"); err != nil {
+		t.Fatalf("ParseScheme: %v", err)
+	}
+	found := false
+	for _, s := range wifi.AllSchemes() {
+		if s == scheme {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered scheme missing from AllSchemes")
+	}
+
+	tb := wifi.NewTestbed(wifi.TestbedConfig{
+		Seed:     3,
+		Scheme:   scheme,
+		Stations: wifi.DefaultStations(),
+	})
+	sinks := make([]interface{ GoodputBps() float64 }, 0, 3)
+	for _, st := range tb.Stations() {
+		sinks = append(sinks, tb.DownloadUDP(st, 30e6))
+	}
+	tb.Run(5 * wifi.Second)
+
+	var total float64
+	for _, s := range sinks {
+		total += s.GoodputBps()
+	}
+	if total < 10e6 {
+		t.Fatalf("custom scheme moved only %.1f Mbps, want a working transmit path", total/1e6)
+	}
+	shares := tb.AirtimeShares()
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("airtime shares = %v, want a partition of 1", shares)
+	}
+
+	// The scheme sweeps through the campaign engine by name.
+	res, err := wifi.NewScenarioRegistry().Execute(wifi.Plan{
+		Scenarios: []string{"udp"},
+		Overrides: map[string][]string{
+			"scheme":    {"test-wifi-custom"},
+			"rate-mbps": {"20"},
+		},
+		Reps:     1,
+		Duration: wifi.Second,
+		Warmup:   wifi.Second / 2,
+		BaseSeed: 5,
+	})
+	if err != nil {
+		t.Fatalf("campaign sweep over custom scheme: %v", err)
+	}
+	if len(res.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(res.Cells))
+	}
+}
+
+// TestWeightedTestbed: TestbedConfig.Weights skews airtime under the
+// Weighted-Airtime scheme and is inert under the paper's Airtime scheme.
+func TestWeightedTestbed(t *testing.T) {
+	slowShare := func(scheme wifi.Scheme) float64 {
+		tb := wifi.NewTestbed(wifi.TestbedConfig{
+			Seed:     2,
+			Scheme:   scheme,
+			Stations: wifi.DefaultStations(),
+			Weights:  map[string]float64{"slow": 2},
+		})
+		for _, st := range tb.Stations() {
+			tb.DownloadUDP(st, 50e6)
+		}
+		tb.Run(8 * wifi.Second)
+		return tb.AirtimeShares()[2]
+	}
+
+	if s := slowShare(wifi.SchemeWeightedAirtime); s < 0.45 || s > 0.55 {
+		t.Errorf("slow share under Weighted-Airtime weight 2 = %.3f, want ~0.50", s)
+	}
+	if s := slowShare(wifi.SchemeAirtimeFQ); s < 0.28 || s > 0.38 {
+		t.Errorf("slow share under Airtime with ignored weight = %.3f, want ~0.33", s)
+	}
+}

@@ -35,11 +35,14 @@ import (
 	"repro/internal/traffic"
 )
 
-// Scheme selects the queue-management configuration of the access point —
-// the four setups of the paper's evaluation.
+// Scheme selects the queue-management configuration of the access point.
+// The five paper schemes below are always registered; further schemes
+// come from RegisterScheme (see compose.go) and resolve by name through
+// SchemeByName or ParseScheme.
 type Scheme = mac.Scheme
 
-// The four schemes, in the paper's presentation order.
+// The five pre-registered paper schemes, in the paper's presentation
+// order (plus the DTT comparison baseline).
 const (
 	// SchemeFIFO is the unmodified stack: a 1000-packet PFIFO qdisc above
 	// unmanaged per-TID driver FIFOs.
@@ -59,8 +62,17 @@ const (
 	SchemeDTT = mac.SchemeDTT
 )
 
-// Schemes lists all four configurations.
+// Schemes lists the four configurations of the paper's §4 evaluation.
+// AllSchemes covers every registered scheme, including the Airtime-RR
+// and Weighted-Airtime extensions.
 var Schemes = mac.Schemes
+
+// The extension schemes registered by the experiment layer: the
+// round-robin ablation and the weighted airtime policy knob.
+var (
+	SchemeAirtimeRR       = exp.SchemeAirtimeRR
+	SchemeWeightedAirtime = exp.SchemeWeightedAirtime
+)
 
 // Time re-exports the simulator's nanosecond time base.
 type Time = sim.Time
@@ -102,6 +114,11 @@ type TestbedConfig struct {
 	Stations   []StationSpec
 	WiredDelay Time // server-AP one-way delay (default 1 ms)
 
+	// Weights assigns relative airtime weights by station name. Only
+	// weight-honouring schemes (Weighted-Airtime) react; the paper's
+	// schemes ignore them.
+	Weights map[string]float64
+
 	// MAC lets advanced users override access-point queueing parameters
 	// (aggregation caps, CoDel thresholds, airtime quantum, MPDU loss).
 	MAC mac.Config
@@ -118,11 +135,12 @@ type Station = exp.Station
 // NewTestbed builds a testbed.
 func NewTestbed(cfg TestbedConfig) *Testbed {
 	return &Testbed{net: exp.NewNet(exp.NetConfig{
-		Seed:       cfg.Seed,
-		Scheme:     cfg.Scheme,
-		Stations:   cfg.Stations,
-		WiredDelay: cfg.WiredDelay,
-		AP:         cfg.MAC,
+		Seed:           cfg.Seed,
+		Scheme:         cfg.Scheme,
+		Stations:       cfg.Stations,
+		WiredDelay:     cfg.WiredDelay,
+		AP:             cfg.MAC,
+		StationWeights: cfg.Weights,
 	})}
 }
 
