@@ -254,3 +254,28 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		exp.RunUDP(exp.UDPConfig{Run: benchRun(i), Scheme: mac.SchemeAirtimeFQ})
 	}
 }
+
+// BenchmarkAllocsPerPacket measures the steady-state cost of moving one
+// packet through each transmit-path scheme on the cmd/bench workload
+// (3-station UDP floods plus a ping). Run with -benchmem: allocs/op and
+// B/op divided by the reported pkts/op give the per-packet figures that
+// BENCH_3.json records; the pooled lifecycles keep them near zero.
+func BenchmarkAllocsPerPacket(b *testing.B) {
+	schemes := append(append([]mac.Scheme{}, mac.Schemes...), mac.SchemeDTT)
+	for _, scheme := range schemes {
+		scheme := scheme
+		b.Run(scheme.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var pkts, events int64
+			for i := 0; i < b.N; i++ {
+				c := exp.RunBenchWorld(exp.BenchWorldConfig{
+					Scheme: scheme, Seed: uint64(i) + 1, Duration: 3 * sim.Second,
+				})
+				pkts += c.Packets
+				events += int64(c.Events)
+			}
+			b.ReportMetric(float64(pkts)/float64(b.N), "pkts/op")
+			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+		})
+	}
+}

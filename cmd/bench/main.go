@@ -1,0 +1,177 @@
+// Command bench measures the simulator's per-packet cost — wall-clock
+// nanoseconds, heap allocations and bytes per simulated packet — for each
+// transmit-path scheme, and writes the results as a JSON artifact
+// (BENCH_3.json). It is the repo's performance trajectory: CI runs it in
+// quick mode on every push, and the committed artifact records the
+// measurement the README's perf table is built from.
+//
+// Usage:
+//
+//	go run ./cmd/bench            # full measurement, writes BENCH_3.json
+//	go run ./cmd/bench -quick     # short CI mode
+//	go run ./cmd/bench -schemes Airtime,FIFO -dur 5 -out bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/sim"
+)
+
+// preRefactorBaseline is the measurement taken at the commit before the
+// allocation-free-hot-path refactor (PR 3), on the same workload
+// RunBenchWorld drives (3-station UDP@50Mbps + ping, Airtime scheme,
+// 3 s simulated): 235157 allocs and 14384696 heap bytes over 37543
+// MAC-input packets. It is the denominator for the reduction figures.
+var preRefactorBaseline = Baseline{
+	Scheme:       "Airtime",
+	AllocsPerPkt: 6.263,
+	BytesPerPkt:  383.2,
+	NsPerPkt:     881.7,
+	Note:         "pre-refactor (commit 3993ad8), same workload, 3 s simulated",
+}
+
+// Baseline is a recorded reference measurement.
+type Baseline struct {
+	Scheme       string  `json:"scheme"`
+	AllocsPerPkt float64 `json:"allocs_per_pkt"`
+	BytesPerPkt  float64 `json:"bytes_per_pkt"`
+	NsPerPkt     float64 `json:"ns_per_pkt"`
+	Note         string  `json:"note"`
+}
+
+// SchemeResult is one scheme's measurement.
+type SchemeResult struct {
+	Scheme string `json:"scheme"`
+
+	NsPerPkt     float64 `json:"ns_per_pkt"`
+	AllocsPerPkt float64 `json:"allocs_per_pkt"`
+	BytesPerPkt  float64 `json:"bytes_per_pkt"`
+	EventsPerPkt float64 `json:"events_per_pkt"`
+
+	PacketsPerOp int64 `json:"packets_per_op"`
+	EventsPerOp  int64 `json:"events_per_op"`
+	NsPerOp      int64 `json:"ns_per_op"`
+	AllocsPerOp  int64 `json:"allocs_per_op"`
+	BytesPerOp   int64 `json:"bytes_per_op"`
+
+	// Pool effectiveness: fraction of packet requests served from the
+	// free list, and packets still live at the end of the run.
+	PoolReusePct float64 `json:"pool_reuse_pct"`
+	LivePackets  int64   `json:"live_packets"`
+
+	// Reduction of allocs per packet against the recorded pre-refactor
+	// baseline (only meaningful on the baseline's scheme, reported for
+	// all).
+	AllocReductionPct float64 `json:"alloc_reduction_vs_baseline_pct"`
+}
+
+// Artifact is the BENCH_3.json document.
+type Artifact struct {
+	Bench    string         `json:"bench"`
+	Quick    bool           `json:"quick"`
+	Config   Config         `json:"config"`
+	Baseline Baseline       `json:"baseline"`
+	Schemes  []SchemeResult `json:"schemes"`
+}
+
+// Config records the workload parameters of the run.
+type Config struct {
+	Stations  int     `json:"stations"`
+	RateMbps  float64 `json:"rate_mbps"`
+	SimulateS float64 `json:"simulated_seconds"`
+	TCP       bool    `json:"tcp"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "short CI mode (1 s simulated per iteration)")
+	out := flag.String("out", "BENCH_3.json", "output artifact path (\"-\" for stdout)")
+	durS := flag.Float64("dur", 3, "simulated seconds per iteration")
+	schemesCSV := flag.String("schemes", "FIFO,FQ-CoDel,FQ-MAC,Airtime,DTT",
+		"comma-separated scheme names to measure")
+	withTCP := flag.Bool("tcp", false, "add bulk TCP downloads to the workload")
+	flag.Parse()
+
+	if *quick {
+		*durS = 1
+	}
+	dur := sim.Time(*durS * float64(sim.Second))
+
+	art := Artifact{
+		Bench:    "cmd/bench",
+		Quick:    *quick,
+		Config:   Config{Stations: 3, RateMbps: 50, SimulateS: *durS, TCP: *withTCP},
+		Baseline: preRefactorBaseline,
+	}
+
+	for _, name := range strings.Split(*schemesCSV, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		scheme, err := exp.ParseScheme(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		var last exp.BenchCounters
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				last = exp.RunBenchWorld(exp.BenchWorldConfig{
+					Scheme: scheme, Seed: uint64(i) + 1,
+					Duration: dur, TCP: *withTCP,
+				})
+			}
+		})
+		pkts := float64(last.Packets)
+		sr := SchemeResult{
+			Scheme:       name,
+			NsPerPkt:     round3(float64(res.NsPerOp()) / pkts),
+			AllocsPerPkt: round3(float64(res.AllocsPerOp()) / pkts),
+			BytesPerPkt:  round3(float64(res.AllocedBytesPerOp()) / pkts),
+			EventsPerPkt: round3(float64(last.Events) / pkts),
+			PacketsPerOp: last.Packets,
+			EventsPerOp:  int64(last.Events),
+			NsPerOp:      res.NsPerOp(),
+			AllocsPerOp:  res.AllocsPerOp(),
+			BytesPerOp:   res.AllocedBytesPerOp(),
+			LivePackets:  last.LivePackets,
+		}
+		if last.PoolGets > 0 {
+			sr.PoolReusePct = round3(100 * float64(last.PoolGets-last.PoolNews) / float64(last.PoolGets))
+		}
+		if preRefactorBaseline.AllocsPerPkt > 0 {
+			sr.AllocReductionPct = round3(100 * (1 - sr.AllocsPerPkt/preRefactorBaseline.AllocsPerPkt))
+		}
+		art.Schemes = append(art.Schemes, sr)
+		fmt.Fprintf(os.Stderr, "%-10s %8.1f ns/pkt %7.3f allocs/pkt %8.1f B/pkt  (pool reuse %.1f%%, alloc reduction %.1f%%)\n",
+			name, sr.NsPerPkt, sr.AllocsPerPkt, sr.BytesPerPkt, sr.PoolReusePct, sr.AllocReductionPct)
+	}
+
+	buf, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}

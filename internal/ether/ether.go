@@ -22,6 +22,11 @@ type Link struct {
 	// DeliverA and DeliverB receive packets arriving at each end.
 	DeliverA func(*pkt.Packet)
 	DeliverB func(*pkt.Packet)
+
+	// Shared delivery trampolines, built once so the per-packet
+	// scheduling path allocates no closures.
+	deliverACall func(any)
+	deliverBCall func(any)
 }
 
 type half struct {
@@ -40,19 +45,22 @@ func NewLink(s *sim.Sim, rate float64, delay sim.Time) *Link {
 	if rate <= 0 {
 		rate = GigabitRate
 	}
-	return &Link{sim: s, rate: rate, delay: delay}
+	l := &Link{sim: s, rate: rate, delay: delay}
+	l.deliverACall = func(v any) { l.DeliverA(v.(*pkt.Packet)) }
+	l.deliverBCall = func(v any) { l.DeliverB(v.(*pkt.Packet)) }
+	return l
 }
 
 // Delay returns the configured one-way propagation delay.
 func (l *Link) Delay() sim.Time { return l.delay }
 
 // SendAToB transmits p from the A side toward B.
-func (l *Link) SendAToB(p *pkt.Packet) { l.send(&l.aToB, p, func(q *pkt.Packet) { l.DeliverB(q) }) }
+func (l *Link) SendAToB(p *pkt.Packet) { l.send(&l.aToB, p, l.deliverBCall) }
 
 // SendBToA transmits p from the B side toward A.
-func (l *Link) SendBToA(p *pkt.Packet) { l.send(&l.bToA, p, func(q *pkt.Packet) { l.DeliverA(q) }) }
+func (l *Link) SendBToA(p *pkt.Packet) { l.send(&l.bToA, p, l.deliverACall) }
 
-func (l *Link) send(h *half, p *pkt.Packet, deliver func(*pkt.Packet)) {
+func (l *Link) send(h *half, p *pkt.Packet, deliver func(any)) {
 	now := l.sim.Now()
 	start := h.busyUntil
 	if start < now {
@@ -62,5 +70,5 @@ func (l *Link) send(h *half, p *pkt.Packet, deliver func(*pkt.Packet)) {
 	h.busyUntil = start + txTime
 	h.Bytes += int64(p.Size)
 	h.Packets++
-	l.sim.At(h.busyUntil+l.delay, func() { deliver(p) })
+	l.sim.AtCall(h.busyUntil+l.delay, deliver, p)
 }

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"repro/internal/mac"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// BenchCounters are the normalisation counters cmd/bench and the root
+// benchmarks divide wall-clock and allocation figures by.
+type BenchCounters struct {
+	Packets     int64  // packets entering a MAC transmit path (all nodes)
+	PoolGets    int64  // packets handed out by the world's pool
+	PoolNews    int64  // pool gets that had to heap-allocate
+	LivePackets int64  // packets still held when the run stopped
+	Events      uint64 // simulator events executed
+	EventAllocs uint64 // events heap-allocated (vs recycled)
+}
+
+// BenchWorldConfig configures one benchmark world.
+type BenchWorldConfig struct {
+	Scheme   mac.Scheme
+	Seed     uint64
+	Duration sim.Time // total simulated time (default 3 s)
+	RateBps  float64  // per-station UDP load (default 50 Mbps)
+	TCP      bool     // add a bulk TCP download per station
+}
+
+// RunBenchWorld builds the paper's 3-station testbed, drives it with the
+// standard saturating workload (per-station UDP floods plus a ping, and
+// optionally bulk TCP), runs it for the configured simulated time and
+// returns the counters. One call is one benchmark iteration.
+func RunBenchWorld(cfg BenchWorldConfig) BenchCounters {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * sim.Second
+	}
+	if cfg.RateBps <= 0 {
+		cfg.RateBps = 50e6
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	n := NewNet(NetConfig{Seed: cfg.Seed, Scheme: cfg.Scheme, Stations: DefaultStations()})
+	for _, st := range n.Stations {
+		n.DownloadUDP(st, cfg.RateBps, pkt.ACBE)
+		if cfg.TCP {
+			n.DownloadTCP(st, pkt.ACBE)
+		}
+	}
+	n.Ping(n.Stations[0], 0, 1)
+	n.Run(cfg.Duration)
+
+	var c BenchCounters
+	c.Packets = n.AP.InputPackets
+	for _, st := range n.Stations {
+		c.Packets += st.Node.InputPackets
+	}
+	ps := pkt.PoolOf(n.Sim).Stats()
+	c.PoolGets = ps.Gets
+	c.PoolNews = ps.News
+	c.LivePackets = ps.Live()
+	c.Events = n.Sim.EventsRun()
+	c.EventAllocs = n.Sim.EventsAllocated()
+	return c
+}

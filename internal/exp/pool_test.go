@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/mac"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// TestPoolingOnOffIdenticalArtifacts runs a mixed TCP/UDP/VoIP campaign
+// with packet pooling disabled and enabled and asserts the artifacts are
+// byte-identical: recycling object memory must never change simulated
+// behaviour.
+func TestPoolingOnOffIdenticalArtifacts(t *testing.T) {
+	plan := campaign.Plan{
+		Scenarios: []string{"udp", "latency", "voip"},
+		Overrides: map[string][]string{
+			"scheme":   {"FIFO", "FQ-CoDel", "Airtime"},
+			"qos":      {"BE"},
+			"delay-ms": {"5"},
+		},
+		Reps:     2,
+		Duration: 1 * sim.Second,
+		Warmup:   sim.Second / 2,
+		BaseSeed: 5,
+		Workers:  4,
+	}
+	run := func() string {
+		res, err := NewRegistry().Execute(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%x", sha256.Sum256(buf.Bytes()))
+	}
+
+	pkt.SetPooling(false)
+	defer pkt.SetPooling(true)
+	off := run()
+	pkt.SetPooling(true)
+	on := run()
+	if on != off {
+		t.Fatalf("campaign artifacts diverge with pooling on (%s) vs off (%s)", on, off)
+	}
+}
+
+// TestPoolNoLeakAtDrain runs a mixed TCP/UDP/VoIP/ping world under every
+// paper scheme, stops all sources, drains the event queue completely and
+// asserts the live-packet count returns to zero: every packet the
+// simulation created was released at exactly one sink.
+func TestPoolNoLeakAtDrain(t *testing.T) {
+	for _, scheme := range append(append([]mac.Scheme{}, mac.Schemes...), mac.SchemeDTT) {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			t.Parallel()
+			n := NewNet(NetConfig{Seed: 77, Scheme: scheme, Stations: DefaultStations()})
+			var stops []func()
+			for _, st := range n.Stations {
+				src, _ := n.DownloadUDP(st, 30e6, pkt.ACBE)
+				stops = append(stops, src.Stop)
+				vsrc, _ := n.VoIPDown(st, pkt.ACVO)
+				stops = append(stops, vsrc.Stop)
+				// A finite TCP download through the full handshake.
+				conn := tcp.NewConn(tcp.Options{
+					Client: n.ServerTC, Server: st.TCP, AC: pkt.ACBE, Flow: n.Flow(),
+				})
+				n.Server.Register(conn.Flow(), conn.Client().Input)
+				st.Host.Register(conn.Flow(), conn.Server().Input)
+				conn.Open()
+				conn.Client().SendData(200 << 10)
+			}
+			p := n.Ping(n.Stations[0], 0, 1)
+			stops = append(stops, p.Stop)
+
+			n.Run(2 * sim.Second)
+			for _, stop := range stops {
+				stop()
+			}
+			// Drain: with the sources stopped every queued packet either
+			// delivers or drops, and both paths release to the pool.
+			n.Sim.Run(100_000_000)
+			if pending := n.Sim.Pending(); pending != 0 {
+				t.Fatalf("%d events still pending after drain", pending)
+			}
+			st := pkt.PoolOf(n.Sim).Stats()
+			if st.Live() != 0 {
+				t.Fatalf("%d packets leaked at drain (gets=%d puts=%d)",
+					st.Live(), st.Gets, st.Puts)
+			}
+			if st.Gets == 0 {
+				t.Fatal("world moved no packets")
+			}
+		})
+	}
+}

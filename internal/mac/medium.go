@@ -20,6 +20,15 @@ type txq struct {
 	contending bool // registered with the medium
 }
 
+// popHW removes the head aggregate, shifting in place so the short
+// backing array is reused forever.
+func (t *txq) popHW() {
+	n := len(t.hwq)
+	copy(t.hwq, t.hwq[1:])
+	t.hwq[n-1] = nil
+	t.hwq = t.hwq[:n-1]
+}
+
 func (t *txq) aifs() sim.Time { return t.par.AIFS() }
 
 // drawBackoff picks a fresh uniform backoff in [0, cw].
@@ -44,12 +53,20 @@ type Medium struct {
 	sim *sim.Sim
 
 	contenders []*txq
-	accessEv   *sim.Event
+	accessEv   sim.EventRef
 	idleStart  sim.Time
 	txActive   bool
 	busyUntil  sim.Time
 
-	inFlight []*grantEntry
+	// inFlight holds the current transmission's entries; only one
+	// transmission is on the air at a time, so the completion event reads
+	// it in place — no per-grant copy. The remaining slices are grant()
+	// scratch, reused across grants.
+	inFlight     []grantEntry
+	completeCall func(any)
+	winners      []*txq
+	virtLosers   []*txq
+	real         []*txq
 
 	// Observer, when non-nil, is invoked for every completed air
 	// transmission — the hook monitor-mode capture devices attach to.
@@ -82,7 +99,9 @@ type grantEntry struct {
 
 // NewMedium creates the channel for one simulation.
 func NewMedium(s *sim.Sim) *Medium {
-	return &Medium{sim: s}
+	m := &Medium{sim: s}
+	m.completeCall = func(any) { m.complete() }
+	return m
 }
 
 // request registers q for channel access. Idempotent while contending.
@@ -141,9 +160,9 @@ func (m *Medium) readyAt(c *txq) sim.Time {
 
 // reschedule recomputes the next channel-access event.
 func (m *Medium) reschedule() {
-	if m.accessEv != nil {
+	if m.accessEv.Valid() {
 		m.sim.Cancel(m.accessEv)
-		m.accessEv = nil
+		m.accessEv = sim.EventRef{}
 	}
 	if m.txActive || len(m.contenders) == 0 {
 		return
@@ -166,15 +185,16 @@ func (m *Medium) reschedule() {
 // grant fires when the earliest contender's backoff expires: it resolves
 // winners, starts their transmissions and schedules completion.
 func (m *Medium) grant() {
-	m.accessEv = nil
+	m.accessEv = sim.EventRef{}
 	now := m.sim.Now()
 
-	var winners []*txq
+	winners := m.winners[:0]
 	for _, c := range m.contenders {
 		if m.readyAt(c) <= now {
 			winners = append(winners, c)
 		}
 	}
+	m.winners = winners
 	if len(winners) == 0 {
 		m.reschedule()
 		return
@@ -202,37 +222,42 @@ func (m *Medium) grant() {
 	}
 
 	// Virtual (intra-node) collisions: the highest AC of a node transmits,
-	// lower ones behave as if they collided.
-	byNode := make(map[*Node]*txq, len(winners))
-	var virtLosers []*txq
+	// lower ones behave as if they collided. real keeps one winner per
+	// node in first-seen order.
+	real := m.real[:0]
+	virtLosers := m.virtLosers[:0]
 	for _, w := range winners {
-		cur, ok := byNode[w.node]
-		if !ok {
-			byNode[w.node] = w
+		idx := -1
+		for i, r := range real {
+			if r.node == w.node {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			real = append(real, w)
 			continue
 		}
-		if w.ac > cur.ac {
-			virtLosers = append(virtLosers, cur)
-			byNode[w.node] = w
+		if w.ac > real[idx].ac {
+			virtLosers = append(virtLosers, real[idx])
+			real[idx] = w
 		} else {
 			virtLosers = append(virtLosers, w)
 		}
 	}
+	m.virtLosers = virtLosers
 	for _, l := range virtLosers {
 		l.bumpCW()
 		l.drawBackoff(m.sim.Rand())
 	}
 
-	real := make([]*txq, 0, len(byNode))
-	for _, w := range byNode {
-		real = append(real, w)
-	}
-	// Deterministic order (map iteration is random): sort by node id, AC.
+	// Deterministic order: sort by node id, AC.
 	for i := 1; i < len(real); i++ {
 		for j := i; j > 0 && less(real[j], real[j-1]); j-- {
 			real[j], real[j-1] = real[j-1], real[j]
 		}
 	}
+	m.real = real
 
 	collided := len(real) > 1
 	if collided {
@@ -259,12 +284,13 @@ func (m *Medium) grant() {
 		if e := now + occupied; e > end {
 			end = e
 		}
-		m.inFlight = append(m.inFlight, &grantEntry{
+		m.inFlight = append(m.inFlight, grantEntry{
 			q: w, agg: agg, collided: collided, occupied: occupied,
 		})
 	}
 	// Remove actual transmitters from the contender list for the duration.
-	for _, g := range m.inFlight {
+	for gi := range m.inFlight {
+		g := &m.inFlight[gi]
 		for i, c := range m.contenders {
 			if c == g.q {
 				m.contenders = append(m.contenders[:i], m.contenders[i+1:]...)
@@ -281,9 +307,10 @@ func (m *Medium) grant() {
 	m.txActive = true
 	m.busyUntil = end
 	m.BusyTime += end - now
-	flight := make([]*grantEntry, len(m.inFlight))
-	copy(flight, m.inFlight)
-	m.sim.At(end, func() { m.complete(flight) })
+	// Only one transmission occupies the air at a time, so complete()
+	// reads m.inFlight directly — the next grant cannot fire before the
+	// completion event has run.
+	m.sim.AtCall(end, m.completeCall, nil)
 }
 
 func less(a, b *txq) bool {
@@ -295,10 +322,11 @@ func less(a, b *txq) bool {
 
 // complete finishes the in-flight transmissions, delivers their packets
 // and restarts contention.
-func (m *Medium) complete(flight []*grantEntry) {
+func (m *Medium) complete() {
 	m.txActive = false
 	m.idleStart = m.sim.Now()
-	for _, g := range flight {
+	for i := range m.inFlight {
+		g := &m.inFlight[i]
 		if m.Observer != nil {
 			var bytes int
 			for _, p := range g.agg.Pkts {
@@ -311,6 +339,7 @@ func (m *Medium) complete(flight []*grantEntry) {
 			})
 		}
 		g.q.node.txComplete(g.q, g.agg, g.collided, g.occupied)
+		g.agg = nil // the aggregate may be recycled now
 	}
 	m.reschedule()
 }

@@ -166,6 +166,14 @@ type Node struct {
 	txqs    [pkt.NumACs]*txq
 	reorder map[reorderKey]*reorderState
 
+	// pool is the world's packet pool; the node releases packets it
+	// terminates (drops at enqueue, retry-limit drops, purges) into it.
+	pool *pkt.Pool
+	// aggFree recycles Aggregate shells, and deliveredScratch is the
+	// reusable buffer txComplete collects successful MPDUs into.
+	aggFree          []*Aggregate
+	deliveredScratch []*pkt.Packet
+
 	// Deliver receives every packet that arrives over the air for this
 	// node's upper layers. Must be set before traffic flows.
 	Deliver func(*pkt.Packet)
@@ -191,7 +199,8 @@ func NewNode(env *Env, id pkt.NodeID, name string, cfg Config) (*Node, error) {
 	}
 	n := &Node{ID: id, Name: name, env: env, cfg: cfg,
 		stations: make(map[pkt.NodeID]*Station),
-		reorder:  make(map[reorderKey]*reorderState)}
+		reorder:  make(map[reorderKey]*reorderState),
+		pool:     pkt.PoolOf(env.Sim)}
 	for ac := 0; ac < pkt.NumACs; ac++ {
 		n.txqs[ac] = &txq{node: n, ac: pkt.AC(ac), par: EDCA(pkt.AC(ac))}
 		n.txqs[ac].resetCW()
@@ -203,6 +212,28 @@ func NewNode(env *Env, id pkt.NodeID, name string, cfg Config) (*Node, error) {
 		}
 	}
 	return n, nil
+}
+
+// freePkt releases a packet the node terminated back to the world pool.
+func (n *Node) freePkt(p *pkt.Packet) { n.pool.Put(p) }
+
+// getAggregate pops a recycled aggregate shell or allocates a fresh one.
+func (n *Node) getAggregate() *Aggregate {
+	if k := len(n.aggFree); k > 0 {
+		a := n.aggFree[k-1]
+		n.aggFree[k-1] = nil
+		n.aggFree = n.aggFree[:k-1]
+		return a
+	}
+	return &Aggregate{}
+}
+
+// putAggregate resets a retired aggregate and returns it to the free
+// list. The caller must be done with every field — the shell may be
+// reused by the very next buildAggregate.
+func (n *Node) putAggregate(a *Aggregate) {
+	a.reset()
+	n.aggFree = append(n.aggFree, a)
 }
 
 // Config returns the node's effective configuration.
@@ -338,7 +369,7 @@ func (n *Node) RemoveStation(s *Station) {
 			}
 		}
 		// Drop everything queued for the station.
-		t.retryq.Drain(nil)
+		t.retryq.Drain(n.freePkt)
 		t.q.Purge()
 	}
 }
@@ -361,6 +392,7 @@ func (n *Node) Input(p *pkt.Packet) {
 	if sta == nil {
 		n.InputDrops++
 		n.trace(trace.Drop, p.Dst, p.AC, p.Size, "no-route")
+		n.freePkt(p)
 		return
 	}
 	n.trace(trace.Enqueue, p.Dst, p.AC, p.Size, "")
@@ -467,9 +499,13 @@ func (n *Node) txComplete(q *txq, agg *Aggregate, collided bool, occupied sim.Ti
 				n.RetryDrops++
 				sta.DropPackets++
 				dropped = true
+				n.freePkt(p)
 				continue
 			}
 			keep = append(keep, p)
+		}
+		for i := len(keep); i < len(agg.Pkts); i++ {
+			agg.Pkts[i] = nil
 		}
 		agg.Pkts = keep
 		if len(agg.Pkts) > 0 {
@@ -478,10 +514,10 @@ func (n *Node) txComplete(q *txq, agg *Aggregate, collided bool, occupied sim.Ti
 			// recomputing (conservatively, as singleton MPDUs).
 			if dropped {
 				agg.FrameBytes = 0
-				agg.Groups = agg.Groups[:0]
-				for _, p := range agg.Pkts {
+				agg.groupEnd = agg.groupEnd[:0]
+				for i, p := range agg.Pkts {
 					agg.FrameBytes += mpduLen(p.Size, agg.Rate)
-					agg.Groups = append(agg.Groups, []*pkt.Packet{p})
+					agg.groupEnd = append(agg.groupEnd, i+1)
 				}
 				agg.DataDur = phy.DataDurBytes(agg.FrameBytes, agg.Rate)
 				agg.TotalDur = agg.DataDur + phy.AckDur(agg.Rate)
@@ -489,12 +525,13 @@ func (n *Node) txComplete(q *txq, agg *Aggregate, collided bool, occupied sim.Ti
 			n.schedule(q.ac)
 			return
 		}
-		q.hwq = q.hwq[1:]
+		q.popHW()
+		n.putAggregate(agg)
 		n.schedule(q.ac)
 		return
 	}
 
-	q.hwq = q.hwq[1:]
+	q.popHW()
 	rng := n.env.Sim.Rand()
 	// Per-MPDU success: the flat configured loss probability plus, when a
 	// channel model is attached, rate-dependent link errors. With A-MSDU
@@ -503,9 +540,10 @@ func (n *Node) txComplete(q *txq, agg *Aggregate, collided bool, occupied sim.Ti
 	if sta.Channel != nil {
 		succProb *= sta.Channel.SuccessProb(agg.Rate)
 	}
-	var delivered []*pkt.Packet
+	delivered := n.deliveredScratch[:0]
 	anyFailed := false
-	for _, group := range agg.Groups {
+	for gi := 0; gi < agg.NumGroups(); gi++ {
+		group := agg.Group(gi)
 		ok := succProb >= 1 || rng.Float64() < succProb
 		if ok {
 			for _, p := range group {
@@ -522,11 +560,13 @@ func (n *Node) txComplete(q *txq, agg *Aggregate, collided bool, occupied sim.Ti
 			if p.Retries > n.cfg.RetryLimit {
 				n.RetryDrops++
 				sta.DropPackets++
+				n.freePkt(p)
 				continue
 			}
 			agg.TID.retryq.Push(p)
 		}
 	}
+	n.deliveredScratch = delivered // keep grown capacity for next time
 	if anyFailed {
 		q.bumpCW()
 	} else {
@@ -538,12 +578,14 @@ func (n *Node) txComplete(q *txq, agg *Aggregate, collided bool, occupied sim.Ti
 			n.SetRate(sta, rc.CurrentRate())
 		}
 	}
-	if sc := n.sched[q.ac]; sc != nil && agg.TID.backlogged() {
-		sc.Activate(agg.TID.schedEntry)
+	tid, totalDur := agg.TID, agg.TotalDur
+	n.putAggregate(agg)
+	if sc := n.sched[q.ac]; sc != nil && tid.backlogged() {
+		sc.Activate(tid.schedEntry)
 	}
 
 	if len(delivered) > 0 {
-		sta.Peer.receiveAggregate(n, q.ac, delivered, agg.TotalDur)
+		sta.Peer.receiveAggregate(n, q.ac, delivered, totalDur)
 	}
 	n.schedule(q.ac)
 }

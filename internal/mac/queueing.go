@@ -66,7 +66,9 @@ func (n *Node) DropInput(dst pkt.NodeID, ac pkt.AC, size int, note string, count
 type qdiscQueueing struct {
 	n         *Node
 	qdiscs    [pkt.NumACs]qdisc.Qdisc
-	driverLen int // packets held in driver buf_q across all TIDs
+	driverLen int  // packets held in driver buf_q across all TIDs
+	hooked    bool // the qdiscs release dropped packets themselves
+	refilling bool // guards the cross-AC refill against recursion
 }
 
 // NewFIFOQueueing returns the unmodified-stack substrate: a PFIFO qdisc
@@ -80,13 +82,15 @@ func NewFIFOQueueing(n *Node) TxQueueing {
 }
 
 // NewFQCoDelQueueing returns the second baseline: an FQ-CoDel qdisc
-// above the (still unmanaged) driver FIFOs.
+// above the (still unmanaged) driver FIFOs. Packets the discipline drops
+// (CoDel or overlimit) are released through its drop hook.
 func NewFQCoDelQueueing(n *Node) TxQueueing {
-	s := &qdiscQueueing{n: n}
+	s := &qdiscQueueing{n: n, hooked: true}
 	for ac := range s.qdiscs {
 		s.qdiscs[ac] = fqcodel.New(fqcodel.Config{
 			Flows: n.cfg.FQFlows, Limit: n.cfg.FQLimit,
-			Clock: n.env.Sim.Now,
+			Clock:    n.env.Sim.Now,
+			DropHook: n.freePkt,
 		})
 	}
 	return s
@@ -101,32 +105,66 @@ type fifoTIDQueue struct {
 func (s *qdiscQueueing) NewTID(pkt.AC) TIDQueue { return &fifoTIDQueue{s: s} }
 
 func (s *qdiscQueueing) Enqueue(_ TIDQueue, p *pkt.Packet, _ sim.Time) {
-	ac := p.AC
+	ac, dst, size := p.AC, p.Dst, p.Size
 	if !s.qdiscs[ac].Enqueue(p) {
-		s.n.DropInput(p.Dst, ac, p.Size, "qdisc-full", 1)
+		s.n.DropInput(dst, ac, size, "qdisc-full", 1)
+		if !s.hooked {
+			// PFIFO rejects without storing; the hooked disciplines
+			// release rejected packets through their drop hook.
+			s.n.freePkt(p)
+		}
 	}
 	s.Refill(ac)
 }
 
-// Refill drains the qdisc into the per-TID driver queues while the
-// shared driver buffer has room.
-func (s *qdiscQueueing) Refill(ac pkt.AC) {
+// refillAC drains one AC's qdisc into the driver FIFOs while the shared
+// driver buffer has room, reporting the packets pulled.
+func (s *qdiscQueueing) refillAC(ac pkt.AC) int {
 	q := s.qdiscs[ac]
 	if q == nil {
-		return
+		return 0
 	}
+	pulled := 0
 	for s.driverLen < s.n.cfg.DriverBuf {
 		p := q.Dequeue()
 		if p == nil {
-			return
+			break
 		}
 		sta := s.n.route(p)
 		if sta == nil {
+			s.n.freePkt(p)
 			continue
 		}
 		sta.tids[ac].q.(*fifoTIDQueue).bufq.Push(p)
 		s.driverLen++
+		pulled++
 	}
+	return pulled
+}
+
+// Refill drains the requested AC's qdisc into the per-TID driver queues
+// while the shared driver buffer has room, then opportunistically tops
+// up the other access categories — the driver pulls from every qdisc
+// whenever buffer space frees, so a backlogged AC must not strand in its
+// qdisc just because its own traffic went quiet. An AC that gains
+// packets this way is kicked so its hardware queue fills. (For runs with
+// a single active AC the cross-AC pass finds every other qdisc empty and
+// is a no-op.)
+func (s *qdiscQueueing) Refill(ac pkt.AC) {
+	s.refillAC(ac)
+	if s.refilling {
+		return
+	}
+	s.refilling = true
+	for o := 0; o < pkt.NumACs; o++ {
+		if pkt.AC(o) == ac {
+			continue
+		}
+		if s.refillAC(pkt.AC(o)) > 0 {
+			s.n.schedule(pkt.AC(o))
+		}
+	}
+	s.refilling = false
 }
 
 func (s *qdiscQueueing) UpperLen(ac pkt.AC) int { return s.qdiscs[ac].Len() }
@@ -145,7 +183,7 @@ func (q *fifoTIDQueue) Pop(sim.Time, codel.Params) *pkt.Packet {
 
 func (q *fifoTIDQueue) Purge() {
 	q.s.driverLen -= q.bufq.Len()
-	q.bufq.Drain(nil)
+	q.bufq.Drain(q.s.n.freePkt)
 }
 
 // --- Integrated per-TID FQ-CoDel substrate -------------------------------
@@ -158,11 +196,15 @@ type integratedQueueing struct {
 }
 
 // NewIntegratedQueueing returns the integrated per-TID FQ-CoDel
-// substrate of §3.1.
+// substrate of §3.1. Dropped packets are released through the
+// structure's drop hook.
 func NewIntegratedQueueing(n *Node) TxQueueing {
 	return &integratedQueueing{
-		n:  n,
-		fq: mactid.New(mactid.Config{Flows: n.cfg.FQFlows, Limit: n.cfg.FQLimit}),
+		n: n,
+		fq: mactid.New(mactid.Config{
+			Flows: n.cfg.FQFlows, Limit: n.cfg.FQLimit,
+			DropHook: n.freePkt,
+		}),
 	}
 }
 
@@ -177,10 +219,11 @@ func (s *integratedQueueing) NewTID(pkt.AC) TIDQueue {
 }
 
 func (s *integratedQueueing) Enqueue(q TIDQueue, p *pkt.Packet, now sim.Time) {
+	dst, ac := p.Dst, p.AC // p may be dropped (and released) below
 	before := s.fq.Drops()
 	q.(*fqTIDQueue).tid.Enqueue(p, now)
 	if d := s.fq.Drops() - before; d > 0 {
-		s.n.DropInput(p.Dst, p.AC, d, "fq-overlimit", d)
+		s.n.DropInput(dst, ac, d, "fq-overlimit", d)
 	}
 }
 

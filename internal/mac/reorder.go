@@ -24,7 +24,7 @@ type reorderKey struct {
 type reorderState struct {
 	next    int // next expected sequence number
 	buf     map[int]*pkt.Packet
-	timer   *sim.Event
+	timer   sim.EventRef
 	started bool
 	holeSeq int      // the sequence number the buffer is blocked on
 	holeAt  sim.Time // when that hole appeared
@@ -76,9 +76,9 @@ func (n *Node) reorderFlush(rs *reorderState) {
 func (n *Node) reorderArm(rs *reorderState) {
 	if len(rs.buf) == 0 {
 		rs.holeSeq = -1
-		if rs.timer != nil {
+		if rs.timer.Valid() {
 			n.env.Sim.Cancel(rs.timer)
-			rs.timer = nil
+			rs.timer = sim.EventRef{}
 		}
 		return
 	}
@@ -87,12 +87,12 @@ func (n *Node) reorderArm(rs *reorderState) {
 		// A new hole: restart its age and its timer.
 		rs.holeSeq = rs.next
 		rs.holeAt = now
-		if rs.timer != nil {
+		if rs.timer.Valid() {
 			n.env.Sim.Cancel(rs.timer)
-			rs.timer = nil
+			rs.timer = sim.EventRef{}
 		}
 	}
-	if rs.timer != nil {
+	if rs.timer.Valid() {
 		return
 	}
 	deadline := rs.holeAt + n.cfg.ReorderTimeout
@@ -101,7 +101,7 @@ func (n *Node) reorderArm(rs *reorderState) {
 		wait = 0
 	}
 	rs.timer = n.env.Sim.After(wait, func() {
-		rs.timer = nil
+		rs.timer = sim.EventRef{}
 		if len(rs.buf) == 0 {
 			return
 		}

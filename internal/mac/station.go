@@ -157,11 +157,16 @@ func (t *tidState) pop(now sim.Time) *pkt.Packet {
 
 // Aggregate is one built A-MPDU (or single MPDU for VO/legacy) awaiting
 // transmission in a hardware queue. When two-level (A-MSDU within A-MPDU)
-// aggregation is enabled, each MPDU may bundle several packets; Groups
-// records the bundling, and loss applies per MPDU (per group).
+// aggregation is enabled, each MPDU may bundle several packets; the group
+// boundaries record the bundling, and loss applies per MPDU (per group).
+//
+// Aggregates are recycled through a per-node free list (Node.getAggregate
+// / Node.putAggregate) and keep their slice capacity across reuses, so
+// steady-state aggregation allocates nothing. Group boundaries are end
+// offsets into Pkts rather than sub-slices for the same reason.
 type Aggregate struct {
 	Pkts       []*pkt.Packet
-	Groups     [][]*pkt.Packet // MPDU boundaries; singletons without A-MSDU
+	groupEnd   []int // group i is Pkts[groupEnd[i-1]:groupEnd[i]]
 	TID        *tidState
 	FrameBytes int      // framed body length (sum of MPDU lengths)
 	DataDur    sim.Time // Tphy + body air time
@@ -170,6 +175,26 @@ type Aggregate struct {
 	UseRTS     bool     // protected by an RTS/CTS exchange
 	Built      sim.Time // when the aggregate was submitted to hardware
 	Started    sim.Time // when its (last) air transmission began
+}
+
+// NumGroups reports the number of MPDUs (A-MSDU groups) in the frame.
+func (a *Aggregate) NumGroups() int { return len(a.groupEnd) }
+
+// Group returns the packets of MPDU i.
+func (a *Aggregate) Group(i int) []*pkt.Packet {
+	start := 0
+	if i > 0 {
+		start = a.groupEnd[i-1]
+	}
+	return a.Pkts[start:a.groupEnd[i]]
+}
+
+// reset clears the aggregate for reuse, retaining slice capacity.
+func (a *Aggregate) reset() {
+	for i := range a.Pkts {
+		a.Pkts[i] = nil
+	}
+	*a = Aggregate{Pkts: a.Pkts[:0], groupEnd: a.groupEnd[:0]}
 }
 
 // CollisionCost is the channel time a failed transmission of this
@@ -203,30 +228,33 @@ func (n *Node) buildAggregate(t *tidState) *Aggregate {
 		maxFrames = 1
 	}
 
-	agg := &Aggregate{TID: t, Rate: rate, Built: now}
-	for len(agg.Groups) < maxFrames {
-		group, glen := n.buildMPDU(t, rate, noAggr, now)
-		if group == nil {
+	agg := n.getAggregate()
+	agg.TID, agg.Rate, agg.Built = t, rate, now
+	for agg.NumGroups() < maxFrames {
+		start := len(agg.Pkts)
+		glen := n.buildMPDU(t, agg, rate, noAggr, now)
+		if len(agg.Pkts) == start {
 			break
 		}
 		newBytes := agg.FrameBytes + glen
-		if len(agg.Groups) > 0 {
+		if agg.NumGroups() > 0 {
 			if newBytes > cfg.MaxAggrBytes || phy.DataDurBytes(newBytes, rate) > cfg.MaxAggrDur {
 				// Does not fit: return the group for the next aggregate.
-				for i := len(group) - 1; i >= 0; i-- {
-					t.retryq.PushFront(group[i])
+				for i := len(agg.Pkts) - 1; i >= start; i-- {
+					t.retryq.PushFront(agg.Pkts[i])
+					agg.Pkts[i] = nil
 				}
+				agg.Pkts = agg.Pkts[:start]
 				break
 			}
 		}
-		for _, p := range group {
+		for _, p := range agg.Pkts[start:] {
 			if p.MacSeq == 0 {
 				t.txSeq++
 				p.MacSeq = t.txSeq
 			}
-			agg.Pkts = append(agg.Pkts, p)
 		}
-		agg.Groups = append(agg.Groups, group)
+		agg.groupEnd = append(agg.groupEnd, len(agg.Pkts))
 		agg.FrameBytes = newBytes
 		// Under the qdisc substrates the driver refills its buffer as it
 		// drains, preserving the shared-space dynamics of Figure 2; the
@@ -234,6 +262,7 @@ func (n *Node) buildAggregate(t *tidState) *Aggregate {
 		n.queue.Refill(t.ac)
 	}
 	if len(agg.Pkts) == 0 {
+		n.putAggregate(agg)
 		return nil
 	}
 	agg.DataDur = phy.DataDurBytes(agg.FrameBytes, rate)
@@ -248,20 +277,23 @@ func (n *Node) buildAggregate(t *tidState) *Aggregate {
 // amsduSubframe is the per-packet A-MSDU subframe header (DA/SA/length).
 const amsduSubframe = 14
 
-// buildMPDU assembles the next MPDU: a single packet normally, or an
-// A-MSDU bundle of consecutive packets up to Config.MaxAMSDU bytes when
-// two-level aggregation is on. Returns the packets and the framed MPDU
-// length.
-func (n *Node) buildMPDU(t *tidState, rate phy.Rate, noAggr bool, now sim.Time) ([]*pkt.Packet, int) {
+// buildMPDU assembles the next MPDU directly into agg.Pkts (without
+// recording a group boundary — the caller does that once the MPDU is
+// known to fit): a single packet normally, or an A-MSDU bundle of
+// consecutive packets up to Config.MaxAMSDU bytes when two-level
+// aggregation is on. Returns the framed MPDU length (0 when the TID had
+// nothing to send).
+func (n *Node) buildMPDU(t *tidState, agg *Aggregate, rate phy.Rate, noAggr bool, now sim.Time) int {
 	p := t.pop(now)
 	if p == nil {
-		return nil, 0
+		return 0
 	}
+	agg.Pkts = append(agg.Pkts, p)
 	maxAMSDU := n.cfg.MaxAMSDU
 	if noAggr || maxAMSDU <= 0 {
-		return []*pkt.Packet{p}, mpduLen(p.Size, rate)
+		return mpduLen(p.Size, rate)
 	}
-	group := []*pkt.Packet{p}
+	bundled := 1
 	body := pad4(amsduSubframe + p.Size)
 	for {
 		q := t.peekNext()
@@ -273,13 +305,14 @@ func (n *Node) buildMPDU(t *tidState, rate phy.Rate, noAggr bool, now sim.Time) 
 			break
 		}
 		t.pop(now)
-		group = append(group, q)
+		agg.Pkts = append(agg.Pkts, q)
+		bundled++
 		body += add
 	}
-	if len(group) == 1 {
-		return group, mpduLen(p.Size, rate)
+	if bundled == 1 {
+		return mpduLen(p.Size, rate)
 	}
-	return group, mpduLen(body, rate)
+	return mpduLen(body, rate)
 }
 
 // peekNext returns the TID's next packet without committing to it, or nil.

@@ -18,6 +18,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/pkt"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Capture is one observed transmission (a thin copy of the medium event).
@@ -42,6 +43,11 @@ type Monitor struct {
 	down map[pkt.NodeID]sim.Time // AP -> station
 	up   map[pkt.NodeID]sim.Time // station -> AP
 
+	// txDur accumulates per-transmission air durations (ms) in fixed
+	// memory — the monitor observes every frame of a run, so a
+	// sample-retaining collector would grow with simulated time.
+	txDur stats.Welford
+
 	TotalBusy  sim.Time
 	Frames     int64
 	Collisions int64
@@ -64,6 +70,7 @@ func Attach(env *mac.Env, apID pkt.NodeID, keepLog bool) *Monitor {
 func (m *Monitor) observe(ev mac.TxEvent) {
 	m.TotalBusy += ev.Dur
 	m.Frames += int64(ev.Frames)
+	m.txDur.Add(ev.Dur.Millis())
 	if ev.Collided {
 		m.Collisions++
 	}
@@ -114,6 +121,12 @@ func (m *Monitor) Stations() []pkt.NodeID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// TxDurStats reports the mean and sample standard deviation of observed
+// per-transmission air durations, in milliseconds.
+func (m *Monitor) TxDurStats() (mean, stddev float64) {
+	return m.txDur.Mean(), m.txDur.Stddev()
 }
 
 // Captures returns the retained capture log (nil unless keepLog).

@@ -36,6 +36,22 @@ func TestAirtimeValidationExact(t *testing.T) {
 	if d := n.Env.Medium.BusyTime - mon.TotalBusy; d < 0 || d > 10*sim.Millisecond {
 		t.Errorf("monitor busy %v vs medium busy %v", mon.TotalBusy, n.Env.Medium.BusyTime)
 	}
+	// The streaming per-transmission duration statistics must be
+	// consistent with the exact totals: mean · captures == busy time.
+	mean, stddev := mon.TxDurStats()
+	if mean <= 0 || stddev < 0 {
+		t.Fatalf("TxDurStats = (%v, %v), want positive mean", mean, stddev)
+	}
+	// Grants count at access time, captures at completion, so at most
+	// one transmission (in flight at cutoff) may separate them.
+	if got, want := mon.txDur.N(), int64(n.Env.Medium.Grants); got < want-1 || got > want {
+		t.Errorf("txDur observed %d transmissions, medium granted %d", got, want)
+	}
+	approxBusy := sim.Time(mean * float64(mon.txDur.N()) * float64(sim.Millisecond))
+	if d := approxBusy - mon.TotalBusy; d < -sim.Millisecond || d > sim.Millisecond {
+		t.Errorf("mean tx dur %v ms over %d transmissions = %v, want ~%v",
+			mean, mon.txDur.N(), approxBusy, mon.TotalBusy)
+	}
 }
 
 // TestAirtimeValidationContended reproduces the paper's §4.1.5

@@ -1,6 +1,13 @@
 // Package pkt defines the packet model shared by every layer of the
 // simulated stack: traffic generators, TCP, qdiscs, the 802.11 MAC and the
 // wired segment all exchange *Packet values.
+//
+// Packets follow a single-owner lifecycle: the producer obtains one from
+// the world's Pool (PoolOf), ownership moves with the packet through
+// queues and links, and whichever layer terminates the packet — final
+// delivery at a host, a queue or AQM drop, a retry-limit drop — releases
+// it back to the pool with Put. In steady state the hot path therefore
+// allocates no packet memory at all.
 package pkt
 
 import (
@@ -84,6 +91,9 @@ type TCPHeader struct {
 	Sack   []SackBlock
 	SrcPort,
 	DstPort int
+
+	// sackNext links recycled headers inside a Pool's free list.
+	sackNext *TCPHeader
 }
 
 // Packet is one L3 datagram moving through the simulation. Packets are
@@ -118,17 +128,28 @@ type Packet struct {
 	// Payload sequence metadata for UDP/VoIP loss and jitter accounting.
 	SeqNo int64
 
-	// next links packets inside an intrusive Queue.
+	// next links packets inside an intrusive Queue (and, between Get and
+	// Put, inside a Pool's free list).
 	next *Packet
+	// pooled marks packets currently resting in a Pool, to catch
+	// double releases.
+	pooled bool
 }
 
-// Dup returns a shallow copy of p with a fresh link field. TCP headers are
-// copied so the clone can be modified independently.
+// Dup returns a copy of p with a fresh link field. TCP headers are
+// deep-copied — including the SACK block list, which would otherwise
+// share its backing array with the original — so the clone can be
+// modified independently.
 func (p *Packet) Dup() *Packet {
 	q := *p
 	q.next = nil
+	q.pooled = false
 	if p.TCP != nil {
 		h := *p.TCP
+		h.sackNext = nil
+		if len(p.TCP.Sack) > 0 {
+			h.Sack = append([]SackBlock(nil), p.TCP.Sack...)
+		}
 		q.TCP = &h
 	}
 	return &q
@@ -169,6 +190,9 @@ func (q *Queue) Push(p *Packet) {
 	if p.next != nil || q.tail == p {
 		panic("pkt: packet already queued")
 	}
+	if p.pooled {
+		panic("pkt: queueing a released packet")
+	}
 	if q.tail == nil {
 		q.head = p
 	} else {
@@ -184,6 +208,9 @@ func (q *Queue) Push(p *Packet) {
 func (q *Queue) PushFront(p *Packet) {
 	if p.next != nil || q.tail == p {
 		panic("pkt: packet already queued")
+	}
+	if p.pooled {
+		panic("pkt: queueing a released packet")
 	}
 	p.next = q.head
 	q.head = p

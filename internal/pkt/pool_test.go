@@ -1,0 +1,133 @@
+package pkt
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestDupSackNoAliasing is the regression test for the Dup aliasing bug:
+// the duplicated header must not share the SACK backing array with the
+// original, or edits to one connection's SACK list corrupt the clone's.
+func TestDupSackNoAliasing(t *testing.T) {
+	p := &Packet{
+		Proto: ProtoTCP,
+		TCP: &TCPHeader{
+			Sack: []SackBlock{{Start: 10, End: 20}, {Start: 40, End: 50}},
+		},
+	}
+	// Leave spare capacity so an append to the original would write into
+	// a shared backing array if Dup aliased it.
+	p.TCP.Sack = append(make([]SackBlock, 0, 8), p.TCP.Sack...)
+	d := p.Dup()
+
+	p.TCP.Sack[0] = SackBlock{Start: 1, End: 2}
+	p.TCP.Sack = append(p.TCP.Sack, SackBlock{Start: 90, End: 99})
+	if d.TCP.Sack[0] != (SackBlock{Start: 10, End: 20}) {
+		t.Fatalf("dup SACK mutated through the original: %+v", d.TCP.Sack[0])
+	}
+	if len(d.TCP.Sack) != 2 {
+		t.Fatalf("dup SACK length changed: %d", len(d.TCP.Sack))
+	}
+	d.TCP.Sack[1] = SackBlock{Start: 7, End: 8}
+	if p.TCP.Sack[1] == (SackBlock{Start: 7, End: 8}) {
+		t.Fatal("original SACK mutated through the dup")
+	}
+}
+
+func TestPoolRecyclesPackets(t *testing.T) {
+	pl := &Pool{enabled: true}
+	a := pl.Get()
+	a.Size = 100
+	a.Proto = ProtoTCP
+	a.Retries = 3
+	pl.Put(a)
+	b := pl.Get()
+	if b != a {
+		t.Fatal("pool did not recycle the released packet")
+	}
+	if *b != (Packet{}) {
+		t.Fatalf("recycled packet not zeroed: %+v", *b)
+	}
+	st := pl.Stats()
+	if st.Gets != 2 || st.Puts != 1 || st.News != 1 || st.Live() != 1 {
+		t.Fatalf("stats wrong: %+v live=%d", st, st.Live())
+	}
+}
+
+func TestPoolDoubleFreePanics(t *testing.T) {
+	pl := &Pool{enabled: true}
+	p := pl.Get()
+	pl.Put(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double free")
+		}
+	}()
+	pl.Put(p)
+}
+
+func TestPoolReleasedPacketUnqueueable(t *testing.T) {
+	pl := &Pool{enabled: true}
+	p := pl.Get()
+	pl.Put(p)
+	// Pool's free list uses p.next, so Queue.Push already panics on the
+	// link; a released packet at the free-list head has next == nil, so
+	// the pooled flag is what catches it.
+	var q Queue
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic queueing a released packet")
+		}
+	}()
+	q.Push(p)
+}
+
+func TestPoolRecyclesHeaders(t *testing.T) {
+	pl := &Pool{enabled: true}
+	p := pl.Get()
+	h := pl.GetHeader()
+	h.Sack = append(h.Sack, SackBlock{1, 2}, SackBlock{3, 4})
+	p.TCP = h
+	pl.Put(p)
+	if q := pl.Get(); q != p {
+		t.Fatal("packet not recycled")
+	}
+	h2 := pl.GetHeader()
+	if h2 != h {
+		t.Fatal("header not recycled with its packet")
+	}
+	if len(h2.Sack) != 0 || cap(h2.Sack) < 2 {
+		t.Fatalf("recycled header Sack not reset with capacity: len=%d cap=%d",
+			len(h2.Sack), cap(h2.Sack))
+	}
+	if pl.Stats().Headers != 1 {
+		t.Fatalf("allocated %d headers, want 1", pl.Stats().Headers)
+	}
+}
+
+func TestPoolDisabledStillCounts(t *testing.T) {
+	pl := &Pool{enabled: false}
+	a := pl.Get()
+	pl.Put(a)
+	b := pl.Get()
+	if b == a {
+		t.Fatal("disabled pool recycled a packet")
+	}
+	st := pl.Stats()
+	if st.Gets != 2 || st.Puts != 1 || st.Live() != 1 {
+		t.Fatalf("disabled pool stats wrong: %+v", st)
+	}
+}
+
+func TestPoolOfAttachesOnce(t *testing.T) {
+	s := sim.New(1)
+	a := PoolOf(s)
+	b := PoolOf(s)
+	if a == nil || a != b {
+		t.Fatal("PoolOf did not return one pool per world")
+	}
+	if PoolOf(sim.New(2)) == a {
+		t.Fatal("distinct worlds share a pool")
+	}
+}

@@ -4,6 +4,13 @@
 // binary-heap event queue. Events scheduled for the same instant fire in
 // the order they were scheduled, which keeps runs fully deterministic for
 // a given seed.
+//
+// The engine's hot path is allocation-free in steady state: fired and
+// cancelled events return to a per-world free list and are recycled by
+// later At/After calls. Callers therefore never hold *Event directly;
+// scheduling returns an EventRef — a generation-counted handle that
+// turns into a harmless no-op if the event it named has already fired
+// and been recycled.
 package sim
 
 import (
@@ -40,20 +47,45 @@ func (t Time) String() string {
 	return time.Duration(t).String()
 }
 
-// Event is a scheduled callback.
+// Event is a scheduled callback. Events are owned by the Sim: they are
+// recycled into a free list when they fire or are cancelled, so outside
+// code refers to them only through the generation-counted EventRef.
 type Event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	index  int // heap index, -1 when not queued
-	cancel bool
+	at    Time
+	seq   uint64
+	fn    func()
+	fnArg func(any) // used instead of fn when scheduled via AtCall
+	arg   any
+	index int    // heap index, -1 when not queued
+	gen   uint32 // bumped on recycle; stale EventRefs stop matching
 }
 
-// Cancelled reports whether the event was cancelled before firing.
-func (e *Event) Cancelled() bool { return e.cancel }
+// EventRef is a handle to a scheduled event. The zero value names no
+// event. A ref goes stale once its event fires or is cancelled;
+// Cancel on a stale ref is a no-op, so holding a ref past the event's
+// lifetime is always safe.
+type EventRef struct {
+	e   *Event
+	gen uint32
+}
 
-// Time reports when the event is (or was) scheduled to fire.
-func (e *Event) Time() Time { return e.at }
+// Valid reports whether the ref names an event (it may have fired
+// already; see Scheduled). The zero EventRef is not valid.
+func (r EventRef) Valid() bool { return r.e != nil }
+
+// Scheduled reports whether the referenced event is still pending.
+func (r EventRef) Scheduled() bool {
+	return r.e != nil && r.e.gen == r.gen && r.e.index >= 0
+}
+
+// Time reports when the referenced event is scheduled to fire, or 0 when
+// the ref is stale or zero.
+func (r EventRef) Time() Time {
+	if !r.Scheduled() {
+		return 0
+	}
+	return r.e.at
+}
 
 type eventHeap []*Event
 
@@ -92,11 +124,21 @@ type Sim struct {
 	events eventHeap
 	rng    *Rand
 	nRun   uint64 // events executed
+
+	free      []*Event // recycled events
+	allocated uint64   // events ever heap-allocated
+	pooling   bool
+
+	// alloc is an opaque per-world allocator slot. Packages that cannot
+	// be imported from here (notably pkt, whose packet pool every layer
+	// of one world must share) hang their free lists on it via
+	// Allocator/SetAllocator.
+	alloc any
 }
 
 // New creates a simulator whose random source is seeded with seed.
 func New(seed uint64) *Sim {
-	return &Sim{rng: NewRand(seed)}
+	return &Sim{rng: NewRand(seed), pooling: true}
 }
 
 // Now returns the current virtual time.
@@ -108,69 +150,132 @@ func (s *Sim) Rand() *Rand { return s.rng }
 // EventsRun reports how many events have executed so far.
 func (s *Sim) EventsRun() uint64 { return s.nRun }
 
+// EventsAllocated reports how many Event objects were ever heap-allocated
+// (as opposed to recycled from the free list), for benchmarks.
+func (s *Sim) EventsAllocated() uint64 { return s.allocated }
+
 // Pending reports the number of events currently queued.
 func (s *Sim) Pending() int { return len(s.events) }
 
-// At schedules fn to run at absolute time at. Scheduling in the past
-// panics: it always indicates a model bug.
-func (s *Sim) At(at Time, fn func()) *Event {
+// SetEventPooling enables or disables event recycling (enabled by
+// default). Disabling trades allocations for an exact-lifecycle mode in
+// which no Event object is ever reused — useful for verifying that
+// pooling does not change behaviour.
+func (s *Sim) SetEventPooling(on bool) { s.pooling = on }
+
+// Allocator returns the world's opaque allocator attachment (nil until
+// SetAllocator). See pkt.PoolOf for the packet pool that rides here.
+func (s *Sim) Allocator() any { return s.alloc }
+
+// SetAllocator installs the world's allocator attachment.
+func (s *Sim) SetAllocator(v any) { s.alloc = v }
+
+// getEvent pops a recycled event or allocates a fresh one.
+func (s *Sim) getEvent() *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	s.allocated++
+	return &Event{index: -1}
+}
+
+// recycle invalidates every outstanding ref to e and returns it to the
+// free list.
+func (s *Sim) recycle(e *Event) {
+	e.gen++
+	e.fn = nil
+	e.fnArg = nil
+	e.arg = nil
+	e.index = -1
+	if s.pooling {
+		s.free = append(s.free, e)
+	}
+}
+
+// schedule enqueues a prepared event at absolute time at.
+func (s *Sim) schedule(e *Event, at Time) EventRef {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
-	e := &Event{at: at, seq: s.seq, fn: fn, index: -1}
+	e.at = at
+	e.seq = s.seq
 	s.seq++
 	heap.Push(&s.events, e)
-	return e
+	return EventRef{e: e, gen: e.gen}
+}
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// panics: it always indicates a model bug.
+func (s *Sim) At(at Time, fn func()) EventRef {
+	e := s.getEvent()
+	e.fn = fn
+	return s.schedule(e, at)
 }
 
 // After schedules fn to run d after the current time.
-func (s *Sim) After(d Time, fn func()) *Event {
+func (s *Sim) After(d Time, fn func()) EventRef {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now+d, fn)
 }
 
-// Cancel removes a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (s *Sim) Cancel(e *Event) {
-	if e == nil || e.cancel || e.index < 0 {
-		if e != nil {
-			e.cancel = true
-		}
+// AtCall schedules fn(arg) at absolute time at. Unlike At with a closure
+// over arg, a shared fn plus a pointer-shaped arg allocates nothing —
+// this is the form the per-packet hot paths use.
+func (s *Sim) AtCall(at Time, fn func(any), arg any) EventRef {
+	e := s.getEvent()
+	e.fnArg = fn
+	e.arg = arg
+	return s.schedule(e, at)
+}
+
+// AfterCall schedules fn(arg) d after the current time.
+func (s *Sim) AfterCall(d Time, fn func(any), arg any) EventRef {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtCall(s.now+d, fn, arg)
+}
+
+// Cancel removes a scheduled event. Cancelling a stale or zero ref
+// (the event already fired or was already cancelled) is a no-op.
+func (s *Sim) Cancel(r EventRef) {
+	e := r.e
+	if e == nil || e.gen != r.gen || e.index < 0 {
 		return
 	}
-	e.cancel = true
 	heap.Remove(&s.events, e.index)
+	s.recycle(e)
 }
 
 // Step runs the next event, advancing the clock. It reports false when no
 // events remain.
 func (s *Sim) Step() bool {
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*Event)
-		if e.cancel {
-			continue
-		}
-		s.now = e.at
-		s.nRun++
-		e.fn()
-		return true
+	if len(s.events) == 0 {
+		return false
 	}
-	return false
+	e := heap.Pop(&s.events).(*Event)
+	s.now = e.at
+	s.nRun++
+	fn, fnArg, arg := e.fn, e.fnArg, e.arg
+	s.recycle(e)
+	if fnArg != nil {
+		fnArg(arg)
+	} else {
+		fn()
+	}
+	return true
 }
 
 // RunUntil executes events until the clock would pass end or the queue
 // empties. The clock is left at end if it was reached.
 func (s *Sim) RunUntil(end Time) {
 	for len(s.events) > 0 {
-		// Peek.
-		e := s.events[0]
-		if e.cancel {
-			heap.Pop(&s.events)
-			continue
-		}
-		if e.at > end {
+		if s.events[0].at > end {
 			break
 		}
 		s.Step()
@@ -196,7 +301,7 @@ func (s *Sim) Ticker(period Time, fn func()) (stop func()) {
 	if period <= 0 {
 		panic("sim: non-positive ticker period")
 	}
-	var ev *Event
+	var ev EventRef
 	stopped := false
 	var tick func()
 	tick = func() {

@@ -40,28 +40,99 @@ func TestCancel(t *testing.T) {
 	s := New(1)
 	fired := false
 	e := s.At(10, func() { fired = true })
+	if !e.Scheduled() {
+		t.Fatal("fresh event not scheduled")
+	}
 	s.Cancel(e)
 	s.Run(0)
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !e.Cancelled() {
-		t.Fatal("event not marked cancelled")
+	if e.Scheduled() {
+		t.Fatal("cancelled event still reports scheduled")
 	}
-	// Double cancel is a no-op.
+	// Double cancel and cancelling the zero ref are no-ops.
 	s.Cancel(e)
-	s.Cancel(nil)
+	s.Cancel(EventRef{})
 }
 
 func TestCancelDuringRun(t *testing.T) {
 	s := New(1)
-	var e2 *Event
+	var e2 EventRef
 	fired := false
 	s.At(1, func() { s.Cancel(e2) })
 	e2 = s.At(2, func() { fired = true })
 	s.Run(0)
 	if fired {
 		t.Fatal("event cancelled from another event still fired")
+	}
+}
+
+// TestStaleRefCancelIsNoop: a ref whose event has fired and been recycled
+// into a new event must not cancel the new event.
+func TestStaleRefCancelIsNoop(t *testing.T) {
+	s := New(1)
+	stale := s.At(1, func() {})
+	s.Step() // fires and recycles the event object
+	fired := false
+	fresh := s.At(2, func() { fired = true })
+	s.Cancel(stale) // stale generation: must not touch the recycled event
+	if !fresh.Scheduled() {
+		t.Fatal("stale cancel killed a recycled event")
+	}
+	s.Run(0)
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+// TestEventRecycling: steady-state scheduling reuses Event objects
+// instead of allocating.
+func TestEventRecycling(t *testing.T) {
+	s := New(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 1000 {
+			s.After(10, tick)
+		}
+	}
+	s.After(10, tick)
+	s.Run(0)
+	if got := s.EventsAllocated(); got > 4 {
+		t.Fatalf("allocated %d events for a serial chain, want <= 4", got)
+	}
+	// With pooling off, every schedule allocates.
+	s2 := New(1)
+	s2.SetEventPooling(false)
+	m := 0
+	var tick2 func()
+	tick2 = func() {
+		m++
+		if m < 100 {
+			s2.After(10, tick2)
+		}
+	}
+	s2.After(10, tick2)
+	s2.Run(0)
+	if got := s2.EventsAllocated(); got != 100 {
+		t.Fatalf("allocated %d events with pooling off, want 100", got)
+	}
+}
+
+// TestAtCall: the closure-free scheduling form passes its argument
+// through and interleaves with At in seq order.
+func TestAtCall(t *testing.T) {
+	s := New(1)
+	var got []int
+	push := func(v any) { got = append(got, v.(int)) }
+	s.AtCall(5, push, 1)
+	s.At(5, func() { got = append(got, 2) })
+	s.AfterCall(5, push, 3)
+	s.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("AtCall ordering wrong: %v", got)
 	}
 }
 

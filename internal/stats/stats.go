@@ -12,14 +12,66 @@ import (
 	"repro/internal/sim"
 )
 
-// Sample accumulates float64 observations.
+// ExactCap is the number of raw observations a Sample retains before it
+// seals itself into the fixed-memory streaming layer (a Welford
+// accumulator plus a log-bucketed histogram). Below the cap every
+// statistic is exact and byte-identical to the historical slice-backed
+// implementation — which is what keeps the golden campaign artifacts
+// stable — and the worst-case footprint of a Sample is bounded by
+// ExactCap floats plus the constant-size stream.
+const ExactCap = 8192
+
+// Sample accumulates float64 observations in bounded memory. Up to
+// ExactCap observations are retained exactly (with the sorted order
+// cached across quantile queries and invalidated by Add/Merge); past the
+// cap the retained values are folded into a Stream and further
+// observations go straight there. SetUnbounded opts a sample out of
+// spilling for tests that need exact quantiles at any size.
+//
+// A Sample is single-owner like the packets it measures: after it is
+// merged into another sample or copied, the source must not accumulate
+// further.
 type Sample struct {
-	xs     []float64
-	sorted bool
+	xs        []float64
+	sorted    bool
+	unbounded bool
+	str       *Stream // non-nil once spilled
+	sorts     int     // sort invocations, for the cache regression test
+}
+
+// SetUnbounded opts the sample into unlimited exact retention (the
+// golden/exact path). It must be called before the cap is reached.
+func (s *Sample) SetUnbounded() {
+	if s.str != nil {
+		panic("stats: SetUnbounded after the sample spilled")
+	}
+	s.unbounded = true
+}
+
+// Spilled reports whether the sample has sealed into streaming mode.
+func (s *Sample) Spilled() bool { return s.str != nil }
+
+// spill folds the retained values into a fresh stream and drops them.
+func (s *Sample) spill() {
+	s.str = &Stream{}
+	for _, x := range s.xs {
+		s.str.Add(x)
+	}
+	s.xs = nil
+	s.sorted = false
 }
 
 // Add appends an observation.
 func (s *Sample) Add(x float64) {
+	if s.str != nil {
+		s.str.Add(x)
+		return
+	}
+	if !s.unbounded && len(s.xs) >= ExactCap {
+		s.spill()
+		s.str.Add(x)
+		return
+	}
 	s.xs = append(s.xs, x)
 	s.sorted = false
 }
@@ -28,20 +80,30 @@ func (s *Sample) Add(x float64) {
 func (s *Sample) AddTime(t sim.Time) { s.Add(t.Millis()) }
 
 // N reports the number of observations.
-func (s *Sample) N() int { return len(s.xs) }
+func (s *Sample) N() int {
+	if s.str != nil {
+		return int(s.str.N())
+	}
+	return len(s.xs)
+}
 
-// Values returns the raw observations (not a copy).
+// Values returns the raw observations (not a copy), or nil once the
+// sample has spilled into streaming mode.
 func (s *Sample) Values() []float64 { return s.xs }
 
 func (s *Sample) sort() {
 	if !s.sorted {
 		sort.Float64s(s.xs)
 		s.sorted = true
+		s.sorts++
 	}
 }
 
 // Mean returns the arithmetic mean (0 for an empty sample).
 func (s *Sample) Mean() float64 {
+	if s.str != nil {
+		return s.str.Mean()
+	}
 	if len(s.xs) == 0 {
 		return 0
 	}
@@ -54,6 +116,9 @@ func (s *Sample) Mean() float64 {
 
 // Stddev returns the sample standard deviation.
 func (s *Sample) Stddev() float64 {
+	if s.str != nil {
+		return s.str.Stddev()
+	}
 	n := len(s.xs)
 	if n < 2 {
 		return 0
@@ -67,9 +132,14 @@ func (s *Sample) Stddev() float64 {
 	return math.Sqrt(ss / float64(n-1))
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) using linear
-// interpolation; 0 for an empty sample.
+// Quantile returns the q-quantile (0 <= q <= 1): exact (linear
+// interpolation over the sorted values) while the sample holds raw
+// observations, a histogram estimate once spilled; 0 for an empty
+// sample.
 func (s *Sample) Quantile(q float64) float64 {
+	if s.str != nil {
+		return s.str.Quantile(q)
+	}
 	if len(s.xs) == 0 {
 		return 0
 	}
@@ -100,10 +170,12 @@ func (s *Sample) Max() float64 { return s.Quantile(1) }
 
 // CDF returns (value, cumulative probability) pairs at the given points.
 func (s *Sample) CDF(points int) [][2]float64 {
-	if len(s.xs) == 0 || points < 2 {
+	if s.N() == 0 || points < 2 {
 		return nil
 	}
-	s.sort()
+	if s.str == nil {
+		s.sort()
+	}
 	out := make([][2]float64, 0, points)
 	for i := 0; i < points; i++ {
 		p := float64(i) / float64(points-1)
@@ -112,10 +184,28 @@ func (s *Sample) CDF(points int) [][2]float64 {
 	return out
 }
 
-// Merge appends all observations from other.
+// Merge folds all observations from other into s. The merge stays exact
+// while the combined size fits the exact buffer (or s is unbounded and
+// other holds raw values); otherwise both sides seal into streams.
 func (s *Sample) Merge(other *Sample) {
-	s.xs = append(s.xs, other.xs...)
-	s.sorted = false
+	if s.str == nil && other.str == nil {
+		if s.unbounded || len(s.xs)+len(other.xs) <= ExactCap {
+			s.xs = append(s.xs, other.xs...)
+			s.sorted = false
+			return
+		}
+		s.spill()
+	}
+	if s.str == nil {
+		s.spill()
+	}
+	if other.str != nil {
+		s.str.Merge(other.str)
+		return
+	}
+	for _, x := range other.xs {
+		s.str.Add(x)
+	}
 }
 
 // Summary renders a one-line summary.

@@ -1,0 +1,236 @@
+package stats
+
+import "math"
+
+// Welford is a streaming mean/variance accumulator (Welford's online
+// algorithm, merged pairwise with the Chan et al. parallel update). It
+// holds three words regardless of how many observations it has seen.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds in one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Merge folds another accumulator into w.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.mean += d * float64(o.n) / float64(n)
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
+// N reports the observation count.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean reports the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance reports the sample variance (n-1 denominator; 0 below two
+// observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev reports the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Histogram layout: log-bucketed (HDR-style) magnitude buckets. Each
+// power-of-two octave splits into histSub sub-buckets, giving a fixed
+// relative resolution of about 100/histSub percent across the whole
+// range. Values are observations in whatever unit the caller uses
+// (milliseconds throughout the tree); the range below covers 2^histMinExp
+// up to 2^histMaxExp with under/overflow buckets at the ends.
+const (
+	histSub    = 32  // sub-buckets per octave (~3% relative resolution)
+	histMinExp = -20 // smallest resolved magnitude: 2^-20 ≈ 1e-6
+	histMaxExp = 40  // largest resolved magnitude: 2^40 ≈ 1e12
+	histBkts   = (histMaxExp-histMinExp)*histSub + 2
+)
+
+// Histogram is a fixed-memory log-bucketed histogram for non-negative
+// observations (negative values clamp into the underflow bucket, which
+// also holds zero). Memory is constant: histBkts counts.
+type Histogram struct {
+	counts [histBkts]int64
+	n      int64
+}
+
+// bucketIndex maps x to its bucket.
+func bucketIndex(x float64) int {
+	if !(x > 0) {
+		return 0
+	}
+	frac, exp := math.Frexp(x) // x = frac * 2^exp, frac in [0.5, 1)
+	oct := exp - 1 - histMinExp
+	if oct < 0 {
+		return 0
+	}
+	if oct >= histMaxExp-histMinExp {
+		return histBkts - 1
+	}
+	sub := int((frac - 0.5) * 2 * histSub)
+	if sub >= histSub {
+		sub = histSub - 1
+	}
+	return 1 + oct*histSub + sub
+}
+
+// bucketBounds returns the value range covered by bucket i.
+func bucketBounds(i int) (lo, hi float64) {
+	if i <= 0 {
+		return 0, math.Ldexp(1, histMinExp)
+	}
+	if i >= histBkts-1 {
+		return math.Ldexp(1, histMaxExp), math.Ldexp(1, histMaxExp)
+	}
+	i--
+	oct := i / histSub
+	sub := i % histSub
+	base := math.Ldexp(1, histMinExp+oct) // 2^(minExp+oct)
+	step := base / histSub
+	return base + float64(sub)*step, base + float64(sub+1)*step
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(x float64) {
+	h.counts[bucketIndex(x)]++
+	h.n++
+}
+
+// Merge folds another histogram into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+}
+
+// N reports the observation count.
+func (h *Histogram) N() int64 { return h.n }
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1): the
+// bucket holding the target rank, linearly interpolated across the
+// bucket's bounds. The estimate's relative error is bounded by the
+// bucket resolution (~3%).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.n-1)
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		// Bucket i covers ranks [cum, cum+c).
+		if rank < float64(cum+c) {
+			lo, hi := bucketBounds(i)
+			if c == 1 {
+				return (lo + hi) / 2
+			}
+			frac := (rank - float64(cum)) / float64(c-1)
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	_, hi := bucketBounds(histBkts - 1)
+	return hi
+}
+
+// Stream is the fixed-memory statistics accumulator the hot paths use
+// once a Sample spills: a Welford mean/variance, exact min/max, and a
+// log-bucketed histogram for quantiles.
+type Stream struct {
+	w        Welford
+	min, max float64
+	h        Histogram
+}
+
+// Add folds in one observation.
+func (s *Stream) Add(x float64) {
+	if s.w.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.w.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.w.Add(x)
+	s.h.Add(x)
+}
+
+// Merge folds another stream into s.
+func (s *Stream) Merge(o *Stream) {
+	if o.w.n == 0 {
+		return
+	}
+	if s.w.n == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if s.w.n == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.w.Merge(o.w)
+	s.h.Merge(&o.h)
+}
+
+// N reports the observation count.
+func (s *Stream) N() int64 { return s.w.n }
+
+// Mean reports the running mean.
+func (s *Stream) Mean() float64 { return s.w.Mean() }
+
+// Stddev reports the sample standard deviation.
+func (s *Stream) Stddev() float64 { return s.w.Stddev() }
+
+// Min reports the smallest observation (exact).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max reports the largest observation (exact).
+func (s *Stream) Max() float64 { return s.max }
+
+// Quantile returns the histogram quantile estimate, clamped to the
+// exact observed range.
+func (s *Stream) Quantile(q float64) float64 {
+	if s.w.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	v := s.h.Quantile(q)
+	if v < s.min {
+		v = s.min
+	}
+	if v > s.max {
+		v = s.max
+	}
+	return v
+}

@@ -71,6 +71,17 @@ type Host struct {
 	// Out injects a packet into the host's network stack toward the
 	// destination (e.g. the wired link or the WiFi MAC).
 	Out func(*pkt.Packet)
+
+	pool *pkt.Pool // lazily resolved per-world packet pool
+}
+
+// pktPool returns the world's packet pool, resolving it on first use
+// (Host values are constructed as plain literals throughout the tree).
+func (h *Host) pktPool() *pkt.Pool {
+	if h.pool == nil {
+		h.pool = pkt.PoolOf(h.Sim)
+	}
+	return h.pool
 }
 
 // Conn is one TCP connection between two hosts.
@@ -131,7 +142,7 @@ type Endpoint struct {
 
 	established bool
 	synSent     bool
-	synEv       *sim.Event
+	synEv       sim.EventRef
 
 	// Sender state.
 	sndBuf    int64 // application bytes queued, excluding sent
@@ -147,7 +158,7 @@ type Endpoint struct {
 	recover   int64 // recovery point: exit when una passes it
 	lostBelow int64 // unSACKed bytes below this are treated as lost
 	rtxNext   int64 // next hole to retransmit in this recovery epoch
-	rtoEv     *sim.Event
+	rtoEv     sim.EventRef
 	rto       sim.Time
 	srtt      sim.Time
 	rttvar    sim.Time
@@ -167,7 +178,7 @@ type Endpoint struct {
 	rcvNxt   int64
 	ooo      spanSet
 	unacked  int
-	delackEv *sim.Event
+	delackEv sim.EventRef
 
 	// Application hooks and counters.
 	// OnReceive, if set, is invoked after in-order delivery advances,
@@ -233,24 +244,24 @@ func (e *Endpoint) newPacket(size int, flags pkt.TCPFlag, seq, ack int64, sack [
 	if !e.client {
 		srcPort, dstPort = 5001, 50000
 	}
-	h := &pkt.TCPHeader{
-		Flags: flags, Seq: seq, Ack: ack,
-		Window:  e.conn.opts.RcvWnd,
-		SrcPort: srcPort, DstPort: dstPort,
-	}
+	pool := e.host.pktPool()
+	h := pool.GetHeader()
+	h.Flags, h.Seq, h.Ack = flags, seq, ack
+	h.Window = e.conn.opts.RcvWnd
+	h.SrcPort, h.DstPort = srcPort, dstPort
 	for _, sp := range sack {
 		h.Sack = append(h.Sack, pkt.SackBlock{Start: sp.start, End: sp.end})
 	}
-	return &pkt.Packet{
-		Size:    size,
-		Proto:   pkt.ProtoTCP,
-		Src:     e.host.ID,
-		Dst:     e.peerID,
-		Flow:    e.conn.opts.Flow,
-		AC:      e.conn.opts.AC,
-		Created: e.now(),
-		TCP:     h,
-	}
+	p := pool.Get()
+	p.Size = size
+	p.Proto = pkt.ProtoTCP
+	p.Src = e.host.ID
+	p.Dst = e.peerID
+	p.Flow = e.conn.opts.Flow
+	p.AC = e.conn.opts.AC
+	p.Created = e.now()
+	p.TCP = h
+	return p
 }
 
 func (e *Endpoint) sendSYN() {
@@ -277,7 +288,7 @@ func (e *Endpoint) Input(p *pkt.Packet) {
 			if !e.established {
 				e.established = true
 				e.rto = InitRTO
-				if e.synEv != nil {
+				if e.synEv.Valid() {
 					e.host.Sim.Cancel(e.synEv)
 				}
 				e.host.Out(e.newPacket(HeaderLen, pkt.ACK, e.nextSeq, e.rcvNxt, nil))
@@ -336,9 +347,9 @@ func (e *Endpoint) receiveData(seq, n int64) {
 		e.sendAck()
 		return
 	}
-	if e.delackEv == nil {
+	if !e.delackEv.Valid() {
 		e.delackEv = e.host.Sim.After(DelAckTime, func() {
-			e.delackEv = nil
+			e.delackEv = sim.EventRef{}
 			if e.unacked > 0 {
 				e.sendAck()
 			}
@@ -348,9 +359,9 @@ func (e *Endpoint) receiveData(seq, n int64) {
 
 func (e *Endpoint) sendAck() {
 	e.unacked = 0
-	if e.delackEv != nil {
+	if e.delackEv.Valid() {
 		e.host.Sim.Cancel(e.delackEv)
-		e.delackEv = nil
+		e.delackEv = sim.EventRef{}
 	}
 	e.host.Out(e.newPacket(HeaderLen, pkt.ACK, e.nextSeq, e.rcvNxt, e.ooo.blocks(maxSackBlk)))
 }
@@ -596,7 +607,7 @@ func (e *Endpoint) trySend() {
 			e.rttAt = e.now()
 		}
 	}
-	if e.inflight() > 0 && e.rtoEv == nil {
+	if e.inflight() > 0 && !e.rtoEv.Valid() {
 		e.resetRTO()
 	}
 }
@@ -613,9 +624,9 @@ func (e *Endpoint) emitSeg(seq, n int64, retrans bool) {
 }
 
 func (e *Endpoint) resetRTO() {
-	if e.rtoEv != nil {
+	if e.rtoEv.Valid() {
 		e.host.Sim.Cancel(e.rtoEv)
-		e.rtoEv = nil
+		e.rtoEv = sim.EventRef{}
 	}
 	if e.inflight() == 0 {
 		return
@@ -624,7 +635,7 @@ func (e *Endpoint) resetRTO() {
 }
 
 func (e *Endpoint) onRTO() {
-	e.rtoEv = nil
+	e.rtoEv = sim.EventRef{}
 	if e.inflight() == 0 {
 		return
 	}

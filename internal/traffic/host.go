@@ -23,6 +23,7 @@ type Host struct {
 
 	handlers map[uint64]func(*pkt.Packet)
 	pingers  map[int]*Pinger
+	pool     *pkt.Pool
 
 	// Unclaimed counts packets that matched no handler.
 	Unclaimed int64
@@ -34,6 +35,7 @@ func NewHost(s *sim.Sim, id pkt.NodeID, out func(*pkt.Packet)) *Host {
 		Sim: s, ID: id, Out: out,
 		handlers: make(map[uint64]func(*pkt.Packet)),
 		pingers:  make(map[int]*Pinger),
+		pool:     pkt.PoolOf(s),
 	}
 }
 
@@ -43,34 +45,34 @@ func (h *Host) Register(flow uint64, fn func(*pkt.Packet)) {
 }
 
 // Deliver dispatches a packet arriving at this host. It is installed as
-// the node's receive hook.
+// the node's receive hook. The host is every packet's final owner: once
+// the matching handler (or the ICMP responder) has run, the packet is
+// released back to the world's pool.
 func (h *Host) Deliver(p *pkt.Packet) {
 	if p.Proto == pkt.ProtoICMP {
 		h.icmp(p)
-		return
-	}
-	if fn, ok := h.handlers[p.Flow]; ok {
+	} else if fn, ok := h.handlers[p.Flow]; ok {
 		fn(p)
-		return
+	} else {
+		h.Unclaimed++
 	}
-	h.Unclaimed++
+	h.pool.Put(p)
 }
 
 // icmp answers echo requests and routes replies to their pinger.
 func (h *Host) icmp(p *pkt.Packet) {
 	if !p.IsReply {
-		reply := &pkt.Packet{
-			Size:    p.Size,
-			Proto:   pkt.ProtoICMP,
-			Src:     h.ID,
-			Dst:     p.Src,
-			Flow:    p.Flow,
-			AC:      p.AC,
-			Created: p.Created, // echo the request timestamp for RTT
-			EchoID:  p.EchoID,
-			EchoSeq: p.EchoSeq,
-			IsReply: true,
-		}
+		reply := h.pool.Get()
+		reply.Size = p.Size
+		reply.Proto = pkt.ProtoICMP
+		reply.Src = h.ID
+		reply.Dst = p.Src
+		reply.Flow = p.Flow
+		reply.AC = p.AC
+		reply.Created = p.Created // echo the request timestamp for RTT
+		reply.EchoID = p.EchoID
+		reply.EchoSeq = p.EchoSeq
+		reply.IsReply = true
 		h.Out(reply)
 		return
 	}
@@ -145,17 +147,17 @@ func (p *Pinger) Stop() {
 func (p *Pinger) sendOne() {
 	p.seq++
 	p.Sent++
-	p.host.Out(&pkt.Packet{
-		Size:    p.size,
-		Proto:   pkt.ProtoICMP,
-		Src:     p.host.ID,
-		Dst:     p.dst,
-		Flow:    pingFlowBase + uint64(p.id), // distinct flow per pinger
-		AC:      p.ac,
-		Created: p.host.Sim.Now(),
-		EchoID:  p.id,
-		EchoSeq: p.seq,
-	})
+	q := p.host.pool.Get()
+	q.Size = p.size
+	q.Proto = pkt.ProtoICMP
+	q.Src = p.host.ID
+	q.Dst = p.dst
+	q.Flow = pingFlowBase + uint64(p.id) // distinct flow per pinger
+	q.AC = p.ac
+	q.Created = p.host.Sim.Now()
+	q.EchoID = p.id
+	q.EchoSeq = p.seq
+	p.host.Out(q)
 }
 
 func (p *Pinger) reply(rep *pkt.Packet) {

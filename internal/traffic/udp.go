@@ -69,16 +69,16 @@ func (u *UDPSource) sendOne() {
 	u.seq++
 	u.Sent++
 	u.SentBytes += int64(u.size)
-	u.host.Out(&pkt.Packet{
-		Size:    u.size,
-		Proto:   pkt.ProtoUDP,
-		Src:     u.host.ID,
-		Dst:     u.dst,
-		Flow:    u.flow,
-		AC:      u.ac,
-		Created: u.host.Sim.Now(),
-		SeqNo:   u.seq,
-	})
+	p := u.host.pool.Get()
+	p.Size = u.size
+	p.Proto = pkt.ProtoUDP
+	p.Src = u.host.ID
+	p.Dst = u.dst
+	p.Flow = u.flow
+	p.AC = u.ac
+	p.Created = u.host.Sim.Now()
+	p.SeqNo = u.seq
+	u.host.Out(p)
 }
 
 // UDPSink receives a UDP stream, tracking goodput, one-way delay and loss.

@@ -52,16 +52,16 @@ func (v *VoIPSource) Stop() {
 func (v *VoIPSource) sendOne() {
 	v.seq++
 	v.Sent++
-	v.host.Out(&pkt.Packet{
-		Size:    VoIPPacketSize,
-		Proto:   pkt.ProtoUDP,
-		Src:     v.host.ID,
-		Dst:     v.dst,
-		Flow:    v.flow,
-		AC:      v.ac,
-		Created: v.host.Sim.Now(),
-		SeqNo:   v.seq,
-	})
+	p := v.host.pool.Get()
+	p.Size = VoIPPacketSize
+	p.Proto = pkt.ProtoUDP
+	p.Src = v.host.ID
+	p.Dst = v.dst
+	p.Flow = v.flow
+	p.AC = v.ac
+	p.Created = v.host.Sim.Now()
+	p.SeqNo = v.seq
+	v.host.Out(p)
 }
 
 // VoIPSink receives a voice stream and measures what the E-model needs:

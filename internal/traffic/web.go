@@ -101,20 +101,30 @@ func (w *WebClient) fetchPage() {
 
 	// Step 1: DNS lookup (one UDP exchange with the server side).
 	w.server.Register(dnsFlow, func(q *pkt.Packet) {
-		w.server.Out(&pkt.Packet{
-			Size: dnsSize, Proto: pkt.ProtoUDP,
-			Src: w.server.ID, Dst: q.Src, Flow: q.Flow, AC: q.AC,
-			Created: w.server.Sim.Now(), SeqNo: q.SeqNo,
-		})
+		rsp := w.server.pool.Get()
+		rsp.Size = dnsSize
+		rsp.Proto = pkt.ProtoUDP
+		rsp.Src = w.server.ID
+		rsp.Dst = q.Src
+		rsp.Flow = q.Flow
+		rsp.AC = q.AC
+		rsp.Created = w.server.Sim.Now()
+		rsp.SeqNo = q.SeqNo
+		w.server.Out(rsp)
 	})
 	w.client.Register(dnsFlow, func(*pkt.Packet) {
 		w.openConnections(start, dnsFlow)
 	})
-	w.client.Out(&pkt.Packet{
-		Size: dnsSize, Proto: pkt.ProtoUDP,
-		Src: w.client.ID, Dst: w.server.ID, Flow: dnsFlow, AC: w.ac,
-		Created: start, SeqNo: 1,
-	})
+	req := w.client.pool.Get()
+	req.Size = dnsSize
+	req.Proto = pkt.ProtoUDP
+	req.Src = w.client.ID
+	req.Dst = w.server.ID
+	req.Flow = dnsFlow
+	req.AC = w.ac
+	req.Created = start
+	req.SeqNo = 1
+	w.client.Out(req)
 }
 
 // openConnections runs the parallel-connection request fan-out.
