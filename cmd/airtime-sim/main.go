@@ -1,6 +1,8 @@
 // airtime-sim runs a single ad-hoc scenario on the simulated testbed and
 // prints per-station results: airtime shares, goodput, aggregation level
-// and ping latency.
+// and ping latency. The traffic mix is composed from the experiment
+// layer's Workload attachments and measured through its Runtime, the
+// same machinery the declarative campaign Specs run on.
 //
 // Example:
 //
@@ -16,11 +18,9 @@ import (
 	"repro/internal/exp"
 	"repro/internal/mac"
 	"repro/internal/phy"
-	"repro/internal/pkt"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
-	"repro/internal/traffic"
 )
 
 // parseScheme resolves any registered scheme name through the registry,
@@ -42,6 +42,22 @@ func parseScheme(s string) (mac.Scheme, error) {
 	return scheme, nil
 }
 
+// workloads maps the -traffic flag onto a workload composition.
+func workloads(kind string, udpRateBps float64) ([]*exp.Workload, error) {
+	var ws []*exp.Workload
+	switch kind {
+	case "udp":
+		ws = []*exp.Workload{exp.UDPFlood(udpRateBps)}
+	case "tcp":
+		ws = []*exp.Workload{exp.TCPDown()}
+	case "bidir":
+		ws = []*exp.Workload{exp.TCPDown(), exp.TCPUp()}
+	default:
+		return nil, fmt.Errorf("unknown traffic %q", kind)
+	}
+	return append(ws, exp.Pings(0)), nil
+}
+
 func main() {
 	schemeFlag := flag.String("scheme", "airtime",
 		"queueing scheme: fifo|fqcodel|fqmac|airtime|dtt|airtime-rr|weighted-airtime (any registered scheme)")
@@ -61,6 +77,11 @@ func main() {
 	flag.Parse()
 
 	scheme, err := parseScheme(*schemeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ws, err := workloads(*trafficKind, *rate*1e6)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -87,8 +108,8 @@ func main() {
 
 	n := exp.NewNet(exp.NetConfig{
 		Seed: *seed, Scheme: scheme, Stations: specs,
-		AP:             mac.Config{PerMPDULoss: *loss, MaxAMSDU: *amsdu},
-		StationWeights: weights,
+		AP:      mac.Config{PerMPDULoss: *loss, MaxAMSDU: *amsdu},
+		Weights: weights,
 	})
 	var tl *trace.Log
 	if *traceN > 0 {
@@ -96,62 +117,41 @@ func main() {
 		n.AP.Trace = tl
 	}
 
-	received := make([]func() int64, len(n.Stations))
-	for i, st := range n.Stations {
-		switch *trafficKind {
-		case "udp":
-			_, sink := n.DownloadUDP(st, *rate*1e6, pkt.ACBE)
-			received[i] = func() int64 { return sink.RcvdBytes }
-		case "tcp":
-			conn := n.DownloadTCP(st, pkt.ACBE)
-			received[i] = conn.Server().TotalReceived
-		case "bidir":
-			conn := n.DownloadTCP(st, pkt.ACBE)
-			n.UploadTCP(st, pkt.ACBE)
-			received[i] = conn.Server().TotalReceived
-		default:
-			fmt.Fprintf(os.Stderr, "unknown traffic %q\n", *trafficKind)
-			os.Exit(2)
-		}
-	}
-
+	// The bulk mix attaches from t=0; pings once the load has settled.
+	rt := exp.NewRuntime(n)
+	rt.AttachPhase(ws, exp.PhaseStart)
 	warmT := sim.Time(*warm * float64(sim.Second))
 	endT := warmT + sim.Time(*dur*float64(sim.Second))
 	n.Run(warmT)
-	airSnap := n.SnapshotAirtime()
-	snaps := make([]int64, len(received))
-	for i, f := range received {
-		snaps[i] = f()
-	}
-	pingers := make([]*traffic.Pinger, len(n.Stations))
-	for i, st := range n.Stations {
-		pingers[i] = n.Ping(st, 0, i+1)
-	}
+	rt.AttachPhase(ws, exp.PhaseMeasure)
+	rt.Arm()
 	n.Run(endT)
 
-	air := n.AirtimeSince(airSnap)
-	shares := stats.Shares(air)
+	shares := rt.Shares()
+	goodputs := rt.Goodputs()
 	tbl := stats.Table{Header: []string{
 		"station", "rate", "airtime", "goodput(Mbps)", "aggr", "ping med(ms)", "ping p95(ms)",
 	}}
 	var total float64
 	for i, st := range n.Stations {
-		mbps := float64(received[i]()-snaps[i]) * 8 / (*dur) / 1e6
+		mbps := goodputs[i] / 1e6
 		total += mbps
+		var rtt stats.Sample
+		rt.RTT(i, &rtt)
 		tbl.AddRow(
 			st.Name,
 			st.Rate.String(),
 			fmt.Sprintf("%.1f%%", 100*shares[i]),
 			fmt.Sprintf("%.1f", mbps),
 			fmt.Sprintf("%.2f", st.APView.MeanAggregation()),
-			fmt.Sprintf("%.1f", pingers[i].RTT.Median()),
-			fmt.Sprintf("%.1f", pingers[i].RTT.Quantile(0.95)),
+			fmt.Sprintf("%.1f", rtt.Median()),
+			fmt.Sprintf("%.1f", rtt.Quantile(0.95)),
 		)
 	}
 	fmt.Printf("scheme=%s traffic=%s dur=%.0fs\n\n", scheme, *trafficKind, *dur)
 	fmt.Print(tbl.String())
 	fmt.Printf("\ntotal goodput: %.1f Mbps   Jain(airtime): %.3f   medium collisions: %d\n",
-		total, stats.JainIndex(air), n.Env.Medium.Collisions)
+		total, stats.JainIndex(rt.AirDeltas()), n.Env.Medium.Collisions)
 	if tl != nil {
 		fmt.Println()
 		fmt.Print(tl.Dump(*traceN))

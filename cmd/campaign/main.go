@@ -5,14 +5,18 @@
 // Usage:
 //
 //	campaign list
+//	campaign describe udp
 //	campaign run  [-s udp -s fairness] [-reps 10] [-dur 30] [-workers 8]
 //	              [-out results.json] [-csv results.csv]
 //	campaign sweep -s udp -axis scheme=FIFO,Airtime -axis rate-mbps=10,50,100
 //
-// run executes the scenarios' default grids; sweep is run plus axis
-// overrides. Aggregated output (JSON/CSV artifacts and the printed
-// table) is byte-identical for any -workers value: per-run seeds derive
-// from job coordinates and aggregation folds in matrix order.
+// describe prints a scenario's declarative composition — its stations,
+// workloads, probes, parameter axes and emitted metric names — from
+// Spec metadata. run executes the scenarios' default grids; sweep is
+// run plus axis overrides. Aggregated output (JSON/CSV artifacts and
+// the printed table) is byte-identical for any -workers value: per-run
+// seeds derive from job coordinates and aggregation folds in matrix
+// order.
 package main
 
 import (
@@ -59,6 +63,8 @@ func main() {
 	switch cmd {
 	case "list":
 		list(reg)
+	case "describe":
+		describe(reg, args)
 	case "schemes":
 		schemes(args)
 	case "run", "sweep":
@@ -76,6 +82,8 @@ func usage() {
 commands:
   list                 show registered scenarios, their parameter axes and
                        the registered transmit-path schemes
+  describe <scenario>  show a scenario's stations, workloads, probes and
+                       emitted metric names from its Spec metadata
   schemes [-csv]       print registered scheme names (for scripting sweeps)
   run   [flags]        run scenarios over their default parameter grids
   sweep [flags]        run with -axis overrides sweeping chosen parameters
@@ -98,6 +106,41 @@ func list(reg *campaign.Registry) {
 	fmt.Println("\nregistered schemes (usable in any scheme axis):")
 	for _, s := range mac.AllSchemes() {
 		fmt.Printf("%-18s %s\n", s, s.Desc())
+	}
+}
+
+// describe prints one scenario's declarative composition from its Spec
+// metadata: stations, workloads (with phase and targets), probes with
+// the metric names they emit, and the parameter grid.
+func describe(reg *campaign.Registry, args []string) {
+	if len(args) != 1 {
+		fmt.Fprintf(os.Stderr, "usage: campaign describe <scenario>   (scenarios: %s)\n",
+			strings.Join(reg.Names(), ", "))
+		os.Exit(2)
+	}
+	sc := reg.Get(args[0])
+	if sc == nil {
+		fmt.Fprintf(os.Stderr, "campaign: unknown scenario %q (have %s)\n",
+			args[0], strings.Join(reg.Names(), ", "))
+		os.Exit(2)
+	}
+	fmt.Printf("%s — %s\n", sc.Name, sc.Desc)
+	fmt.Println("\nparameters (default grid; override with sweep -axis):")
+	for _, a := range sc.Axes {
+		fmt.Printf("  %-14s %s\n", a.Name, strings.Join(a.Values, ", "))
+	}
+	if sc.Meta == nil {
+		fmt.Println("\n(no composition metadata — hand-written scenario)")
+		return
+	}
+	fmt.Printf("\nstations (default point): %s\n", strings.Join(sc.Meta.Stations, ", "))
+	fmt.Println("\nworkloads:")
+	for _, w := range sc.Meta.Workloads {
+		fmt.Printf("  %-10s %-38s at %-7s on %s\n", w.Kind, w.Label, w.Phase, w.Targets)
+	}
+	fmt.Println("\nprobes and emitted metrics:")
+	for _, p := range sc.Meta.Probes {
+		fmt.Printf("  %-14s %s\n", p.Name, strings.Join(p.Metrics, ", "))
 	}
 }
 

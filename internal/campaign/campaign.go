@@ -59,6 +59,44 @@ type Scenario struct {
 	// safe for concurrent invocation (each call builds its own world) and
 	// must derive all randomness from ctx.Seed.
 	Run func(ctx Ctx) (*Metrics, error)
+
+	// Meta, if set, describes the scenario's composition — stations,
+	// workloads, probes and emitted metric names — for introspection
+	// (cmd/campaign describe). Scenarios built from declarative Specs
+	// fill it automatically; hand-written scenarios may leave it nil.
+	Meta *ScenarioMeta
+}
+
+// ScenarioMeta is the introspectable composition of a scenario at its
+// default grid point.
+type ScenarioMeta struct {
+	Stations  []string       `json:"stations"`
+	Workloads []WorkloadMeta `json:"workloads"`
+	Probes    []ProbeMeta    `json:"probes"`
+}
+
+// WorkloadMeta describes one traffic attachment of a scenario.
+type WorkloadMeta struct {
+	Kind    string `json:"kind"`    // e.g. "tcp-down", "voip"
+	Label   string `json:"label"`   // parameterised description
+	Phase   string `json:"phase"`   // "start" or "measure"
+	Targets string `json:"targets"` // station selector description
+}
+
+// ProbeMeta describes one metric collector of a scenario.
+type ProbeMeta struct {
+	Name    string   `json:"name"`
+	Metrics []string `json:"metrics"` // emitted metric names
+}
+
+// MetricNames flattens every probe's emitted metric names, in emission
+// order.
+func (m *ScenarioMeta) MetricNames() []string {
+	var out []string
+	for _, p := range m.Probes {
+		out = append(out, p.Metrics...)
+	}
+	return out
 }
 
 // Registry holds scenarios in registration order.
@@ -154,6 +192,15 @@ func (m *Metrics) Scalar(name string) (float64, bool) {
 		return 0, false
 	}
 	return m.scalars[i].value, true
+}
+
+// Sample returns a recorded distribution, or nil if the name is unknown.
+func (m *Metrics) Sample(name string) *stats.Sample {
+	i, ok := m.sampleIndex[name]
+	if !ok {
+		return nil
+	}
+	return m.samples[i].sample
 }
 
 // expand returns the cartesian product of the scenario's axes (after

@@ -10,6 +10,16 @@ import (
 	"repro/internal/sim"
 )
 
+// Default sizing shared by every execution path — campaign Plans and the
+// standalone runners' RunConfig both fill zero fields from these, so the
+// "scaled-down interactive defaults" exist in exactly one place.
+const (
+	DefaultReps     = 3
+	DefaultDuration = 10 * sim.Second
+	DefaultWarmup   = 2 * sim.Second
+	DefaultSeed     = 42
+)
+
 // Plan selects and sizes a campaign.
 type Plan struct {
 	// Scenarios names the scenarios to run, in the given order; empty
@@ -35,16 +45,16 @@ type Plan struct {
 
 func (p *Plan) fill() {
 	if p.Reps <= 0 {
-		p.Reps = 3
+		p.Reps = DefaultReps
 	}
 	if p.Duration <= 0 {
-		p.Duration = 10 * sim.Second
+		p.Duration = DefaultDuration
 	}
 	if p.Warmup <= 0 {
-		p.Warmup = 2 * sim.Second
+		p.Warmup = DefaultWarmup
 	}
 	if p.BaseSeed == 0 {
-		p.BaseSeed = 42
+		p.BaseSeed = DefaultSeed
 	}
 	if p.Workers <= 0 {
 		p.Workers = runtime.GOMAXPROCS(0)

@@ -13,7 +13,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	r := NewRegistry()
 	want := []string{"latency", "udp", "fairness", "throughput", "sparse",
-		"scale", "voip", "web", "weighted-udp", "table1"}
+		"scale", "voip", "web", "weighted-udp", "table1", "mixed"}
 	names := r.Names()
 	if len(names) != len(want) {
 		t.Fatalf("scenarios = %v, want %v", names, want)

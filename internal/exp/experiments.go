@@ -8,8 +8,9 @@ import (
 )
 
 // RunConfig controls repetition and timing common to all experiments. The
-// paper uses 30 repetitions of 30 s; the defaults here are scaled down for
-// interactive use and raised by cmd/paper-figures.
+// paper uses 30 repetitions of 30 s; the defaults (shared with the
+// campaign engine's Plan, see campaign.DefaultReps and friends) are
+// scaled down for interactive use and raised by cmd/paper-figures.
 //
 // Repetitions are independent simulation worlds, so every runner shards
 // them across Workers goroutines through the campaign engine. Results are
@@ -25,17 +26,28 @@ type RunConfig struct {
 
 func (c *RunConfig) fill() {
 	if c.Duration <= 0 {
-		c.Duration = 10 * sim.Second
+		c.Duration = campaign.DefaultDuration
 	}
 	if c.Warmup <= 0 {
-		c.Warmup = 2 * sim.Second
+		c.Warmup = campaign.DefaultWarmup
 	}
 	if c.Reps <= 0 {
-		c.Reps = 3
+		c.Reps = campaign.DefaultReps
 	}
 	if c.Seed == 0 {
-		c.Seed = 42
+		c.Seed = campaign.DefaultSeed
 	}
+}
+
+// runFromCtx is the single conversion from an engine context to the
+// filled single-repetition RunConfig the generic Spec runner consumes.
+func runFromCtx(ctx campaign.Ctx) RunConfig {
+	run := RunConfig{
+		Seed: ctx.Seed, Duration: ctx.Duration, Warmup: ctx.Warmup,
+		Reps: 1, Workers: 1,
+	}
+	run.fill()
+	return run
 }
 
 // End returns the absolute end time of the measured interval.

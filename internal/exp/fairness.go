@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/mac"
-	"repro/internal/pkt"
 	"repro/internal/stats"
 )
 
@@ -26,6 +26,18 @@ func (t TrafficKind) String() string { return trafficNames[t] }
 // TrafficKinds lists the mixes in the paper's order.
 var TrafficKinds = []TrafficKind{TrafficUDP, TrafficTCPDown, TrafficTCPBidir}
 
+// workloads returns the traffic mix as a workload composition.
+func (t TrafficKind) workloads() []*Workload {
+	switch t {
+	case TrafficTCPDown:
+		return []*Workload{TCPDown()}
+	case TrafficTCPBidir:
+		return []*Workload{TCPDown(), TCPUp()}
+	default:
+		return []*Workload{UDPFlood(50e6)}
+	}
+}
+
 // FairnessConfig configures one cell of Figure 6.
 type FairnessConfig struct {
 	Run     RunConfig
@@ -42,30 +54,44 @@ type FairnessResult struct {
 	Shares  []float64
 }
 
-// fairnessRep executes one repetition and returns Jain's index and the
-// per-station airtime shares.
-func fairnessRep(run RunConfig, cfg FairnessConfig) (jain float64, shares []float64) {
-	n := NewNet(NetConfig{
-		Seed:     run.Seed,
-		Scheme:   cfg.Scheme,
-		Stations: DefaultStations(),
-	})
-	for _, st := range n.Stations {
-		switch cfg.Traffic {
-		case TrafficUDP:
-			n.DownloadUDP(st, 50e6, pkt.ACBE)
-		case TrafficTCPDown:
-			n.DownloadTCP(st, pkt.ACBE)
-		case TrafficTCPBidir:
-			n.DownloadTCP(st, pkt.ACBE)
-			n.UploadTCP(st, pkt.ACBE)
-		}
+// fairnessInstance composes the experiment: the selected mix on every
+// station, Jain's index plus the raw shares.
+func fairnessInstance(cfg FairnessConfig) *Instance {
+	return &Instance{
+		Net:       NetConfig{Scheme: cfg.Scheme, Stations: DefaultStations()},
+		Workloads: cfg.Traffic.workloads(),
+		Probes:    []Probe{Jain("jain"), IndexedShares("share-%d")},
 	}
-	n.Run(run.Warmup)
-	snap := n.SnapshotAirtime()
-	n.Run(run.End())
-	air := n.AirtimeSince(snap)
-	return stats.JainIndex(air), stats.Shares(air)
+}
+
+// SpecFairness is the declarative form of the experiment.
+func SpecFairness() *Spec {
+	return &Spec{
+		Name: "fairness",
+		Desc: "Jain's airtime fairness index per traffic mix (Figure 6)",
+		Axes: []campaign.Axis{
+			{Name: "scheme", Values: schemeNames(mac.Schemes)},
+			{Name: "traffic", Values: []string{"udp", "tcp-down", "tcp-bidir"}},
+		},
+		Build: func(p Params) (*Instance, error) {
+			scheme, err := p.Scheme()
+			if err != nil {
+				return nil, err
+			}
+			var kind TrafficKind
+			switch tr := p.Str("traffic"); tr {
+			case "udp":
+				kind = TrafficUDP
+			case "tcp-down":
+				kind = TrafficTCPDown
+			case "tcp-bidir":
+				kind = TrafficTCPBidir
+			default:
+				return nil, fmt.Errorf("unknown traffic %q", tr)
+			}
+			return fairnessInstance(FairnessConfig{Scheme: scheme, Traffic: kind}), nil
+		},
+	}
 }
 
 // RunFairness executes one scheme × traffic cell, repetitions in
@@ -78,8 +104,8 @@ func RunFairness(cfg FairnessConfig) *FairnessResult {
 		shares []float64
 	}
 	for _, r := range eachRep(cfg.Run, func(run RunConfig) rep {
-		jain, shares := fairnessRep(run, cfg)
-		return rep{jain, shares}
+		_, rt := fairnessInstance(cfg).Execute(run)
+		return rep{stats.JainIndex(rt.AirDeltas()), rt.Shares()}
 	}) {
 		res.Jain += r.jain
 		if res.Shares == nil {

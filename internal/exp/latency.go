@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/mac"
-	"repro/internal/pkt"
 	"repro/internal/stats"
-	"repro/internal/traffic"
 )
 
 // LatencyConfig configures the latency-under-load experiment behind
@@ -26,48 +25,59 @@ type LatencyResult struct {
 	Fast, Slow stats.Sample
 }
 
-// latencyRep executes one repetition and returns the merged fast- and
-// slow-station RTT samples.
-func latencyRep(run RunConfig, cfg LatencyConfig) (fast, slow stats.Sample) {
-	n := NewNet(NetConfig{
-		Seed:     run.Seed,
-		Scheme:   cfg.Scheme,
-		Stations: DefaultStations(),
-	})
-	for _, st := range n.Stations {
-		n.DownloadTCP(st, pkt.ACBE)
-		if cfg.Bidir {
-			n.UploadTCP(st, pkt.ACBE)
-		}
+// latencyInstance composes the experiment: bulk TCP down (and, in the
+// bidirectional variant, up) on every station from t=0, pings once the
+// load has settled, RTTs split fast/slow.
+func latencyInstance(cfg LatencyConfig) *Instance {
+	ws := []*Workload{TCPDown()}
+	if cfg.Bidir {
+		ws = append(ws, TCPUp())
 	}
-	// Let the bulk flows reach steady state before measuring latency.
-	n.Run(run.Warmup)
-	pingers := make([]*traffic.Pinger, len(n.Stations))
-	for i, st := range n.Stations {
-		pingers[i] = n.Ping(st, 0, i+1)
+	ws = append(ws, Pings(0))
+	return &Instance{
+		Net:       NetConfig{Scheme: cfg.Scheme, Stations: DefaultStations()},
+		Workloads: ws,
+		Probes:    []Probe{FastSlowRTT("fast-rtt-ms", "slow-rtt-ms")},
 	}
-	n.Run(run.End())
-	for i, st := range n.Stations {
-		if strings.HasPrefix(st.Name, "fast") {
-			fast.Merge(&pingers[i].RTT)
-		} else {
-			slow.Merge(&pingers[i].RTT)
-		}
+}
+
+// SpecLatency is the declarative form of the experiment.
+func SpecLatency() *Spec {
+	return &Spec{
+		Name: "latency",
+		Desc: "ping RTT under bulk TCP load (Figures 1 and 4)",
+		Axes: []campaign.Axis{
+			{Name: "scheme", Values: schemeNames(mac.Schemes)},
+			{Name: "dir", Values: []string{"down"}}, // sweep: down,bidir
+		},
+		Build: func(p Params) (*Instance, error) {
+			scheme, err := p.Scheme()
+			if err != nil {
+				return nil, err
+			}
+			cfg := LatencyConfig{Scheme: scheme}
+			switch d := p.Str("dir"); d {
+			case "down":
+			case "bidir":
+				cfg.Bidir = true
+			default:
+				return nil, fmt.Errorf("unknown dir %q", d)
+			}
+			return latencyInstance(cfg), nil
+		},
 	}
-	return fast, slow
 }
 
 // RunLatency executes the experiment, repetitions in parallel.
 func RunLatency(cfg LatencyConfig) *LatencyResult {
 	cfg.Run.fill()
 	res := &LatencyResult{Scheme: cfg.Scheme}
-	type rep struct{ fast, slow stats.Sample }
-	for _, r := range eachRep(cfg.Run, func(run RunConfig) rep {
-		fast, slow := latencyRep(run, cfg)
-		return rep{fast, slow}
+	for _, m := range eachRep(cfg.Run, func(run RunConfig) *campaign.Metrics {
+		m, _ := latencyInstance(cfg).Execute(run)
+		return m
 	}) {
-		res.Fast.Merge(&r.fast)
-		res.Slow.Merge(&r.slow)
+		res.Fast.Merge(m.Sample("fast-rtt-ms"))
+		res.Slow.Merge(m.Sample("slow-rtt-ms"))
 	}
 	return res
 }

@@ -59,10 +59,10 @@ type NetConfig struct {
 	// always FIFO — the paper modifies only the access point).
 	StationMAC mac.Config
 
-	// StationWeights assigns relative airtime weights by station name.
-	// Only schemes whose scheduler honours weights (Weighted-Airtime)
-	// are affected; the paper's schemes ignore them.
-	StationWeights map[string]float64
+	// Weights assigns relative airtime weights by station name. Only
+	// schemes whose scheduler honours weights (Weighted-Airtime) are
+	// affected; the paper's schemes ignore them.
+	Weights map[string]float64
 }
 
 // Station is one wireless client node with its application attachments.
@@ -128,10 +128,10 @@ func NewNet(cfg NetConfig) *Net {
 	for i, spec := range cfg.Stations {
 		n.addStation(pkt.NodeID(int(StationID)+i), spec, staCfg)
 	}
-	for name, w := range cfg.StationWeights {
+	for name, w := range cfg.Weights {
 		st := n.stationByName(name)
 		if st == nil {
-			panic(fmt.Sprintf("exp: StationWeights names unknown station %q (stations: %s)",
+			panic(fmt.Sprintf("exp: Weights names unknown station %q (stations: %s)",
 				name, strings.Join(n.StationNames(), ", ")))
 		}
 		n.AP.SetStationWeight(st.APView, w)

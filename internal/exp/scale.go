@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/mac"
 	"repro/internal/phy"
-	"repro/internal/pkt"
 	"repro/internal/stats"
 )
 
@@ -31,30 +31,6 @@ type ScaleResult struct {
 	TotalMbps  float64
 }
 
-// RunScale executes the experiment. The third-party testbed runs on a
-// 2.4 GHz HT20 channel; fast stations here use MCS7 (72.2 Mbps) and the
-// slow station the 1 Mbps DSSS rate with HT disabled.
-func RunScale(cfg ScaleConfig) *ScaleResult {
-	cfg.Run.fill()
-	specs := scaleSpecs(cfg.Stations)
-
-	res := &ScaleResult{Scheme: cfg.Scheme}
-	for _, r := range eachRep(cfg.Run, func(run RunConfig) *ScaleResult {
-		return scaleRep(run, cfg, specs)
-	}) {
-		res.SlowShare += r.SlowShare
-		res.FastShares.Merge(&r.FastShares)
-		res.SlowRTT.Merge(&r.SlowRTT)
-		res.FastRTT.Merge(&r.FastRTT)
-		res.SparseRTT.Merge(&r.SparseRTT)
-		res.TotalMbps += r.TotalMbps
-	}
-	f := float64(cfg.Run.Reps)
-	res.SlowShare /= f
-	res.TotalMbps /= f
-	return res
-}
-
 // scaleSpecs builds the scaled population: station 0 is the 1 Mbps
 // legacy client, the last is ping-only, the rest are fast bulk stations.
 // Counts below 4 fall back to the paper's 30.
@@ -72,44 +48,75 @@ func scaleSpecs(count int) []StationSpec {
 	return specs
 }
 
-// scaleRep executes one repetition of the scaled setup on its own world.
-func scaleRep(run RunConfig, cfg ScaleConfig, specs []StationSpec) *ScaleResult {
-	res := &ScaleResult{Scheme: cfg.Scheme}
-	n := NewNet(NetConfig{
-		Seed:     run.Seed,
-		Scheme:   cfg.Scheme,
-		Stations: specs,
-	})
-	recv := make([]func() int64, 0, len(n.Stations)-1)
-	for _, st := range n.Stations[:len(n.Stations)-1] {
-		conn := n.DownloadTCP(st, pkt.ACBE)
-		recv = append(recv, conn.Server().TotalReceived)
+// scaleInstance composes the scaled setup: bulk TCP to everyone but the
+// ping-only station, pings to the slow, first-fast and ping-only
+// stations, airtime-share and latency probes.
+func scaleInstance(cfg ScaleConfig, specs []StationSpec) *Instance {
+	return &Instance{
+		Net: NetConfig{Scheme: cfg.Scheme, Stations: specs},
+		Workloads: []*Workload{
+			TCPDown().On(AllButLast()),
+			Pings(0).On(StationAt(0, 1, -1)),
+		},
+		Probes: []Probe{
+			ShareAt(0, "slow-share"),
+			SumRxMbps("total-mbps"),
+			SharesDist(1, -2, "fast-share"),
+			RTTAt(1, "fast-rtt-ms"),
+			RTTAt(0, "slow-rtt-ms"),
+			RTTAt(-1, "sparse-rtt-ms"),
+		},
 	}
-	n.Run(run.Warmup)
-	snap := n.SnapshotAirtime()
-	snaps := make([]int64, len(recv))
-	for i, f := range recv {
-		snaps[i] = f()
-	}
-	pSlow := n.Ping(n.Stations[0], 0, 1)
-	pFast := n.Ping(n.Stations[1], 0, 2)
-	pSparse := n.Ping(n.Stations[len(n.Stations)-1], 0, 3)
-	n.Run(run.End())
+}
 
-	air := n.AirtimeSince(snap)
-	shares := stats.Shares(air)
-	res.SlowShare = shares[0]
-	for i := 1; i < len(shares)-1; i++ {
-		res.FastShares.Add(shares[i])
+// SpecScale is the declarative form of the experiment.
+func SpecScale() *Spec {
+	return &Spec{
+		Name: "scale",
+		Desc: "many-station airtime, throughput and latency (Figures 9-10)",
+		Axes: []campaign.Axis{
+			{Name: "scheme", Values: []string{"FQ-CoDel", "FQ-MAC", "Airtime"}},
+			{Name: "stations", Values: []string{"30"}},
+		},
+		Build: func(p Params) (*Instance, error) {
+			scheme, err := p.Scheme()
+			if err != nil {
+				return nil, err
+			}
+			count, err := p.Int("stations")
+			if err != nil {
+				return nil, err
+			}
+			cfg := ScaleConfig{Scheme: scheme, Stations: count}
+			return scaleInstance(cfg, scaleSpecs(count)), nil
+		},
 	}
-	res.SlowRTT.Merge(&pSlow.RTT)
-	res.FastRTT.Merge(&pFast.RTT)
-	res.SparseRTT.Merge(&pSparse.RTT)
-	var total int64
-	for i, f := range recv {
-		total += f() - snaps[i]
+}
+
+// RunScale executes the experiment. The third-party testbed runs on a
+// 2.4 GHz HT20 channel; fast stations here use MCS7 (72.2 Mbps) and the
+// slow station the 1 Mbps DSSS rate with HT disabled.
+func RunScale(cfg ScaleConfig) *ScaleResult {
+	cfg.Run.fill()
+	specs := scaleSpecs(cfg.Stations)
+
+	res := &ScaleResult{Scheme: cfg.Scheme}
+	for _, m := range eachRep(cfg.Run, func(run RunConfig) *campaign.Metrics {
+		m, _ := scaleInstance(cfg, specs).Execute(run)
+		return m
+	}) {
+		slow, _ := m.Scalar("slow-share")
+		total, _ := m.Scalar("total-mbps")
+		res.SlowShare += slow
+		res.TotalMbps += total
+		res.FastShares.Merge(m.Sample("fast-share"))
+		res.SlowRTT.Merge(m.Sample("slow-rtt-ms"))
+		res.FastRTT.Merge(m.Sample("fast-rtt-ms"))
+		res.SparseRTT.Merge(m.Sample("sparse-rtt-ms"))
 	}
-	res.TotalMbps = float64(total) * 8 / run.Duration.Seconds() / 1e6
+	f := float64(cfg.Run.Reps)
+	res.SlowShare /= f
+	res.TotalMbps /= f
 	return res
 }
 

@@ -2,20 +2,16 @@ package exp
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 
 	"repro/internal/campaign"
 	"repro/internal/mac"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/traffic"
 )
 
-// This file registers every experiment runner as a named campaign
-// scenario. A scenario's Run executes exactly one repetition at one grid
-// point on its own simulator world, with the seed the engine derived for
-// that run, so the engine can shard the whole matrix freely.
+// Every paper experiment is a declarative Spec — stations × workloads ×
+// probes over a parameter grid — executed by the one generic runner
+// (Instance.Execute) on the campaign engine. NewRegistry registers them
+// all, with introspectable metadata, as named campaign scenarios.
 
 // ParseScheme resolves a scheme's registered name ("FIFO", "FQ-CoDel",
 // "FQ-MAC", "Airtime", "DTT", plus anything added via
@@ -37,302 +33,32 @@ func schemeNames(schemes []mac.Scheme) []string {
 	return out
 }
 
-// ctxRun converts an engine context into the single-repetition RunConfig
-// the per-repetition cores consume.
-func ctxRun(ctx campaign.Ctx) RunConfig {
-	run := RunConfig{
-		Seed: ctx.Seed, Duration: ctx.Duration, Warmup: ctx.Warmup,
-		Reps: 1, Workers: 1,
+// PaperSpecs returns the declarative Specs of every paper experiment —
+// plus the mixed composite scenario — in the registry's historical
+// registration order (seed derivation depends on scenario names only,
+// so order is presentational).
+func PaperSpecs() []*Spec {
+	return []*Spec{
+		SpecLatency(),
+		SpecUDP(),
+		SpecFairness(),
+		SpecThroughput(),
+		SpecSparse(),
+		SpecScale(),
+		SpecVoIP(),
+		SpecWeb(),
+		SpecWeightedUDP(),
+		SpecTable1(),
+		SpecMixed(),
 	}
-	run.fill()
-	return run
 }
-
-func ctxScheme(ctx campaign.Ctx) (mac.Scheme, error) {
-	return ParseScheme(ctx.Param("scheme"))
-}
-
-func addDist(m *campaign.Metrics, name string, s *stats.Sample) { m.AddSample(name, s) }
 
 // NewRegistry returns a registry with every paper experiment registered
 // as a parameterisable scenario.
 func NewRegistry() *campaign.Registry {
 	r := campaign.NewRegistry()
-
-	r.Register(&campaign.Scenario{
-		Name: "latency",
-		Desc: "ping RTT under bulk TCP load (Figures 1 and 4)",
-		Axes: []campaign.Axis{
-			{Name: "scheme", Values: schemeNames(mac.Schemes)},
-			{Name: "dir", Values: []string{"down"}}, // sweep: down,bidir
-		},
-		Run: func(ctx campaign.Ctx) (*campaign.Metrics, error) {
-			scheme, err := ctxScheme(ctx)
-			if err != nil {
-				return nil, err
-			}
-			cfg := LatencyConfig{Scheme: scheme}
-			switch d := ctx.Param("dir"); d {
-			case "down":
-			case "bidir":
-				cfg.Bidir = true
-			default:
-				return nil, fmt.Errorf("unknown dir %q", d)
-			}
-			fast, slow := latencyRep(ctxRun(ctx), cfg)
-			m := campaign.NewMetrics()
-			addDist(m, "fast-rtt-ms", &fast)
-			addDist(m, "slow-rtt-ms", &slow)
-			return m, nil
-		},
-	})
-
-	r.Register(&campaign.Scenario{
-		Name: "udp",
-		Desc: "airtime shares and goodput under one-way UDP (Figure 5)",
-		Axes: []campaign.Axis{
-			{Name: "scheme", Values: schemeNames(mac.Schemes)},
-			{Name: "rate-mbps", Values: []string{"50"}},
-		},
-		Run: func(ctx campaign.Ctx) (*campaign.Metrics, error) {
-			scheme, err := ctxScheme(ctx)
-			if err != nil {
-				return nil, err
-			}
-			rate, err := strconv.ParseFloat(ctx.Param("rate-mbps"), 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad rate-mbps: %w", err)
-			}
-			if !(rate > 0) {
-				return nil, fmt.Errorf("rate-mbps must be positive, got %v", rate)
-			}
-			res := udpRep(ctxRun(ctx), UDPConfig{Scheme: scheme, RateBps: rate * 1e6})
-			m := campaign.NewMetrics()
-			for i, name := range res.Names {
-				m.Add("share-"+name, res.Shares[i])
-				m.Add("goodput-mbps-"+name, res.Goodput[i]/1e6)
-				m.Add("aggr-"+name, res.AggMean[i])
-			}
-			m.Add("total-mbps", res.TotalBps/1e6)
-			return m, nil
-		},
-	})
-
-	r.Register(&campaign.Scenario{
-		Name: "fairness",
-		Desc: "Jain's airtime fairness index per traffic mix (Figure 6)",
-		Axes: []campaign.Axis{
-			{Name: "scheme", Values: schemeNames(mac.Schemes)},
-			{Name: "traffic", Values: []string{"udp", "tcp-down", "tcp-bidir"}},
-		},
-		Run: func(ctx campaign.Ctx) (*campaign.Metrics, error) {
-			scheme, err := ctxScheme(ctx)
-			if err != nil {
-				return nil, err
-			}
-			var kind TrafficKind
-			switch tr := ctx.Param("traffic"); tr {
-			case "udp":
-				kind = TrafficUDP
-			case "tcp-down":
-				kind = TrafficTCPDown
-			case "tcp-bidir":
-				kind = TrafficTCPBidir
-			default:
-				return nil, fmt.Errorf("unknown traffic %q", tr)
-			}
-			jain, shares := fairnessRep(ctxRun(ctx), FairnessConfig{Scheme: scheme, Traffic: kind})
-			m := campaign.NewMetrics()
-			m.Add("jain", jain)
-			for i, s := range shares {
-				m.Add(fmt.Sprintf("share-%d", i), s)
-			}
-			return m, nil
-		},
-	})
-
-	r.Register(&campaign.Scenario{
-		Name: "throughput",
-		Desc: "per-station TCP download goodput (Figure 7)",
-		Axes: []campaign.Axis{
-			{Name: "scheme", Values: schemeNames(mac.Schemes)},
-			{Name: "dir", Values: []string{"down"}}, // sweep: down,bidir
-		},
-		Run: func(ctx campaign.Ctx) (*campaign.Metrics, error) {
-			scheme, err := ctxScheme(ctx)
-			if err != nil {
-				return nil, err
-			}
-			cfg := ThroughputConfig{Scheme: scheme, Bidir: ctx.Param("dir") == "bidir"}
-			names, mbps := throughputRep(ctxRun(ctx), cfg)
-			m := campaign.NewMetrics()
-			var sum float64
-			for i, name := range names {
-				m.Add("mbps-"+name, mbps[i])
-				sum += mbps[i]
-			}
-			m.Add("avg-mbps", sum/float64(len(mbps)))
-			return m, nil
-		},
-	})
-
-	r.Register(&campaign.Scenario{
-		Name: "sparse",
-		Desc: "sparse-station optimisation latency (Figure 8)",
-		Axes: []campaign.Axis{
-			{Name: "bulk", Values: []string{"udp", "tcp"}},
-			{Name: "opt", Values: []string{"on", "off"}},
-		},
-		Run: func(ctx campaign.Ctx) (*campaign.Metrics, error) {
-			cfg := SparseConfig{TCP: ctx.Param("bulk") == "tcp"}
-			rtt := sparseRep(ctxRun(ctx), cfg, ctx.Param("opt") == "off")
-			m := campaign.NewMetrics()
-			addDist(m, "sparse-rtt-ms", &rtt)
-			return m, nil
-		},
-	})
-
-	r.Register(&campaign.Scenario{
-		Name: "scale",
-		Desc: "many-station airtime, throughput and latency (Figures 9-10)",
-		Axes: []campaign.Axis{
-			{Name: "scheme", Values: []string{"FQ-CoDel", "FQ-MAC", "Airtime"}},
-			{Name: "stations", Values: []string{"30"}},
-		},
-		Run: func(ctx campaign.Ctx) (*campaign.Metrics, error) {
-			scheme, err := ctxScheme(ctx)
-			if err != nil {
-				return nil, err
-			}
-			count, err := strconv.Atoi(ctx.Param("stations"))
-			if err != nil {
-				return nil, fmt.Errorf("bad stations: %w", err)
-			}
-			cfg := ScaleConfig{Scheme: scheme, Stations: count}
-			res := scaleRep(ctxRun(ctx), cfg, scaleSpecs(count))
-			m := campaign.NewMetrics()
-			m.Add("slow-share", res.SlowShare)
-			m.Add("total-mbps", res.TotalMbps)
-			addDist(m, "fast-share", &res.FastShares)
-			addDist(m, "fast-rtt-ms", &res.FastRTT)
-			addDist(m, "slow-rtt-ms", &res.SlowRTT)
-			addDist(m, "sparse-rtt-ms", &res.SparseRTT)
-			return m, nil
-		},
-	})
-
-	r.Register(&campaign.Scenario{
-		Name: "voip",
-		Desc: "VoIP MOS and bulk throughput (Table 2)",
-		Axes: []campaign.Axis{
-			{Name: "scheme", Values: schemeNames(mac.Schemes)},
-			{Name: "qos", Values: []string{"BE", "VO"}},
-			{Name: "delay-ms", Values: []string{"5", "50"}},
-		},
-		Run: func(ctx campaign.Ctx) (*campaign.Metrics, error) {
-			scheme, err := ctxScheme(ctx)
-			if err != nil {
-				return nil, err
-			}
-			delay, err := strconv.Atoi(ctx.Param("delay-ms"))
-			if err != nil {
-				return nil, fmt.Errorf("bad delay-ms: %w", err)
-			}
-			cfg := VoIPConfig{
-				Scheme: scheme, UseVO: ctx.Param("qos") == "VO",
-				WiredDelay: sim.Time(delay) * sim.Millisecond,
-			}
-			mos, total := voipRep(ctxRun(ctx), cfg)
-			m := campaign.NewMetrics()
-			m.Add("mos", mos)
-			m.Add("thrp-mbps", total)
-			return m, nil
-		},
-	})
-
-	r.Register(&campaign.Scenario{
-		Name: "web",
-		Desc: "web page-load time under bulk load (Figure 11)",
-		Axes: []campaign.Axis{
-			{Name: "scheme", Values: schemeNames(mac.Schemes)},
-			{Name: "page", Values: []string{"small", "large"}},
-			{Name: "browser", Values: []string{"fast"}}, // sweep: fast,slow
-		},
-		Run: func(ctx campaign.Ctx) (*campaign.Metrics, error) {
-			scheme, err := ctxScheme(ctx)
-			if err != nil {
-				return nil, err
-			}
-			page := traffic.SmallPage
-			if ctx.Param("page") == "large" {
-				page = traffic.LargePage
-			}
-			cfg := WebConfig{
-				Scheme: scheme, Page: page,
-				SlowFetches: ctx.Param("browser") == "slow",
-			}
-			plt := webRep(ctxRun(ctx), cfg)
-			m := campaign.NewMetrics()
-			addDist(m, "plt-ms", &plt)
-			return m, nil
-		},
-	})
-
-	r.Register(&campaign.Scenario{
-		Name: "weighted-udp",
-		Desc: "airtime shares under per-station weights (Weighted-Airtime scheme)",
-		Axes: []campaign.Axis{
-			{Name: "scheme", Values: []string{"Weighted-Airtime"}}, // sweep: any registered scheme
-			{Name: "slow-weight", Values: []string{"2"}},           // sweep: 0.5,1,2,4
-		},
-		Run: func(ctx campaign.Ctx) (*campaign.Metrics, error) {
-			scheme, err := ctxScheme(ctx)
-			if err != nil {
-				return nil, err
-			}
-			w, err := strconv.ParseFloat(ctx.Param("slow-weight"), 64)
-			if err != nil || !(w > 0) {
-				return nil, fmt.Errorf("bad slow-weight %q", ctx.Param("slow-weight"))
-			}
-			res := udpRep(ctxRun(ctx), UDPConfig{
-				Scheme: scheme, RateBps: 50e6,
-				Weights: map[string]float64{"slow": w},
-			})
-			m := campaign.NewMetrics()
-			for i, name := range res.Names {
-				m.Add("share-"+name, res.Shares[i])
-				m.Add("goodput-mbps-"+name, res.Goodput[i]/1e6)
-			}
-			return m, nil
-		},
-	})
-
-	r.Register(&campaign.Scenario{
-		Name: "table1",
-		Desc: "analytical model vs measured UDP throughput (Table 1)",
-		Axes: []campaign.Axis{
-			{Name: "scheme", Values: []string{"FIFO", "Airtime"}},
-		},
-		Run: func(ctx campaign.Ctx) (*campaign.Metrics, error) {
-			scheme, err := ctxScheme(ctx)
-			if err != nil {
-				return nil, err
-			}
-			run := ctxRun(ctx)
-			rows := table1Rows(run, scheme == mac.SchemeAirtimeFQ)
-			m := campaign.NewMetrics()
-			var model, measured float64
-			for _, row := range rows {
-				m.Add("model-mbps-"+row.Name, row.RateMbps)
-				m.Add("measured-mbps-"+row.Name, row.ExpMbps)
-				model += row.RateMbps
-				measured += row.ExpMbps
-			}
-			m.Add("model-total-mbps", model)
-			m.Add("measured-total-mbps", measured)
-			return m, nil
-		},
-	})
-
+	for _, s := range PaperSpecs() {
+		s.Register(r)
+	}
 	return r
 }

@@ -31,7 +31,7 @@ var (
 	// per-station weight knob the ath9k implementation exposes: a
 	// station's deficit replenishment scales with its weight, giving it
 	// a proportionally larger or smaller airtime share. Weights come
-	// from NetConfig.StationWeights (default 1 everywhere, in which case
+	// from NetConfig.Weights (default 1 everywhere, in which case
 	// the scheme behaves exactly like Airtime).
 	SchemeWeightedAirtime = mac.RegisterScheme("Weighted-Airtime", mac.Composition{
 		Desc:     "integrated structure + weighted deficit airtime scheduler (ath9k weight knob)",

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/mac"
-	"repro/internal/pkt"
 	"repro/internal/stats"
 )
 
@@ -25,28 +24,41 @@ type SparseResult struct {
 	Enabled, Disabled stats.Sample
 }
 
-// sparseRep executes one repetition of one variant and returns the
-// sparse station's RTT sample.
-func sparseRep(run RunConfig, cfg SparseConfig, disable bool) stats.Sample {
-	n := NewNet(NetConfig{
-		Seed:     run.Seed,
-		Scheme:   mac.SchemeAirtimeFQ,
-		Stations: FourStations(),
-		AP:       mac.Config{DisableSparse: disable},
-	})
-	for _, st := range n.Stations[:3] {
-		if cfg.TCP {
-			n.DownloadTCP(st, pkt.ACBE)
-		} else {
-			n.DownloadUDP(st, 50e6, pkt.ACBE)
-		}
+// sparseInstance composes one variant: bulk load on the first three
+// stations, a ping-only fourth, optionally with the optimisation off.
+func sparseInstance(cfg SparseConfig, disable bool) *Instance {
+	bulk := UDPFlood(50e6)
+	if cfg.TCP {
+		bulk = TCPDown()
 	}
-	n.Run(run.Warmup)
-	p := n.Ping(n.Stations[3], 0, 1)
-	n.Run(run.End())
-	var s stats.Sample
-	s.Merge(&p.RTT)
-	return s
+	return &Instance{
+		Net: NetConfig{
+			Scheme:   mac.SchemeAirtimeFQ,
+			Stations: FourStations(),
+			AP:       mac.Config{DisableSparse: disable},
+		},
+		Workloads: []*Workload{
+			bulk.On(FirstStations(3)),
+			Pings(0).On(StationAt(3)),
+		},
+		Probes: []Probe{RTTAt(3, "sparse-rtt-ms")},
+	}
+}
+
+// SpecSparse is the declarative form of the experiment.
+func SpecSparse() *Spec {
+	return &Spec{
+		Name: "sparse",
+		Desc: "sparse-station optimisation latency (Figure 8)",
+		Axes: []campaign.Axis{
+			{Name: "bulk", Values: []string{"udp", "tcp"}},
+			{Name: "opt", Values: []string{"on", "off"}},
+		},
+		Build: func(p Params) (*Instance, error) {
+			cfg := SparseConfig{TCP: p.Str("bulk") == "tcp"}
+			return sparseInstance(cfg, p.Str("opt") == "off"), nil
+		},
+	}
 }
 
 // RunSparse executes both variants under the Airtime scheme; the
@@ -60,7 +72,10 @@ func RunSparse(cfg SparseConfig) *SparseResult {
 	samples := campaign.Map(2*reps, cfg.Run.Workers, func(i int) stats.Sample {
 		disable := i >= reps
 		run := cfg.Run.withSeed(cfg.Run.SeedFor(i % reps))
-		return sparseRep(run, cfg, disable)
+		m, _ := sparseInstance(cfg, disable).Execute(run)
+		var s stats.Sample
+		s.Merge(m.Sample("sparse-rtt-ms"))
+		return s
 	})
 	for i := range samples {
 		if i >= reps {

@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/campaign"
+	"repro/internal/mac"
+)
+
+// A Spec is a declarative experiment definition: a parameter grid plus a
+// builder that resolves one grid point into a concrete Instance —
+// stations × workloads × probes. One generic runner executes any
+// Instance on the campaign engine, so defining a new experiment means
+// composing existing workloads and probes, not writing a runner.
+//
+// Every paper experiment is a Spec (see PaperSpecs); NewRegistry
+// registers them all as campaign scenarios with introspectable
+// metadata.
+type Spec struct {
+	Name string
+	Desc string
+	Axes []campaign.Axis
+
+	// Build resolves a grid point's parameters into the experiment
+	// instance. It must validate parameters and return an error (not
+	// panic) on bad values.
+	Build func(p Params) (*Instance, error)
+}
+
+// Instance is one fully-resolved experiment composition, ready to run.
+type Instance struct {
+	// Net configures the testbed (Seed is overwritten per repetition).
+	Net NetConfig
+	// Workloads attach in station-major order within their phase.
+	Workloads []*Workload
+	// Probes emit metrics in list order when the run ends.
+	Probes []Probe
+}
+
+// Meta builds the instance's introspection record.
+func (inst *Instance) Meta() *campaign.ScenarioMeta {
+	names := make([]string, len(inst.Net.Stations))
+	for i, st := range inst.Net.Stations {
+		names[i] = st.Name
+	}
+	meta := &campaign.ScenarioMeta{Stations: names}
+	for _, w := range inst.Workloads {
+		meta.Workloads = append(meta.Workloads, w.Meta())
+	}
+	for _, p := range inst.Probes {
+		meta.Probes = append(meta.Probes, p.Meta(names))
+	}
+	return meta
+}
+
+// Execute runs one repetition of the instance on its own simulator
+// world: attach start-phase workloads, warm up, attach measure-phase
+// workloads, arm the probes' measurement window, run the measured
+// interval, collect. It returns the emitted metrics and the runtime for
+// callers that want raw window values beyond the emitted metrics.
+func (inst *Instance) Execute(run RunConfig) (*campaign.Metrics, *Runtime) {
+	cfg := inst.Net
+	cfg.Seed = run.Seed
+	n := NewNet(cfg)
+	rt := NewRuntime(n)
+	rt.AttachPhase(inst.Workloads, PhaseStart)
+	n.Run(run.Warmup)
+	rt.AttachPhase(inst.Workloads, PhaseMeasure)
+	rt.Arm()
+	n.Run(run.End())
+	m := campaign.NewMetrics()
+	for _, p := range inst.Probes {
+		p.Collect(m, rt)
+	}
+	return m, rt
+}
+
+// Defaults returns the Spec's default grid point: the first value of
+// every axis.
+func (s *Spec) Defaults() Params {
+	p := make(Params, len(s.Axes))
+	for _, a := range s.Axes {
+		if len(a.Values) > 0 {
+			p[a.Name] = a.Values[0]
+		}
+	}
+	return p
+}
+
+// Scenario wraps the Spec into a campaign scenario: the generic runner
+// as Run, plus metadata introspected from the default grid point.
+func (s *Spec) Scenario() *campaign.Scenario {
+	sc := &campaign.Scenario{
+		Name: s.Name,
+		Desc: s.Desc,
+		Axes: s.Axes,
+		Run: func(ctx campaign.Ctx) (*campaign.Metrics, error) {
+			inst, err := s.Build(paramsFromCtx(ctx, s.Axes))
+			if err != nil {
+				return nil, err
+			}
+			m, _ := inst.Execute(runFromCtx(ctx))
+			return m, nil
+		},
+	}
+	if inst, err := s.Build(s.Defaults()); err == nil {
+		sc.Meta = inst.Meta()
+	}
+	return sc
+}
+
+// Register adds the Spec to a campaign registry.
+func (s *Spec) Register(r *campaign.Registry) { r.Register(s.Scenario()) }
+
+// Params is a resolved parameter assignment (axis name → value).
+type Params map[string]string
+
+// paramsFromCtx extracts the declared axes' values from an engine
+// context.
+func paramsFromCtx(ctx campaign.Ctx, axes []campaign.Axis) Params {
+	p := make(Params, len(axes))
+	for _, a := range axes {
+		p[a.Name] = ctx.Param(a.Name)
+	}
+	return p
+}
+
+// Str returns the named parameter's value ("" if absent).
+func (p Params) Str(name string) string { return p[name] }
+
+// Scheme resolves the conventional "scheme" parameter through the
+// transmit-path registry.
+func (p Params) Scheme() (mac.Scheme, error) { return ParseScheme(p["scheme"]) }
+
+// Float parses the named parameter as a float64.
+func (p Params) Float(name string) (float64, error) {
+	v, err := strconv.ParseFloat(p[name], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %w", name, err)
+	}
+	return v, nil
+}
+
+// Int parses the named parameter as an int.
+func (p Params) Int(name string) (int, error) {
+	v, err := strconv.Atoi(p[name])
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %w", name, err)
+	}
+	return v, nil
+}

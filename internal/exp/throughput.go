@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/mac"
-	"repro/internal/pkt"
 )
 
 // ThroughputConfig configures the TCP download throughput experiment
@@ -24,34 +24,41 @@ type ThroughputResult struct {
 	Average float64
 }
 
-// throughputRep executes one repetition on its own world and returns the
-// per-station goodput in Mbps. run must be a filled single-rep config.
-func throughputRep(run RunConfig, cfg ThroughputConfig) (names []string, mbps []float64) {
-	n := NewNet(NetConfig{
-		Seed:     run.Seed,
-		Scheme:   cfg.Scheme,
-		Stations: DefaultStations(),
-	})
-	recv := make([]func() int64, len(n.Stations))
-	for i, st := range n.Stations {
-		conn := n.DownloadTCP(st, pkt.ACBE)
-		srv := conn.Server() // station side of the download
-		recv[i] = srv.TotalReceived
-		if cfg.Bidir {
-			n.UploadTCP(st, pkt.ACBE)
-		}
+// throughputInstance composes the experiment: bulk TCP down (and
+// optionally up) on every station, per-station goodput plus the average.
+func throughputInstance(cfg ThroughputConfig) *Instance {
+	ws := []*Workload{TCPDown()}
+	if cfg.Bidir {
+		ws = append(ws, TCPUp())
 	}
-	n.Run(run.Warmup)
-	snaps := make([]int64, len(recv))
-	for i, f := range recv {
-		snaps[i] = f()
+	return &Instance{
+		Net:       NetConfig{Scheme: cfg.Scheme, Stations: DefaultStations()},
+		Workloads: ws,
+		Probes: []Probe{
+			PerStation(GoodputCol("mbps-")),
+			AvgGoodput("avg-mbps"),
+		},
 	}
-	n.Run(run.End())
-	mbps = make([]float64, len(recv))
-	for i, f := range recv {
-		mbps[i] = float64(f()-snaps[i]) * 8 / run.Duration.Seconds() / 1e6
+}
+
+// SpecThroughput is the declarative form of the experiment.
+func SpecThroughput() *Spec {
+	return &Spec{
+		Name: "throughput",
+		Desc: "per-station TCP download goodput (Figure 7)",
+		Axes: []campaign.Axis{
+			{Name: "scheme", Values: schemeNames(mac.Schemes)},
+			{Name: "dir", Values: []string{"down"}}, // sweep: down,bidir
+		},
+		Build: func(p Params) (*Instance, error) {
+			scheme, err := p.Scheme()
+			if err != nil {
+				return nil, err
+			}
+			cfg := ThroughputConfig{Scheme: scheme, Bidir: p.Str("dir") == "bidir"}
+			return throughputInstance(cfg), nil
+		},
 	}
-	return n.StationNames(), mbps
 }
 
 // RunThroughput executes the experiment, repetitions in parallel.
@@ -63,8 +70,13 @@ func RunThroughput(cfg ThroughputConfig) *ThroughputResult {
 		mbps  []float64
 	}
 	for _, r := range eachRep(cfg.Run, func(run RunConfig) rep {
-		names, mbps := throughputRep(run, cfg)
-		return rep{names, mbps}
+		_, rt := throughputInstance(cfg).Execute(run)
+		gps := rt.Goodputs()
+		mbps := make([]float64, len(gps))
+		for i, gp := range gps {
+			mbps[i] = gp / 1e6
+		}
+		return rep{rt.Net().StationNames(), mbps}
 	}) {
 		if res.Names == nil {
 			res.Names = r.names

@@ -7,7 +7,6 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/mac"
 	"repro/internal/model"
-	"repro/internal/pkt"
 )
 
 // UDPConfig configures the one-way UDP flood experiment behind Figure 5
@@ -33,29 +32,101 @@ type UDPResult struct {
 	TotalBps float64
 }
 
-// udpRep executes one repetition on its own world.
-func udpRep(run RunConfig, cfg UDPConfig) *UDPResult {
-	n := NewNet(NetConfig{
-		Seed:           run.Seed,
-		Scheme:         cfg.Scheme,
-		Stations:       DefaultStations(),
-		StationWeights: cfg.Weights,
-	})
-	sinks := make([]*sinkRef, len(n.Stations))
-	for i, st := range n.Stations {
-		_, sink := n.DownloadUDP(st, cfg.RateBps, pkt.ACBE)
-		sinks[i] = &sinkRef{bytes: func() int64 { return sink.RcvdBytes }}
+// udpInstance composes the experiment: a CBR flood to every station,
+// per-station share/goodput/aggregation columns plus the total.
+func udpInstance(cfg UDPConfig) *Instance {
+	if cfg.RateBps <= 0 {
+		cfg.RateBps = 50e6
 	}
-	return measureStations(n, run, sinks)
+	return &Instance{
+		Net: NetConfig{
+			Scheme: cfg.Scheme, Stations: DefaultStations(), Weights: cfg.Weights,
+		},
+		Workloads: []*Workload{UDPFlood(cfg.RateBps)},
+		Probes: []Probe{
+			PerStation(ShareCol("share-"), GoodputCol("goodput-mbps-"), AggCol("aggr-")),
+			TotalGoodput("total-mbps"),
+		},
+	}
+}
+
+// SpecUDP is the declarative form of the experiment.
+func SpecUDP() *Spec {
+	return &Spec{
+		Name: "udp",
+		Desc: "airtime shares and goodput under one-way UDP (Figure 5)",
+		Axes: []campaign.Axis{
+			{Name: "scheme", Values: schemeNames(mac.Schemes)},
+			{Name: "rate-mbps", Values: []string{"50"}},
+		},
+		Build: func(p Params) (*Instance, error) {
+			scheme, err := p.Scheme()
+			if err != nil {
+				return nil, err
+			}
+			rate, err := p.Float("rate-mbps")
+			if err != nil {
+				return nil, err
+			}
+			if !(rate > 0) {
+				return nil, fmt.Errorf("rate-mbps must be positive, got %v", rate)
+			}
+			return udpInstance(UDPConfig{Scheme: scheme, RateBps: rate * 1e6}), nil
+		},
+	}
+}
+
+// SpecWeightedUDP is the UDP experiment under per-station airtime
+// weights (the Weighted-Airtime extension scheme's policy knob).
+func SpecWeightedUDP() *Spec {
+	return &Spec{
+		Name: "weighted-udp",
+		Desc: "airtime shares under per-station weights (Weighted-Airtime scheme)",
+		Axes: []campaign.Axis{
+			{Name: "scheme", Values: []string{"Weighted-Airtime"}}, // sweep: any registered scheme
+			{Name: "slow-weight", Values: []string{"2"}},           // sweep: 0.5,1,2,4
+		},
+		Build: func(p Params) (*Instance, error) {
+			scheme, err := p.Scheme()
+			if err != nil {
+				return nil, err
+			}
+			w, err := p.Float("slow-weight")
+			if err != nil || !(w > 0) {
+				return nil, fmt.Errorf("bad slow-weight %q", p.Str("slow-weight"))
+			}
+			inst := udpInstance(UDPConfig{
+				Scheme: scheme, RateBps: 50e6,
+				Weights: map[string]float64{"slow": w},
+			})
+			inst.Probes = []Probe{
+				PerStation(ShareCol("share-"), GoodputCol("goodput-mbps-")),
+			}
+			return inst, nil
+		},
+	}
+}
+
+// udpRep executes one repetition and folds it into a UDPResult.
+func udpRep(run RunConfig, cfg UDPConfig) *UDPResult {
+	_, rt := udpInstance(cfg).Execute(run)
+	n := rt.Net()
+	out := &UDPResult{Names: n.StationNames()}
+	shares := rt.Shares()
+	gps := rt.Goodputs()
+	for i := range n.Stations {
+		out.Shares = append(out.Shares, shares[i])
+		out.Goodput = append(out.Goodput, gps[i])
+		out.TotalBps += gps[i]
+		out.AggMean = append(out.AggMean, rt.AggMean(i))
+	}
+	return out
 }
 
 // RunUDP executes the experiment, repetitions in parallel. Results
 // average over repetitions.
 func RunUDP(cfg UDPConfig) *UDPResult {
 	cfg.Run.fill()
-	if cfg.RateBps <= 0 {
-		cfg.RateBps = 50e6
-	}
 	var res *UDPResult
 	for _, one := range eachRep(cfg.Run, func(run RunConfig) *UDPResult {
 		return udpRep(run, cfg)
@@ -64,57 +135,6 @@ func RunUDP(cfg UDPConfig) *UDPResult {
 	}
 	finish(res, cfg.Run.Reps)
 	return res
-}
-
-// sinkRef abstracts "bytes received so far" for goodput deltas.
-type sinkRef struct {
-	bytes func() int64
-	snap  int64
-}
-
-// measureStations runs warmup+duration and extracts per-station metrics.
-func measureStations(n *Net, run RunConfig, sinks []*sinkRef) *UDPResult {
-	n.Run(run.Warmup)
-	airSnap := n.SnapshotAirtime()
-	aggC := make([]int64, len(n.Stations))
-	aggP := make([]int64, len(n.Stations))
-	for i, st := range n.Stations {
-		aggC[i] = st.APView.AggCount
-		aggP[i] = st.APView.AggPackets
-		if sinks[i] != nil {
-			sinks[i].snap = sinks[i].bytes()
-		}
-	}
-	n.Run(run.End())
-
-	out := &UDPResult{Names: n.StationNames()}
-	air := n.AirtimeSince(airSnap)
-	var totalAir float64
-	for _, a := range air {
-		totalAir += a
-	}
-	dur := run.Duration.Seconds()
-	for i, st := range n.Stations {
-		share := 0.0
-		if totalAir > 0 {
-			share = air[i] / totalAir
-		}
-		out.Shares = append(out.Shares, share)
-		gp := 0.0
-		if sinks[i] != nil {
-			gp = float64(sinks[i].bytes()-sinks[i].snap) * 8 / dur
-		}
-		out.Goodput = append(out.Goodput, gp)
-		out.TotalBps += gp
-		dc := st.APView.AggCount - aggC[i]
-		dp := st.APView.AggPackets - aggP[i]
-		am := 0.0
-		if dc > 0 {
-			am = float64(dp) / float64(dc)
-		}
-		out.AggMean = append(out.AggMean, am)
-	}
-	return out
 }
 
 func accumulate(acc, one *UDPResult, scheme mac.Scheme) *UDPResult {
@@ -171,6 +191,27 @@ type Table1Row struct {
 // airtime-fairness block.
 type Table1Result struct {
 	Baseline, Fair []Table1Row
+}
+
+// SpecTable1 is the declarative form of the Table 1 comparison: the UDP
+// flood workload with the model-versus-measured probe.
+func SpecTable1() *Spec {
+	return &Spec{
+		Name: "table1",
+		Desc: "analytical model vs measured UDP throughput (Table 1)",
+		Axes: []campaign.Axis{
+			{Name: "scheme", Values: []string{"FIFO", "Airtime"}},
+		},
+		Build: func(p Params) (*Instance, error) {
+			scheme, err := p.Scheme()
+			if err != nil {
+				return nil, err
+			}
+			inst := udpInstance(UDPConfig{Scheme: scheme})
+			inst.Probes = []Probe{Table1(scheme == mac.SchemeAirtimeFQ)}
+			return inst, nil
+		},
+	}
 }
 
 // table1Rows measures one scheme and feeds the measured aggregation

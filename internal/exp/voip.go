@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/mac"
 	"repro/internal/pkt"
 	"repro/internal/sim"
@@ -30,40 +31,53 @@ type VoIPResult struct {
 	TotalMbps float64
 }
 
-// voipRep executes one repetition and returns the MOS estimate and total
-// bulk throughput.
-func voipRep(run RunConfig, cfg VoIPConfig) (mos, totalMbps float64) {
-	n := NewNet(NetConfig{
-		Seed:       run.Seed,
-		Scheme:     cfg.Scheme,
-		Stations:   FourStations(), // fast1 fast2 slow fast3
-		WiredDelay: cfg.WiredDelay,
-	})
-	recv := make([]func() int64, 0, len(n.Stations))
-	var slow *Station
-	for _, st := range n.Stations {
-		conn := n.DownloadTCP(st, pkt.ACBE)
-		recv = append(recv, conn.Server().TotalReceived)
-		if st.Name == "slow" {
-			slow = st
-		}
-	}
+// voipInstance composes one cell: bulk TCP to all four stations from
+// t=0, the voice call to the slow station once queues have filled, the
+// call score plus total bulk throughput.
+func voipInstance(cfg VoIPConfig) *Instance {
 	ac := pkt.ACBE
 	if cfg.UseVO {
 		ac = pkt.ACVO
 	}
-	n.Run(run.Warmup)
-	_, sink := n.VoIPDown(slow, ac)
-	snaps := make([]int64, len(recv))
-	for i, f := range recv {
-		snaps[i] = f()
+	return &Instance{
+		Net: NetConfig{
+			Scheme:     cfg.Scheme,
+			Stations:   FourStations(), // fast1 fast2 slow fast3
+			WiredDelay: cfg.WiredDelay,
+		},
+		Workloads: []*Workload{
+			TCPDown(),
+			VoIPCall(ac).On(StationsNamed("slow")),
+		},
+		Probes: []Probe{MOS("mos"), SumRxMbps("thrp-mbps")},
 	}
-	n.Run(run.End())
-	var total int64
-	for i, f := range recv {
-		total += f() - snaps[i]
+}
+
+// SpecVoIP is the declarative form of the experiment.
+func SpecVoIP() *Spec {
+	return &Spec{
+		Name: "voip",
+		Desc: "VoIP MOS and bulk throughput (Table 2)",
+		Axes: []campaign.Axis{
+			{Name: "scheme", Values: schemeNames(mac.Schemes)},
+			{Name: "qos", Values: []string{"BE", "VO"}},
+			{Name: "delay-ms", Values: []string{"5", "50"}},
+		},
+		Build: func(p Params) (*Instance, error) {
+			scheme, err := p.Scheme()
+			if err != nil {
+				return nil, err
+			}
+			delay, err := p.Int("delay-ms")
+			if err != nil {
+				return nil, err
+			}
+			return voipInstance(VoIPConfig{
+				Scheme: scheme, UseVO: p.Str("qos") == "VO",
+				WiredDelay: sim.Time(delay) * sim.Millisecond,
+			}), nil
+		},
 	}
-	return sink.MOS(), float64(total) * 8 / run.Duration.Seconds() / 1e6
 }
 
 // RunVoIP executes the experiment, repetitions in parallel.
@@ -73,13 +87,14 @@ func RunVoIP(cfg VoIPConfig) *VoIPResult {
 		cfg.WiredDelay = 5 * sim.Millisecond
 	}
 	res := &VoIPResult{Scheme: cfg.Scheme, UseVO: cfg.UseVO, Delay: cfg.WiredDelay}
-	type rep struct{ mos, totalMbps float64 }
-	for _, r := range eachRep(cfg.Run, func(run RunConfig) rep {
-		mos, total := voipRep(run, cfg)
-		return rep{mos, total}
+	for _, m := range eachRep(cfg.Run, func(run RunConfig) *campaign.Metrics {
+		m, _ := voipInstance(cfg).Execute(run)
+		return m
 	}) {
-		res.MOS += r.mos
-		res.TotalMbps += r.totalMbps
+		mos, _ := m.Scalar("mos")
+		total, _ := m.Scalar("thrp-mbps")
+		res.MOS += mos
+		res.TotalMbps += total
 	}
 	f := float64(cfg.Run.Reps)
 	res.MOS /= f

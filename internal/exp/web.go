@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/mac"
-	"repro/internal/pkt"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 )
@@ -27,40 +27,60 @@ type WebResult struct {
 	PLT    stats.Sample
 }
 
-// webRep executes one repetition and returns the page-load-time sample.
-func webRep(run RunConfig, cfg WebConfig) stats.Sample {
-	n := NewNet(NetConfig{
-		Seed:     run.Seed,
-		Scheme:   cfg.Scheme,
-		Stations: DefaultStations(), // fast1 fast2 slow
-	})
-	var browser *Station
+// webInstance composes the experiment. Default: the first fast station
+// browses while the slow station bulk-downloads; the appendix variant
+// flips it (the slow station browses against both fast bulk stations).
+func webInstance(cfg WebConfig) *Instance {
+	bulk, browser := StationAt(2), StationAt(0)
 	if cfg.SlowFetches {
-		browser = n.Stations[2]
-		n.DownloadTCP(n.Stations[0], pkt.ACBE)
-		n.DownloadTCP(n.Stations[1], pkt.ACBE)
-	} else {
-		browser = n.Stations[0]
-		n.DownloadTCP(n.Stations[2], pkt.ACBE)
+		bulk, browser = StationAt(0, 1), StationAt(2)
 	}
-	n.Run(run.Warmup)
-	wc := n.Web(browser, cfg.Page)
-	wc.Start()
-	n.Run(run.End())
-	wc.Stop()
-	var s stats.Sample
-	s.Merge(&wc.PLT)
-	return s
+	return &Instance{
+		Net: NetConfig{Scheme: cfg.Scheme, Stations: DefaultStations()}, // fast1 fast2 slow
+		Workloads: []*Workload{
+			TCPDown().On(bulk),
+			WebBrowse(cfg.Page).On(browser),
+		},
+		Probes: []Probe{PLT("plt-ms")},
+	}
+}
+
+// SpecWeb is the declarative form of the experiment.
+func SpecWeb() *Spec {
+	return &Spec{
+		Name: "web",
+		Desc: "web page-load time under bulk load (Figure 11)",
+		Axes: []campaign.Axis{
+			{Name: "scheme", Values: schemeNames(mac.Schemes)},
+			{Name: "page", Values: []string{"small", "large"}},
+			{Name: "browser", Values: []string{"fast"}}, // sweep: fast,slow
+		},
+		Build: func(p Params) (*Instance, error) {
+			scheme, err := p.Scheme()
+			if err != nil {
+				return nil, err
+			}
+			page := traffic.SmallPage
+			if p.Str("page") == "large" {
+				page = traffic.LargePage
+			}
+			return webInstance(WebConfig{
+				Scheme: scheme, Page: page,
+				SlowFetches: p.Str("browser") == "slow",
+			}), nil
+		},
+	}
 }
 
 // RunWeb executes the experiment, repetitions in parallel.
 func RunWeb(cfg WebConfig) *WebResult {
 	cfg.Run.fill()
 	res := &WebResult{Scheme: cfg.Scheme, Page: cfg.Page.Name}
-	for _, s := range eachRep(cfg.Run, func(run RunConfig) stats.Sample {
-		return webRep(run, cfg)
+	for _, m := range eachRep(cfg.Run, func(run RunConfig) *campaign.Metrics {
+		m, _ := webInstance(cfg).Execute(run)
+		return m
 	}) {
-		res.PLT.Merge(&s)
+		res.PLT.Merge(m.Sample("plt-ms"))
 	}
 	return res
 }

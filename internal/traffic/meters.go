@@ -1,0 +1,42 @@
+package traffic
+
+import "repro/internal/stats"
+
+// The measurement surfaces of this package's generators and sinks, so
+// higher layers (the experiment Workload/Probe machinery) can subscribe
+// to any attachment uniformly instead of knowing each concrete type.
+
+// ByteMeter reports cumulative application bytes received.
+type ByteMeter interface{ RxBytes() int64 }
+
+// RTTMeter exposes an accumulated round-trip-time distribution (ms).
+type RTTMeter interface{ RTTSample() *stats.Sample }
+
+// CallScorer scores a received media stream (MOS, 1.0-4.5).
+type CallScorer interface{ MOS() float64 }
+
+// PageTimer exposes an accumulated page-load-time distribution (ms).
+type PageTimer interface{ PLTSample() *stats.Sample }
+
+// Stopper halts a running generator.
+type Stopper interface{ Stop() }
+
+// RxBytes implements ByteMeter.
+func (s *UDPSink) RxBytes() int64 { return s.RcvdBytes }
+
+// RTTSample implements RTTMeter.
+func (p *Pinger) RTTSample() *stats.Sample { return &p.RTT }
+
+// PLTSample implements PageTimer.
+func (w *WebClient) PLTSample() *stats.Sample { return &w.PLT }
+
+var (
+	_ ByteMeter  = (*UDPSink)(nil)
+	_ RTTMeter   = (*Pinger)(nil)
+	_ CallScorer = (*VoIPSink)(nil)
+	_ PageTimer  = (*WebClient)(nil)
+	_ Stopper    = (*UDPSource)(nil)
+	_ Stopper    = (*VoIPSource)(nil)
+	_ Stopper    = (*Pinger)(nil)
+	_ Stopper    = (*WebClient)(nil)
+)

@@ -26,7 +26,14 @@ type (
 	Registry = campaign.Registry
 	// Metrics is the scalar/distribution result set of a single run.
 	Metrics = campaign.Metrics
+	// ScenarioMeta is a scenario's introspectable composition (stations,
+	// workloads, probes, metric names), filled automatically for
+	// Spec-built scenarios.
+	ScenarioMeta = campaign.ScenarioMeta
 )
+
+// NewMetrics returns an empty metric set (for custom probes).
+func NewMetrics() *Metrics { return campaign.NewMetrics() }
 
 // NewScenarioRegistry returns a registry with every paper experiment
 // registered as a parameterisable campaign scenario.

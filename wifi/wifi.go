@@ -107,26 +107,17 @@ func DefaultStations() []StationSpec { return exp.DefaultStations() }
 // VoIP experiments.
 func FourStations() []StationSpec { return exp.FourStations() }
 
-// TestbedConfig configures a testbed.
-type TestbedConfig struct {
-	Seed       uint64
-	Scheme     Scheme
-	Stations   []StationSpec
-	WiredDelay Time // server-AP one-way delay (default 1 ms)
-
-	// Weights assigns relative airtime weights by station name. Only
-	// weight-honouring schemes (Weighted-Airtime) react; the paper's
-	// schemes ignore them.
-	Weights map[string]float64
-
-	// MAC lets advanced users override access-point queueing parameters
-	// (aggregation caps, CoDel thresholds, airtime quantum, MPDU loss).
-	MAC mac.Config
-}
+// TestbedConfig configures a testbed. It is the experiment layer's
+// NetConfig — one configuration path from the facade down to the
+// assembled testbed: Seed, Scheme, Stations, WiredDelay, per-station
+// airtime Weights, and the AP / StationMAC parameter overrides
+// (aggregation caps, CoDel thresholds, airtime quantum, MPDU loss).
+type TestbedConfig = exp.NetConfig
 
 // Testbed is an assembled simulation of the paper's evaluation setup.
 type Testbed struct {
 	net *exp.Net
+	rt  *exp.Runtime
 }
 
 // Station is one wireless client of the testbed.
@@ -134,14 +125,8 @@ type Station = exp.Station
 
 // NewTestbed builds a testbed.
 func NewTestbed(cfg TestbedConfig) *Testbed {
-	return &Testbed{net: exp.NewNet(exp.NetConfig{
-		Seed:           cfg.Seed,
-		Scheme:         cfg.Scheme,
-		Stations:       cfg.Stations,
-		WiredDelay:     cfg.WiredDelay,
-		AP:             cfg.MAC,
-		StationWeights: cfg.Weights,
-	})}
+	n := exp.NewNet(cfg)
+	return &Testbed{net: n, rt: exp.NewRuntime(n)}
 }
 
 // Stations returns the wireless clients in creation order.
@@ -194,6 +179,43 @@ func (t *Testbed) VoIP(st *Station, voQueue bool) *traffic.VoIPSink {
 func (t *Testbed) Web(st *Station, page traffic.WebPage) *traffic.WebClient {
 	return t.net.Web(st, page)
 }
+
+// Attach attaches a composable workload (see workload.go: TCPDownload,
+// UDPDownload, VoIPCall, WebBrowsing, ICMPPings) to its selected
+// stations immediately. The workload publishes its measurement surfaces
+// into the testbed's runtime, where probes — and the Runtime's
+// Shares/Goodputs accessors — can observe it:
+//
+//	tb.Attach(wifi.UDPDownload(50e6))
+//	tb.Run(2 * wifi.Second) // let the bulk load settle
+//	tb.Attach(wifi.VoIPCall(true).On(wifi.StationsNamed("slow")))
+//	tb.Arm() // start the measurement window
+//	tb.Run(12 * wifi.Second)
+//	m := tb.Collect(wifi.ProbePerStation(wifi.ShareCol("share-")))
+func (t *Testbed) Attach(w *Workload) { t.rt.Attach(w) }
+
+// Arm starts the measurement window: byte, airtime and aggregation
+// counters are snapshotted, so share/goodput probes report deltas from
+// this instant. Sample-accumulating surfaces (ping RTTs, page-load
+// times, the call score) cover a workload's whole attached lifetime —
+// attach those workloads after warmup, as in the example above, when
+// only measurement-window samples should count (campaign Specs do this
+// via PhaseMeasure). Re-arming starts a fresh window.
+func (t *Testbed) Arm() { t.rt.Arm() }
+
+// Collect runs the given probes over the measurement window and returns
+// their emitted metrics.
+func (t *Testbed) Collect(probes ...Probe) *Metrics {
+	m := NewMetrics()
+	for _, p := range probes {
+		p.Collect(m, t.rt)
+	}
+	return m
+}
+
+// Runtime exposes the workload/probe fabric for raw window readings
+// (per-station goodput, airtime deltas, RTT samples).
+func (t *Testbed) Runtime() *exp.Runtime { return t.rt }
 
 // AirtimeShares returns each station's share of the airtime consumed so
 // far (TX + RX, as accounted at the access point).
