@@ -1,15 +1,21 @@
 // Command bench measures the simulator's per-packet cost — wall-clock
 // nanoseconds, heap allocations and bytes per simulated packet — for each
 // transmit-path scheme, and writes the results as a JSON artifact
-// (BENCH_3.json). It is the repo's performance trajectory: CI runs it in
-// quick mode on every push, and the committed artifact records the
-// measurement the README's perf table is built from.
+// (BENCH_5.json; BENCH_3.json is the previous generation, kept as the
+// regression baseline). It is the repo's performance trajectory: CI runs
+// it in quick mode on every push, diffs the result against the committed
+// BENCH_3.json, and the committed artifact records the measurement the
+// README's perf table is built from.
 //
 // Usage:
 //
-//	go run ./cmd/bench            # full measurement, writes BENCH_3.json
+//	go run ./cmd/bench            # full measurement, writes BENCH_5.json
 //	go run ./cmd/bench -quick     # short CI mode
 //	go run ./cmd/bench -schemes Airtime,FIFO -dur 5 -out bench.json
+//	go run ./cmd/bench -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// The profile flags capture pprof evidence over the whole measurement
+// run; see README's performance section for the analysis workflow.
 package main
 
 import (
@@ -17,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 
@@ -91,15 +99,41 @@ type Config struct {
 
 func main() {
 	quick := flag.Bool("quick", false, "short CI mode (1 s simulated per iteration)")
-	out := flag.String("out", "BENCH_3.json", "output artifact path (\"-\" for stdout)")
+	out := flag.String("out", "BENCH_5.json", "output artifact path (\"-\" for stdout)")
 	durS := flag.Float64("dur", 3, "simulated seconds per iteration")
 	schemesCSV := flag.String("schemes", "FIFO,FQ-CoDel,FQ-MAC,Airtime,DTT",
 		"comma-separated scheme names to measure")
 	withTCP := flag.Bool("tcp", false, "add bulk TCP downloads to the workload")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering every measured scheme")
+	memProfile := flag.String("memprofile", "", "write an allocation profile taken after the run")
 	flag.Parse()
 
 	if *quick {
 		*durS = 1
+	}
+	// Open both profile sinks before measuring, so a bad path fails in
+	// milliseconds instead of discarding minutes of measurement.
+	var memFile *os.File
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		memFile = f
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	dur := sim.Time(*durS * float64(sim.Second))
 
@@ -153,6 +187,14 @@ func main() {
 		art.Schemes = append(art.Schemes, sr)
 		fmt.Fprintf(os.Stderr, "%-10s %8.1f ns/pkt %7.3f allocs/pkt %8.1f B/pkt  (pool reuse %.1f%%, alloc reduction %.1f%%)\n",
 			name, sr.NsPerPkt, sr.AllocsPerPkt, sr.BytesPerPkt, sr.PoolReusePct, sr.AllocReductionPct)
+	}
+
+	if memFile != nil {
+		runtime.GC() // settle live objects so the profile shows retained allocations
+		if err := pprof.WriteHeapProfile(memFile); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+		}
+		memFile.Close()
 	}
 
 	buf, err := json.MarshalIndent(art, "", "  ")

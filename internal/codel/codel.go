@@ -45,8 +45,13 @@ type Vars struct {
 	LastDropCount int      // total drops, for stats
 }
 
-// controlLaw computes the next drop time: interval / sqrt(count).
+// controlLaw computes the next drop time: interval / sqrt(count), served
+// from the Newton-refined inverse-sqrt cache (see invsqrt.go) for the
+// counts that occur in practice.
 func controlLaw(t sim.Time, interval sim.Time, count uint32) sim.Time {
+	if count <= invSqrtCacheSize {
+		return t + sim.Time(float64(interval)*invSqrtTab[count])
+	}
 	return t + sim.Time(float64(interval)/math.Sqrt(float64(count)))
 }
 

@@ -1,0 +1,42 @@
+// Inverse-square-root cache for the CoDel control law.
+//
+// The control law's next-drop offset is interval/sqrt(count). Linux's
+// codel implementation avoids the per-drop square root by caching a
+// fixed-point reciprocal square root per queue and refining it with one
+// Newton-Raphson step whenever count changes (see codel_Newton_step in
+// include/net/codel_impl.h). This simulator drops the control law far
+// more often than a kernel does — every world in a parallel campaign
+// re-enters it — so the cache here is a single immutable table shared by
+// all queues: entry c holds 1/sqrt(c), seeded with the classic bit-trick
+// estimate and Newton-refined to full float64 precision at init. The law
+// then costs one table load and one multiply; counts beyond the table
+// (deep overload) fall back to the exact division.
+package codel
+
+import "math"
+
+// invSqrtCacheSize bounds the cached drop counts. CoDel counts rarely
+// exceed a few hundred even in sustained overload; 4096 keeps the table
+// at 32 KiB.
+const invSqrtCacheSize = 4096
+
+// invSqrtTab[c] = 1/sqrt(c) for c in 1..invSqrtCacheSize. Entry 0 is
+// unused: the control law is only consulted with count >= 1.
+var invSqrtTab [invSqrtCacheSize + 1]float64
+
+func init() {
+	for c := 1; c <= invSqrtCacheSize; c++ {
+		invSqrtTab[c] = newtonInvSqrt(float64(c))
+	}
+}
+
+// newtonInvSqrt computes 1/sqrt(x) from the bit-level seed estimate via
+// Newton-Raphson iterations. Four refinements take the ~3% seed error to
+// full double precision (within 1 ulp of the correctly rounded result).
+func newtonInvSqrt(x float64) float64 {
+	y := math.Float64frombits(0x5fe6eb50c7b537a9 - math.Float64bits(x)>>1)
+	for i := 0; i < 4; i++ {
+		y *= 1.5 - 0.5*x*y*y
+	}
+	return y
+}

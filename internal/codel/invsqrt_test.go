@@ -1,0 +1,67 @@
+package codel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestInvSqrtCacheMatchesSqrt: every cached entry must agree with the
+// reference 1/math.Sqrt within a 1-ulp-scale tolerance — the Newton
+// refinement converges to the correctly rounded reciprocal square root
+// or its immediate neighbour.
+func TestInvSqrtCacheMatchesSqrt(t *testing.T) {
+	for c := 1; c <= invSqrtCacheSize; c++ {
+		want := 1 / math.Sqrt(float64(c))
+		got := invSqrtTab[c]
+		ulp := math.Nextafter(want, math.Inf(1)) - want
+		if diff := math.Abs(got - want); diff > 2*ulp {
+			t.Fatalf("invSqrtTab[%d] = %v, want %v (diff %v > 2 ulp %v)",
+				c, got, want, diff, ulp)
+		}
+	}
+}
+
+// TestControlLawMatchesReference: the cached control law must reproduce
+// t + interval/sqrt(count) to within one nanosecond (the 1-ulp-scale
+// multiply/divide difference) for every cached count, across the default
+// and slow parameter sets.
+func TestControlLawMatchesReference(t *testing.T) {
+	intervals := []sim.Time{Default().Interval, Slow().Interval}
+	base := sim.Time(123456789)
+	for _, iv := range intervals {
+		for c := uint32(1); c <= invSqrtCacheSize; c++ {
+			got := controlLaw(base, iv, c)
+			want := base + sim.Time(float64(iv)/math.Sqrt(float64(c)))
+			d := got - want
+			if d < -1 || d > 1 {
+				t.Fatalf("controlLaw(%v, %v, %d) = %v, reference %v (off by %d ns)",
+					base, iv, c, got, want, d)
+			}
+		}
+	}
+}
+
+// TestControlLawBeyondCache: counts past the cache fall back to the exact
+// division.
+func TestControlLawBeyondCache(t *testing.T) {
+	iv := Default().Interval
+	c := uint32(invSqrtCacheSize + 500)
+	got := controlLaw(0, iv, c)
+	want := sim.Time(float64(iv) / math.Sqrt(float64(c)))
+	if got != want {
+		t.Fatalf("fallback controlLaw = %v, want exact %v", got, want)
+	}
+}
+
+// BenchmarkControlLaw measures the cached law against the direct
+// sqrt-and-divide form.
+func BenchmarkControlLaw(b *testing.B) {
+	iv := Default().Interval
+	var acc sim.Time
+	for i := 0; i < b.N; i++ {
+		acc = controlLaw(acc, iv, uint32(i&1023)+1)
+	}
+	_ = acc
+}

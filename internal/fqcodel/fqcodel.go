@@ -49,6 +49,12 @@ type flow struct {
 	// list linkage
 	next   *flow
 	inList listID
+	// idx is the flow's position in FQCoDel.flows; occPos its position
+	// in the occupied list, -1 while the queue is empty. Together they
+	// let the over-limit drop policy scan only backlogged flows while
+	// preserving the exact first-longest tie-breaking of a full scan.
+	idx    int
+	occPos int
 }
 
 type listID uint8
@@ -96,12 +102,13 @@ func (l *flowList) popHead() *flow {
 
 // FQCoDel is an instance of the discipline. Create with New.
 type FQCoDel struct {
-	cfg   Config
-	flows []flow
-	newQ  flowList
-	oldQ  flowList
-	len   int
-	drops int
+	cfg      Config
+	flows    []flow
+	occupied []*flow // flows currently holding bytes, in no particular order
+	newQ     flowList
+	oldQ     flowList
+	len      int
+	drops    int
 
 	// stats
 	codelDrops int
@@ -112,7 +119,19 @@ type FQCoDel struct {
 // New creates an FQ-CoDel instance.
 func New(cfg Config) *FQCoDel {
 	cfg.fill()
-	return &FQCoDel{cfg: cfg, flows: make([]flow, cfg.Flows)}
+	fq := &FQCoDel{
+		cfg:   cfg,
+		flows: make([]flow, cfg.Flows),
+		// Backlogged flows are few even under saturation; a small
+		// starting capacity keeps steady-state occupancy tracking
+		// allocation-free.
+		occupied: make([]*flow, 0, 16),
+	}
+	for i := range fq.flows {
+		fq.flows[i].idx = i
+		fq.flows[i].occPos = -1
+	}
+	return fq
 }
 
 // Len implements qdisc.Qdisc.
@@ -137,13 +156,40 @@ func (fq *FQCoDel) drop(p *pkt.Packet) {
 	}
 }
 
-// longestFlow returns the flow with the most queued bytes.
+// occUpdate keeps f's membership in the occupied list in step with its
+// queue: flows enter when they gain their first byte and leave when they
+// drain. Call after any push or pop on f.q.
+func (fq *FQCoDel) occUpdate(f *flow) {
+	if f.q.Bytes() > 0 {
+		if f.occPos < 0 {
+			f.occPos = len(fq.occupied)
+			fq.occupied = append(fq.occupied, f)
+		}
+		return
+	}
+	if f.occPos >= 0 {
+		last := len(fq.occupied) - 1
+		moved := fq.occupied[last]
+		fq.occupied[f.occPos] = moved
+		moved.occPos = f.occPos
+		fq.occupied[last] = nil
+		fq.occupied = fq.occupied[:last]
+		f.occPos = -1
+	}
+}
+
+// longestFlow returns the flow with the most queued bytes. Only the
+// occupied list is scanned; ties resolve to the lowest flow index, which
+// is exactly what a first-longest-wins scan over all flows would pick.
 func (fq *FQCoDel) longestFlow() *flow {
-	var longest *flow
-	for i := range fq.flows {
-		f := &fq.flows[i]
-		if longest == nil || f.q.Bytes() > longest.q.Bytes() {
-			longest = f
+	if len(fq.occupied) == 0 {
+		return &fq.flows[0]
+	}
+	longest := fq.occupied[0]
+	lb := longest.q.Bytes()
+	for _, f := range fq.occupied[1:] {
+		if b := f.q.Bytes(); b > lb || (b == lb && f.idx < longest.idx) {
+			longest, lb = f, b
 		}
 	}
 	return longest
@@ -154,6 +200,7 @@ func (fq *FQCoDel) Enqueue(p *pkt.Packet) bool {
 	f := &fq.flows[p.FlowKey()%uint64(len(fq.flows))]
 	p.Enqueued = fq.cfg.Clock()
 	f.q.Push(p)
+	fq.occUpdate(f)
 	fq.len++
 	if f.inList == listNone {
 		f.deficit = fq.cfg.Quantum
@@ -166,6 +213,7 @@ func (fq *FQCoDel) Enqueue(p *pkt.Packet) bool {
 		if dp == nil {
 			break
 		}
+		fq.occUpdate(victim)
 		fq.len--
 		if dp == p {
 			accepted = false
@@ -205,6 +253,7 @@ func (fq *FQCoDel) Dequeue() *pkt.Packet {
 			fq.codelDrops++
 			fq.drop(dp)
 		})
+		fq.occUpdate(f)
 		if p == nil {
 			if fromNew {
 				// Move to the old list so a queue emptying under its

@@ -1,0 +1,77 @@
+package fqcodel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// refLongestFlow is the original O(flows) reference: first strictly
+// longest flow in index order.
+func refLongestFlow(fq *FQCoDel) *flow {
+	var longest *flow
+	for i := range fq.flows {
+		f := &fq.flows[i]
+		if longest == nil || f.q.Bytes() > longest.q.Bytes() {
+			longest = f
+		}
+	}
+	return longest
+}
+
+// TestLongestFlowMatchesReferenceScan drives a randomized enqueue/dequeue
+// workload and asserts the occupancy-tracked victim selection agrees with
+// the full reference scan at every step, including tie-breaking.
+func TestLongestFlowMatchesReferenceScan(t *testing.T) {
+	s := sim.New(42)
+	fq := New(Config{Flows: 32, Limit: 1 << 30, Clock: s.Now})
+	r := sim.NewRand(7)
+	for step := 0; step < 5000; step++ {
+		if r.Intn(3) != 0 {
+			// Few distinct flows and few sizes force byte-count ties.
+			p := mkp(uint64(r.Intn(6)), 100*(1+r.Intn(3)))
+			fq.Enqueue(p)
+		} else {
+			fq.Dequeue()
+		}
+		got, want := fq.longestFlow(), refLongestFlow(fq)
+		if got != want {
+			t.Fatalf("step %d: longestFlow picked flow %d (%d B), reference scan flow %d (%d B)",
+				step, got.idx, got.q.Bytes(), want.idx, want.q.Bytes())
+		}
+	}
+}
+
+// TestOccupancyListConsistency: after a workload with over-limit drops and
+// CoDel in play, the occupied list must hold exactly the flows with bytes.
+func TestOccupancyListConsistency(t *testing.T) {
+	s := sim.New(1)
+	fq := New(Config{Flows: 16, Limit: 40, Clock: s.Now})
+	r := sim.NewRand(3)
+	for step := 0; step < 3000; step++ {
+		if r.Intn(3) != 0 {
+			fq.Enqueue(mkp(uint64(r.Intn(10)), 64+r.Intn(1400)))
+		} else {
+			fq.Dequeue()
+		}
+	}
+	inList := make(map[*flow]bool)
+	for pos, f := range fq.occupied {
+		if f.occPos != pos {
+			t.Fatalf("flow %d records occPos %d but sits at %d", f.idx, f.occPos, pos)
+		}
+		if f.q.Bytes() == 0 {
+			t.Fatalf("empty flow %d in occupied list", f.idx)
+		}
+		inList[f] = true
+	}
+	for i := range fq.flows {
+		f := &fq.flows[i]
+		if (f.q.Bytes() > 0) != inList[f] {
+			t.Fatalf("flow %d: bytes=%d, in occupied list=%v", i, f.q.Bytes(), inList[f])
+		}
+		if f.q.Bytes() == 0 && f.occPos != -1 {
+			t.Fatalf("empty flow %d has occPos %d", i, f.occPos)
+		}
+	}
+}

@@ -64,6 +64,7 @@ type Medium struct {
 	// scratch, reused across grants.
 	inFlight     []grantEntry
 	completeCall func(any)
+	grantCall    func() // shared trampoline: At(…, m.grant) would allocate per call
 	winners      []*txq
 	virtLosers   []*txq
 	real         []*txq
@@ -101,6 +102,7 @@ type grantEntry struct {
 func NewMedium(s *sim.Sim) *Medium {
 	m := &Medium{sim: s}
 	m.completeCall = func(any) { m.complete() }
+	m.grantCall = func() { m.grant() }
 	return m
 }
 
@@ -179,7 +181,7 @@ func (m *Medium) reschedule() {
 			earliest = r
 		}
 	}
-	m.accessEv = m.sim.At(earliest, m.grant)
+	m.accessEv = m.sim.At(earliest, m.grantCall)
 }
 
 // grant fires when the earliest contender's backoff expires: it resolves

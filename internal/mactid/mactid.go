@@ -55,6 +55,13 @@ type queue struct {
 	tid     *TID // nil when unbound
 	next    *queue
 	inList  listID
+	// idx is the queue's global scan position (hash queues first, then
+	// overflow queues in registration order); occPos its slot in the
+	// occupied list, -1 while empty. The over-limit policy scans only
+	// occupied queues, with idx preserving the full scan's first-longest
+	// tie-breaking.
+	idx    int
+	occPos int
 }
 
 type queueList struct {
@@ -115,6 +122,7 @@ type Fq struct {
 	cfg      Config
 	flows    []queue
 	overflow []*queue // TID overflow queues, registered as TIDs are created
+	occupied []*queue // queues currently holding bytes, in no particular order
 	len      int
 
 	drops      int
@@ -127,7 +135,19 @@ type Fq struct {
 // New creates the shared structure.
 func New(cfg Config) *Fq {
 	cfg.fill()
-	return &Fq{cfg: cfg, flows: make([]queue, cfg.Flows)}
+	fq := &Fq{
+		cfg:   cfg,
+		flows: make([]queue, cfg.Flows),
+		// Backlogged queues are few even under saturation; a small
+		// starting capacity keeps steady-state occupancy tracking
+		// allocation-free.
+		occupied: make([]*queue, 0, 16),
+	}
+	for i := range fq.flows {
+		fq.flows[i].idx = i
+		fq.flows[i].occPos = -1
+	}
+	return fq
 }
 
 // Len reports the total packets queued across all TIDs.
@@ -152,7 +172,7 @@ func (fq *Fq) SparseDequeues() int { return fq.sparseHits }
 // one per (station, traffic identifier).
 func (fq *Fq) NewTID() *TID {
 	t := &TID{fq: fq}
-	t.overflowQ = &queue{}
+	t.overflowQ = &queue{idx: len(fq.flows) + len(fq.overflow), occPos: -1}
 	fq.overflow = append(fq.overflow, t.overflowQ)
 	return t
 }
@@ -164,19 +184,39 @@ func (fq *Fq) drop(p *pkt.Packet) {
 	}
 }
 
-// longestQueue scans every queue (hash and overflow) for the one holding
-// the most bytes.
-func (fq *Fq) longestQueue() *queue {
-	var longest *queue
-	for i := range fq.flows {
-		q := &fq.flows[i]
-		if longest == nil || q.q.Bytes() > longest.q.Bytes() {
-			longest = q
+// occUpdate keeps q's membership in the occupied list in step with its
+// byte count. Call after any push or pop on q.q.
+func (fq *Fq) occUpdate(q *queue) {
+	if q.q.Bytes() > 0 {
+		if q.occPos < 0 {
+			q.occPos = len(fq.occupied)
+			fq.occupied = append(fq.occupied, q)
 		}
+		return
 	}
-	for _, q := range fq.overflow {
-		if q.q.Bytes() > longest.q.Bytes() {
-			longest = q
+	if q.occPos >= 0 {
+		last := len(fq.occupied) - 1
+		moved := fq.occupied[last]
+		fq.occupied[q.occPos] = moved
+		moved.occPos = q.occPos
+		fq.occupied[last] = nil
+		fq.occupied = fq.occupied[:last]
+		q.occPos = -1
+	}
+}
+
+// longestQueue returns the queue (hash or overflow) holding the most
+// bytes. Only occupied queues are scanned; ties resolve to the lowest
+// scan position, matching a first-longest-wins scan over every queue.
+func (fq *Fq) longestQueue() *queue {
+	if len(fq.occupied) == 0 {
+		return &fq.flows[0]
+	}
+	longest := fq.occupied[0]
+	lb := longest.q.Bytes()
+	for _, q := range fq.occupied[1:] {
+		if b := q.q.Bytes(); b > lb || (b == lb && q.idx < longest.idx) {
+			longest, lb = q, b
 		}
 	}
 	return longest
@@ -191,6 +231,7 @@ func (fq *Fq) dropFromLongest() *pkt.Packet {
 	if p == nil {
 		return nil
 	}
+	fq.occUpdate(victim)
 	fq.len--
 	if victim.tid != nil {
 		victim.tid.len--
@@ -230,6 +271,7 @@ func (t *TID) Enqueue(p *pkt.Packet, now sim.Time) bool {
 	q.tid = t
 	p.Enqueued = now
 	q.q.Push(p)
+	fq.occUpdate(q)
 	fq.len++
 	t.len++
 	if q.inList == listNone {
@@ -279,6 +321,7 @@ func (t *TID) Dequeue(now sim.Time, pa codel.Params) *pkt.Packet {
 			fq.codelDrops++
 			fq.drop(dp)
 		})
+		fq.occUpdate(q)
 		if p == nil {
 			if fromNew {
 				t.newQ.popHead()

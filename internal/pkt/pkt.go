@@ -128,6 +128,12 @@ type Packet struct {
 	// Payload sequence metadata for UDP/VoIP loss and jitter accounting.
 	SeqNo int64
 
+	// flowHash memoises FlowKey: the hash inputs (Flow, Src, Dst, Proto)
+	// are fixed at creation, so the avalanche runs at most once per
+	// packet no matter how many queues it crosses. Zero means "not yet
+	// computed"; Pool.Get's zeroing resets it on recycle.
+	flowHash uint64
+
 	// next links packets inside an intrusive Queue (and, between Get and
 	// Put, inside a Pool's free list).
 	next *Packet
@@ -156,7 +162,12 @@ func (p *Packet) Dup() *Packet {
 }
 
 // FlowKey returns the value queues hash on: the transport flow identity.
+// The result is computed once and cached on the packet (the identity
+// fields never change after creation).
 func (p *Packet) FlowKey() uint64 {
+	if p.flowHash != 0 {
+		return p.flowHash
+	}
 	// Mix src/dst/proto with the flow id so different directions and
 	// protocols never collide trivially.
 	h := p.Flow
@@ -166,7 +177,11 @@ func (p *Packet) FlowKey() uint64 {
 	// Final avalanche (splitmix64 finaliser).
 	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
 	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
-	return h ^ (h >> 31)
+	h ^= h >> 31
+	// A zero hash stays uncached (it re-derives to the same value), so
+	// zero can serve as the "not computed" sentinel.
+	p.flowHash = h
+	return h
 }
 
 // Queue is an intrusive FIFO of packets. The zero value is an empty queue.

@@ -140,3 +140,43 @@ func TestStringers(t *testing.T) {
 		t.Fatal("unknown AC stringer empty")
 	}
 }
+
+// TestFlowKeyCachedAcrossRecycle: the memoised flow hash must match the
+// uncached computation, survive Dup, and reset when the packet is
+// recycled through the pool into a new identity.
+func TestFlowKeyCachedAcrossRecycle(t *testing.T) {
+	ref := func(flow uint64, src, dst NodeID, proto Proto) uint64 {
+		h := flow
+		h ^= uint64(src) * 0x9e3779b97f4a7c15
+		h ^= uint64(dst) * 0xc2b2ae3d27d4eb4f
+		h ^= uint64(proto) << 56
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		return h ^ (h >> 31)
+	}
+
+	pl := &Pool{enabled: true}
+	p := pl.Get()
+	p.Flow, p.Src, p.Dst, p.Proto = 7, 1, 2, ProtoUDP
+	want := ref(7, 1, 2, ProtoUDP)
+	if got := p.FlowKey(); got != want {
+		t.Fatalf("FlowKey = %#x, want %#x", got, want)
+	}
+	if got := p.FlowKey(); got != want {
+		t.Fatalf("cached FlowKey = %#x, want %#x", got, want)
+	}
+	if d := p.Dup(); d.FlowKey() != want {
+		t.Fatal("Dup changed the flow key")
+	}
+
+	// Recycle into a different flow identity: the memo must not leak.
+	pl.Put(p)
+	q := pl.Get()
+	if q != p {
+		t.Fatal("pool did not recycle the packet")
+	}
+	q.Flow, q.Src, q.Dst, q.Proto = 8, 3, 4, ProtoTCP
+	if got, want := q.FlowKey(), ref(8, 3, 4, ProtoTCP); got != want {
+		t.Fatalf("recycled FlowKey = %#x, want %#x (stale memo?)", got, want)
+	}
+}

@@ -1,9 +1,9 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
 // The engine maintains a virtual clock with nanosecond resolution and a
-// binary-heap event queue. Events scheduled for the same instant fire in
-// the order they were scheduled, which keeps runs fully deterministic for
-// a given seed.
+// monomorphic indexed 4-ary heap as its event queue. Events scheduled for
+// the same instant fire in the order they were scheduled, which keeps runs
+// fully deterministic for a given seed.
 //
 // The engine's hot path is allocation-free in steady state: fired and
 // cancelled events return to a per-world free list and are recycled by
@@ -11,10 +11,15 @@
 // scheduling returns an EventRef — a generation-counted handle that
 // turns into a harmless no-op if the event it named has already fired
 // and been recycled.
+//
+// Cancellation is lazy: Cancel marks the event dead in O(1) instead of
+// unlinking it from the heap, and dead events are skipped (and recycled)
+// when they surface at the top. The run loop drains all events of one
+// instant as a batch; events that callbacks schedule for the very instant
+// being drained bypass the heap entirely on a FIFO side queue.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -48,16 +53,17 @@ func (t Time) String() string {
 }
 
 // Event is a scheduled callback. Events are owned by the Sim: they are
-// recycled into a free list when they fire or are cancelled, so outside
-// code refers to them only through the generation-counted EventRef.
+// recycled into a free list when they fire or are skipped after a lazy
+// cancel, so outside code refers to them only through the
+// generation-counted EventRef.
 type Event struct {
 	at    Time
 	seq   uint64
 	fn    func()
 	fnArg func(any) // used instead of fn when scheduled via AtCall
 	arg   any
-	index int    // heap index, -1 when not queued
 	gen   uint32 // bumped on recycle; stale EventRefs stop matching
+	dead  bool   // lazily cancelled; skipped and recycled at pop
 }
 
 // EventRef is a handle to a scheduled event. The zero value names no
@@ -75,7 +81,7 @@ func (r EventRef) Valid() bool { return r.e != nil }
 
 // Scheduled reports whether the referenced event is still pending.
 func (r EventRef) Scheduled() bool {
-	return r.e != nil && r.e.gen == r.gen && r.e.index >= 0
+	return r.e != nil && r.e.gen == r.gen && !r.e.dead
 }
 
 // Time reports when the referenced event is scheduled to fire, or 0 when
@@ -87,33 +93,21 @@ func (r EventRef) Time() Time {
 	return r.e.at
 }
 
-type eventHeap []*Event
+// slot is one 4-ary heap cell. The ordering key (at, seq) is stored
+// inline so sift comparisons never chase the event pointer.
+type slot struct {
+	at  Time
+	seq uint64
+	e   *Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a fires strictly before b: earlier time first,
+// schedule order within an instant.
+func (a slot) before(b slot) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Sim is a discrete-event simulator instance. The zero value is not usable;
@@ -121,9 +115,17 @@ func (h *eventHeap) Pop() any {
 type Sim struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []slot // 4-ary min-heap on (at, seq)
 	rng    *Rand
 	nRun   uint64 // events executed
+	live   int    // scheduled events not yet fired or cancelled
+
+	// nowQ holds events scheduled for the instant currently being
+	// drained: they are guaranteed to sort after everything at that
+	// instant already in the heap, so a FIFO append is both cheaper
+	// than a heap push and order-exact.
+	nowQ     []*Event
+	draining bool // inside runInstant; at == now schedules divert to nowQ
 
 	free      []*Event // recycled events
 	allocated uint64   // events ever heap-allocated
@@ -154,8 +156,9 @@ func (s *Sim) EventsRun() uint64 { return s.nRun }
 // (as opposed to recycled from the free list), for benchmarks.
 func (s *Sim) EventsAllocated() uint64 { return s.allocated }
 
-// Pending reports the number of events currently queued.
-func (s *Sim) Pending() int { return len(s.events) }
+// Pending reports the number of events currently scheduled to fire
+// (cancelled events awaiting lazy recycling are not counted).
+func (s *Sim) Pending() int { return s.live }
 
 // SetEventPooling enables or disables event recycling (enabled by
 // default). Disabling trades allocations for an exact-lifecycle mode in
@@ -179,7 +182,7 @@ func (s *Sim) getEvent() *Event {
 		return e
 	}
 	s.allocated++
-	return &Event{index: -1}
+	return &Event{}
 }
 
 // recycle invalidates every outstanding ref to e and returns it to the
@@ -189,10 +192,67 @@ func (s *Sim) recycle(e *Event) {
 	e.fn = nil
 	e.fnArg = nil
 	e.arg = nil
-	e.index = -1
+	e.dead = false
 	if s.pooling {
 		s.free = append(s.free, e)
 	}
+}
+
+// push inserts e into the 4-ary heap (sift-up).
+func (s *Sim) push(e *Event) {
+	sl := slot{at: e.at, seq: e.seq, e: e}
+	h := s.events
+	i := len(h)
+	h = append(h, sl)
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !sl.before(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = sl
+	s.events = h
+}
+
+// pop removes and returns the heap minimum (sift-down). The heap must not
+// be empty.
+func (s *Sim) pop() *Event {
+	h := s.events
+	top := h[0].e
+	n := len(h) - 1
+	last := h[n]
+	h[n] = slot{}
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			// Find the least of up to four children.
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if h[j].before(h[m]) {
+					m = j
+				}
+			}
+			if !h[m].before(last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	s.events = h
+	return top
 }
 
 // schedule enqueues a prepared event at absolute time at.
@@ -203,7 +263,15 @@ func (s *Sim) schedule(e *Event, at Time) EventRef {
 	e.at = at
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, e)
+	s.live++
+	if s.draining && at == s.now {
+		// Scheduled for the instant being drained: every event of this
+		// instant already queued carries a smaller seq, so FIFO order on
+		// the side queue is exactly (at, seq) order — no heap traffic.
+		s.nowQ = append(s.nowQ, e)
+	} else {
+		s.push(e)
+	}
 	return EventRef{e: e, gen: e.gen}
 }
 
@@ -243,24 +311,27 @@ func (s *Sim) AfterCall(d Time, fn func(any), arg any) EventRef {
 
 // Cancel removes a scheduled event. Cancelling a stale or zero ref
 // (the event already fired or was already cancelled) is a no-op.
+//
+// Cancellation is lazy and O(1): the event is only marked dead. It keeps
+// its place in the queue and is recycled when it reaches the front.
 func (s *Sim) Cancel(r EventRef) {
 	e := r.e
-	if e == nil || e.gen != r.gen || e.index < 0 {
+	if e == nil || e.gen != r.gen || e.dead {
 		return
 	}
-	heap.Remove(&s.events, e.index)
-	s.recycle(e)
+	e.dead = true
+	e.fn = nil
+	e.fnArg = nil
+	e.arg = nil
+	s.live--
 }
 
-// Step runs the next event, advancing the clock. It reports false when no
-// events remain.
-func (s *Sim) Step() bool {
-	if len(s.events) == 0 {
-		return false
-	}
-	e := heap.Pop(&s.events).(*Event)
-	s.now = e.at
+// exec fires e: the event is recycled first (so refs to it are stale
+// during its own callback, and the callback may immediately reuse the
+// object via a new schedule), then its function runs.
+func (s *Sim) exec(e *Event) {
 	s.nRun++
+	s.live--
 	fn, fnArg, arg := e.fn, e.fnArg, e.arg
 	s.recycle(e)
 	if fnArg != nil {
@@ -268,17 +339,102 @@ func (s *Sim) Step() bool {
 	} else {
 		fn()
 	}
+}
+
+// next reports the time of the next live event, discarding dead events
+// that have surfaced at the heap top. ok is false when no live events
+// remain.
+func (s *Sim) next() (t Time, ok bool) {
+	for len(s.events) > 0 {
+		if e := s.events[0].e; e.dead {
+			s.pop()
+			s.recycle(e)
+			continue
+		}
+		return s.events[0].at, true
+	}
+	return 0, false
+}
+
+// Step runs the next event, advancing the clock. It reports false when no
+// events remain.
+func (s *Sim) Step() bool {
+	if _, ok := s.next(); !ok {
+		return false
+	}
+	e := s.pop()
+	s.now = e.at
+	s.exec(e)
 	return true
+}
+
+// runInstant advances the clock to t and fires, in schedule order, every
+// event of that instant: first the events already heaped at t (a batched
+// same-instant pop — the heap top is re-examined, not re-built, between
+// pops), then the nowQ side queue of events the callbacks themselves
+// scheduled for t. It returns false when maxEvents (if non-zero) was
+// exhausted mid-instant; the un-fired remainder is pushed back onto the
+// heap so a later run resumes in exact order.
+func (s *Sim) runInstant(t Time, maxEvents uint64) bool {
+	s.now = t
+	s.draining = true
+	for len(s.events) > 0 && s.events[0].at == t {
+		e := s.pop()
+		if e.dead {
+			s.recycle(e)
+			continue
+		}
+		s.exec(e)
+		if maxEvents > 0 && s.nRun >= maxEvents {
+			s.stopDraining()
+			return false
+		}
+	}
+	for i := 0; i < len(s.nowQ); i++ {
+		e := s.nowQ[i]
+		s.nowQ[i] = nil
+		if e.dead {
+			s.recycle(e)
+			continue
+		}
+		s.exec(e)
+		if maxEvents > 0 && s.nRun >= maxEvents {
+			s.nowQ = s.nowQ[:copy(s.nowQ, s.nowQ[i+1:])]
+			s.stopDraining()
+			return false
+		}
+	}
+	s.nowQ = s.nowQ[:0]
+	s.draining = false
+	return true
+}
+
+// stopDraining ends an instant drain early, spilling any unfired nowQ
+// events back into the heap (their original seq keeps them ordered).
+func (s *Sim) stopDraining() {
+	for _, e := range s.nowQ {
+		if e == nil {
+			continue
+		}
+		if e.dead {
+			s.recycle(e)
+			continue
+		}
+		s.push(e)
+	}
+	s.nowQ = s.nowQ[:0]
+	s.draining = false
 }
 
 // RunUntil executes events until the clock would pass end or the queue
 // empties. The clock is left at end if it was reached.
 func (s *Sim) RunUntil(end Time) {
-	for len(s.events) > 0 {
-		if s.events[0].at > end {
+	for {
+		t, ok := s.next()
+		if !ok || t > end {
 			break
 		}
-		s.Step()
+		s.runInstant(t, 0)
 	}
 	if s.now < end {
 		s.now = end
@@ -288,8 +444,12 @@ func (s *Sim) RunUntil(end Time) {
 // Run executes events until the queue is empty. maxEvents guards against
 // runaway models; zero means no limit.
 func (s *Sim) Run(maxEvents uint64) {
-	for s.Step() {
-		if maxEvents > 0 && s.nRun >= maxEvents {
+	for {
+		t, ok := s.next()
+		if !ok {
+			return
+		}
+		if !s.runInstant(t, maxEvents) {
 			return
 		}
 	}
