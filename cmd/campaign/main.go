@@ -98,7 +98,7 @@ flags of run and sweep:
 func list(reg *campaign.Registry) {
 	fmt.Println("scenarios:")
 	for _, sc := range reg.Scenarios() {
-		fmt.Printf("%-12s %s\n", sc.Name, sc.Desc)
+		fmt.Printf("%-12s %s%s\n", sc.Name, sc.Desc, stationTotal(sc))
 		for _, a := range sc.Axes {
 			fmt.Printf("  %-18s %s\n", a.Name, strings.Join(a.Values, ", "))
 		}
@@ -107,6 +107,18 @@ func list(reg *campaign.Registry) {
 	for _, s := range mac.AllSchemes() {
 		fmt.Printf("%-18s %s\n", s, s.Desc())
 	}
+}
+
+// stationTotal renders a scenario's default-point station count — with
+// its BSS count for multi-BSS worlds — as a list suffix.
+func stationTotal(sc *campaign.Scenario) string {
+	if sc.Meta == nil {
+		return ""
+	}
+	if t := sc.Meta.Topology; t != nil {
+		return fmt.Sprintf("  [%d stations / %d BSS]", t.TotalStations, t.BSSCount)
+	}
+	return fmt.Sprintf("  [%d stations]", len(sc.Meta.Stations))
 }
 
 // describe prints one scenario's declarative composition from its Spec
@@ -132,6 +144,14 @@ func describe(reg *campaign.Registry, args []string) {
 	if sc.Meta == nil {
 		fmt.Println("\n(no composition metadata — hand-written scenario)")
 		return
+	}
+	if t := sc.Meta.Topology; t != nil {
+		per := make([]string, len(t.StationsPerBSS))
+		for i, n := range t.StationsPerBSS {
+			per[i] = fmt.Sprint(n)
+		}
+		fmt.Printf("\ntopology (default point): %d co-channel BSS, %d stations total (per BSS: %s)\n",
+			t.BSSCount, t.TotalStations, strings.Join(per, ", "))
 	}
 	fmt.Printf("\nstations (default point): %s\n", strings.Join(sc.Meta.Stations, ", "))
 	fmt.Println("\nworkloads:")

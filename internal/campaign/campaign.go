@@ -73,6 +73,18 @@ type ScenarioMeta struct {
 	Stations  []string       `json:"stations"`
 	Workloads []WorkloadMeta `json:"workloads"`
 	Probes    []ProbeMeta    `json:"probes"`
+
+	// Topology describes multi-BSS scenarios; nil for the single-AP
+	// ones.
+	Topology *TopologyMeta `json:"topology,omitempty"`
+}
+
+// TopologyMeta describes a multi-BSS world: how many co-channel BSSs the
+// scenario builds and how its stations spread across them.
+type TopologyMeta struct {
+	BSSCount       int   `json:"bss_count"`
+	StationsPerBSS []int `json:"stations_per_bss"`
+	TotalStations  int   `json:"total_stations"`
 }
 
 // WorkloadMeta describes one traffic attachment of a scenario.

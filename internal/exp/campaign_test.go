@@ -13,7 +13,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	r := NewRegistry()
 	want := []string{"latency", "udp", "fairness", "throughput", "sparse",
-		"scale", "voip", "web", "weighted-udp", "table1", "mixed"}
+		"scale", "voip", "web", "weighted-udp", "table1", "mixed", "dense"}
 	names := r.Names()
 	if len(names) != len(want) {
 		t.Fatalf("scenarios = %v, want %v", names, want)

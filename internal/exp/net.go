@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/bss"
 	"repro/internal/ether"
 	"repro/internal/mac"
 	"repro/internal/phy"
@@ -22,11 +23,13 @@ import (
 	"repro/internal/traffic"
 )
 
-// Node identifiers.
+// Node identifiers of the single-BSS (legacy) topology. Multi-BSS worlds
+// allocate per-BSS identifier windows through internal/bss; BSS 0's
+// window reproduces these values exactly.
 const (
-	ServerID  pkt.NodeID = 1
-	APID      pkt.NodeID = 2
-	StationID pkt.NodeID = 10 // stations are StationID, StationID+1, ...
+	ServerID  pkt.NodeID = bss.ServerOffset
+	APID      pkt.NodeID = bss.APOffset
+	StationID pkt.NodeID = bss.StationOffset // stations are StationID, StationID+1, ...
 )
 
 // FastRate and SlowRate are the paper's station rates: MCS15 HT20 SGI
@@ -42,11 +45,26 @@ type StationSpec struct {
 	Rate phy.Rate
 }
 
+// BSSSpec describes one BSS of a multi-BSS topology: a named AP and its
+// stations. Station names must be unique across the whole world (probes
+// and weights address stations by name).
+type BSSSpec struct {
+	Name     string
+	Stations []StationSpec
+}
+
 // NetConfig configures a testbed instance.
 type NetConfig struct {
 	Seed     uint64
 	Scheme   mac.Scheme
 	Stations []StationSpec
+
+	// BSSs, when non-empty, selects the multi-BSS topology form: every
+	// listed BSS gets its own AP (running Scheme), wired server and
+	// stations, all sharing one medium so co-channel APs contend (OBSS).
+	// Mutually exclusive with Stations, which remains the single-BSS
+	// shorthand.
+	BSSs []BSSSpec
 
 	// WiredDelay is the one-way delay of the server-AP hop (default
 	// 1 ms; the VoIP experiments use 5 ms and 50 ms).
@@ -73,9 +91,14 @@ type Station struct {
 	TCP    *tcp.Host
 	APView *mac.Station // the AP's per-station state (airtime, aggregation)
 	Rate   phy.Rate
+
+	Cell *Net // the station's own BSS (traffic helpers route through it)
+	BSS  int  // the station's BSS index in the world
 }
 
-// Net is an assembled testbed.
+// Net is one assembled BSS of a testbed world: an AP, its wired segment
+// (link + server) and its stations. A single-BSS world's only Net is the
+// historical testbed, unchanged.
 type Net struct {
 	Sim      *sim.Sim
 	Env      *mac.Env
@@ -85,37 +108,112 @@ type Net struct {
 	ServerTC *tcp.Host
 	Stations []*Station
 
+	World *World // the world this BSS belongs to
+	BSS   int    // this BSS's index in the world
+
 	flowCtr uint64
 }
 
-// NewNet builds the testbed. The scheme must be registered; resolve
-// names through ParseScheme first (an unregistered scheme panics here,
-// as a testbed cannot exist without its transmit path).
-func NewNet(cfg NetConfig) *Net {
+// World is an assembled multi-BSS testbed: every cell's transmitters
+// share one medium, so co-channel APs contend with each other exactly as
+// intra-BSS transmitters do.
+type World struct {
+	Sim   *sim.Sim
+	Env   *mac.Env
+	MAC   *bss.World
+	Cells []*Net
+
+	// Stations flattens every cell's stations in cell-major order — the
+	// index space probes and workload targets operate in.
+	Stations []*Station
+
+	cellStart []int // Stations offset of each cell, plus a final sentinel
+}
+
+// BuildWorld assembles a testbed world. The single-BSS Stations form and
+// the multi-BSS BSSs form build through the same path, so a one-BSS
+// world is structurally identical to the historical single-AP testbed.
+// The scheme must be registered; resolve names through ParseScheme first
+// (an unregistered scheme panics here, as a testbed cannot exist without
+// its transmit path).
+func BuildWorld(cfg NetConfig) *World {
 	if cfg.WiredDelay == 0 {
 		cfg.WiredDelay = 1 * sim.Millisecond
 	}
+	specs := cfg.BSSs
+	if len(specs) == 0 {
+		specs = []BSSSpec{{Name: "ap", Stations: cfg.Stations}}
+	} else if len(cfg.Stations) > 0 {
+		panic("exp: NetConfig sets both Stations and BSSs; pick one topology form")
+	}
+	top := make(bss.Topology, len(specs))
+	for b, sp := range specs {
+		name := sp.Name
+		if name == "" {
+			name = fmt.Sprintf("bss%d", b)
+		}
+		defs := make([]bss.StationDef, len(sp.Stations))
+		for i, st := range sp.Stations {
+			defs[i] = bss.StationDef{Name: st.Name, Rate: st.Rate}
+		}
+		top[b] = bss.Def{Name: name, Stations: defs}
+	}
+
 	s := sim.New(cfg.Seed)
 	env := mac.NewEnv(s)
-	n := &Net{Sim: s, Env: env}
-
 	apCfg := cfg.AP
 	apCfg.Scheme = cfg.Scheme
-	ap, err := mac.NewNode(env, APID, "ap", apCfg)
+	staCfg := cfg.StationMAC
+	staCfg.Scheme = mac.SchemeFIFO
+	mw, err := bss.Build(env, top, bss.Config{AP: apCfg, Station: staCfg})
 	if err != nil {
-		panic(fmt.Sprintf("exp: building AP: %v", err))
+		panic(fmt.Sprintf("exp: building world: %v", err))
 	}
-	n.AP = ap
 
-	n.Link = ether.NewLink(s, ether.GigabitRate, cfg.WiredDelay)
-	n.Server = traffic.NewHost(s, ServerID, n.Link.SendAToB)
-	n.ServerTC = &tcp.Host{Sim: s, ID: ServerID, Out: n.Server.Out}
+	w := &World{Sim: s, Env: env, MAC: mw}
+	for _, cell := range mw.Cells {
+		w.cellStart = append(w.cellStart, len(w.Stations))
+		n := newCellNet(w, cell, cfg.WiredDelay)
+		w.Cells = append(w.Cells, n)
+		w.Stations = append(w.Stations, n.Stations...)
+	}
+	w.cellStart = append(w.cellStart, len(w.Stations))
+
+	for name, weight := range cfg.Weights {
+		st := w.stationByName(name)
+		if st == nil {
+			panic(fmt.Sprintf("exp: Weights names unknown station %q (stations: %s)",
+				name, strings.Join(w.StationNames(), ", ")))
+		}
+		st.Cell.AP.SetStationWeight(st.APView, weight)
+	}
+	return w
+}
+
+// NewNet builds a single-BSS testbed — the historical entry point, now a
+// one-cell world.
+func NewNet(cfg NetConfig) *Net {
+	if len(cfg.BSSs) > 0 {
+		panic("exp: NewNet builds single-BSS testbeds; use BuildWorld for multi-BSS configs")
+	}
+	return BuildWorld(cfg).Cells[0]
+}
+
+// newCellNet wraps one MAC-level cell with its wired segment and
+// application hosts.
+func newCellNet(w *World, cell *bss.Cell, wiredDelay sim.Time) *Net {
+	s := w.Sim
+	n := &Net{Sim: s, Env: w.Env, AP: cell.AP, World: w, BSS: cell.Index}
+	serverID := bss.ServerID(cell.Index)
+	n.Link = ether.NewLink(s, ether.GigabitRate, wiredDelay)
+	n.Server = traffic.NewHost(s, serverID, n.Link.SendAToB)
+	n.ServerTC = &tcp.Host{Sim: s, ID: serverID, Out: n.Server.Out}
 	n.Link.DeliverA = n.Server.Deliver
 	n.Link.DeliverB = n.downlink
 
 	// Traffic the AP receives over the air heads for the wired segment.
 	n.AP.Deliver = func(p *pkt.Packet) {
-		if p.Dst == ServerID {
+		if p.Dst == serverID {
 			n.Link.SendBToA(p)
 			return
 		}
@@ -123,18 +221,16 @@ func NewNet(cfg NetConfig) *Net {
 		n.AP.Input(p)
 	}
 
-	staCfg := cfg.StationMAC
-	staCfg.Scheme = mac.SchemeFIFO
-	for i, spec := range cfg.Stations {
-		n.addStation(pkt.NodeID(int(StationID)+i), spec, staCfg)
-	}
-	for name, w := range cfg.Weights {
-		st := n.stationByName(name)
-		if st == nil {
-			panic(fmt.Sprintf("exp: Weights names unknown station %q (stations: %s)",
-				name, strings.Join(n.StationNames(), ", ")))
+	for i, node := range cell.Stations {
+		host := traffic.NewHost(s, node.ID, node.Input)
+		node.Deliver = host.Deliver
+		st := &Station{
+			Name: cell.Defs[i].Name, Node: node, Host: host,
+			TCP:    &tcp.Host{Sim: s, ID: node.ID, Out: host.Out},
+			APView: cell.APViews[i], Rate: cell.Defs[i].Rate,
+			Cell: n, BSS: cell.Index,
 		}
-		n.AP.SetStationWeight(st.APView, w)
+		n.Stations = append(n.Stations, st)
 	}
 	return n
 }
@@ -149,26 +245,19 @@ func (n *Net) stationByName(name string) *Station {
 	return nil
 }
 
+// stationByName searches every cell's stations for the given name.
+func (w *World) stationByName(name string) *Station {
+	for _, st := range w.Stations {
+		if st.Name == name {
+			return st
+		}
+	}
+	return nil
+}
+
 // downlink feeds packets arriving from the wire into the AP's transmit
 // path.
 func (n *Net) downlink(p *pkt.Packet) { n.AP.Input(p) }
-
-func (n *Net) addStation(id pkt.NodeID, spec StationSpec, cfg mac.Config) {
-	node, err := mac.NewNode(n.Env, id, spec.Name, cfg)
-	if err != nil {
-		panic(fmt.Sprintf("exp: building station %s: %v", spec.Name, err))
-	}
-	host := traffic.NewHost(n.Sim, id, node.Input)
-	node.Deliver = host.Deliver
-	apView := n.AP.AddStation(node, spec.Rate)
-	node.AddStation(n.AP, spec.Rate)
-	st := &Station{
-		Name: spec.Name, Node: node, Host: host,
-		TCP:    &tcp.Host{Sim: n.Sim, ID: id, Out: host.Out},
-		APView: apView, Rate: spec.Rate,
-	}
-	n.Stations = append(n.Stations, st)
-}
 
 // Flow allocates a fresh flow identifier.
 func (n *Net) Flow() uint64 {
@@ -178,6 +267,18 @@ func (n *Net) Flow() uint64 {
 
 // Run advances the simulation to the given absolute time.
 func (n *Net) Run(until sim.Time) { n.Sim.RunUntil(until) }
+
+// Run advances the simulation to the given absolute time.
+func (w *World) Run(until sim.Time) { w.Sim.RunUntil(until) }
+
+// BSSCount returns the number of cells in the world.
+func (w *World) BSSCount() int { return len(w.Cells) }
+
+// BSSRange returns the [lo, hi) range of BSS b's stations inside the
+// flattened Stations slice.
+func (w *World) BSSRange(b int) (lo, hi int) {
+	return w.cellStart[b], w.cellStart[b+1]
+}
 
 // --- Traffic helpers -----------------------------------------------------
 
@@ -279,10 +380,45 @@ func (n *Net) AirtimeSince(snap AirtimeSnapshot) []float64 {
 	return out
 }
 
+// SnapshotAirtime records the current airtime counters of every station
+// in the world.
+func (w *World) SnapshotAirtime() AirtimeSnapshot {
+	snap := AirtimeSnapshot{
+		tx: make([]sim.Time, len(w.Stations)),
+		rx: make([]sim.Time, len(w.Stations)),
+	}
+	for i, st := range w.Stations {
+		snap.tx[i] = st.APView.TxAirtime
+		snap.rx[i] = st.APView.RxAirtime
+	}
+	return snap
+}
+
+// AirtimeSince returns each station's airtime accumulated since the
+// snapshot (TX + RX), in seconds, in flattened world order.
+func (w *World) AirtimeSince(snap AirtimeSnapshot) []float64 {
+	out := make([]float64, len(w.Stations))
+	for i, st := range w.Stations {
+		d := (st.APView.TxAirtime - snap.tx[i]) + (st.APView.RxAirtime - snap.rx[i])
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
 // StationNames lists station names in creation order.
 func (n *Net) StationNames() []string {
 	names := make([]string, len(n.Stations))
 	for i, st := range n.Stations {
+		names[i] = st.Name
+	}
+	return names
+}
+
+// StationNames lists every cell's station names in flattened world
+// order.
+func (w *World) StationNames() []string {
+	names := make([]string, len(w.Stations))
+	for i, st := range w.Stations {
 		names[i] = st.Name
 	}
 	return names

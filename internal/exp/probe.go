@@ -84,7 +84,7 @@ func (p perStation) Meta(stations []string) campaign.ProbeMeta {
 }
 
 func (p perStation) Collect(m *campaign.Metrics, rt *Runtime) {
-	for i, st := range rt.net.Stations {
+	for i, st := range rt.w.Stations {
 		for _, c := range p.cols {
 			m.Add(c.Prefix+st.Name, c.value(rt, i))
 		}
@@ -223,6 +223,111 @@ func (p sharesDist) Collect(m *campaign.Metrics, rt *Runtime) {
 	m.AddSample(p.name, s)
 }
 
+// --- Per-BSS probes ------------------------------------------------------
+//
+// Multi-BSS worlds measure two fairness layers: how evenly the medium
+// splits between co-channel BSSs (OBSS occupancy, a medium property) and
+// how fair each AP's scheduler is to its own stations (intra-BSS
+// airtime, the paper's metric). The probes below emit both; they take
+// the BSS count explicitly so their metric schema is introspectable
+// without building a world.
+
+// BSSShares emits each BSS's share of the medium busy time consumed over
+// the window, under fmt.Sprintf(format, b) names (e.g. "bss-share-%d").
+func BSSShares(format string, bssCount int) Probe { return bssShares{format, bssCount} }
+
+type bssShares struct {
+	format string
+	n      int
+}
+
+func (p bssShares) Meta([]string) campaign.ProbeMeta {
+	meta := campaign.ProbeMeta{Name: "bss-shares"}
+	for b := 0; b < p.n; b++ {
+		meta.Metrics = append(meta.Metrics, fmt.Sprintf(p.format, b))
+	}
+	return meta
+}
+
+func (p bssShares) Collect(m *campaign.Metrics, rt *Runtime) {
+	shares := stats.Shares(rt.BSSBusyDeltas())
+	for b := 0; b < p.n; b++ {
+		v := 0.0
+		if b < len(shares) {
+			v = shares[b]
+		}
+		m.Add(fmt.Sprintf(p.format, b), v)
+	}
+}
+
+// OBSSJain emits Jain's fairness index across the BSSs' busy-time
+// shares — 1.0 means the co-channel APs split the medium evenly.
+func OBSSJain(name string) Probe { return obssJain{name} }
+
+type obssJain struct{ name string }
+
+func (p obssJain) Meta([]string) campaign.ProbeMeta {
+	return campaign.ProbeMeta{Name: "obss-jain", Metrics: []string{p.name}}
+}
+
+func (p obssJain) Collect(m *campaign.Metrics, rt *Runtime) {
+	m.Add(p.name, stats.JainIndex(rt.BSSBusyDeltas()))
+}
+
+// PerBSSJain emits Jain's fairness index over each BSS's own stations'
+// window airtime, under fmt.Sprintf(format, b) names — the paper's
+// fairness metric applied inside every cell.
+func PerBSSJain(format string, bssCount int) Probe { return perBSSJain{format, bssCount} }
+
+type perBSSJain struct {
+	format string
+	n      int
+}
+
+func (p perBSSJain) Meta([]string) campaign.ProbeMeta {
+	meta := campaign.ProbeMeta{Name: "per-bss-jain"}
+	for b := 0; b < p.n; b++ {
+		meta.Metrics = append(meta.Metrics, fmt.Sprintf(p.format, b))
+	}
+	return meta
+}
+
+func (p perBSSJain) Collect(m *campaign.Metrics, rt *Runtime) {
+	air := rt.AirDeltas()
+	for b := 0; b < p.n; b++ {
+		lo, hi := rt.World().BSSRange(b)
+		m.Add(fmt.Sprintf(p.format, b), stats.JainIndex(air[lo:hi]))
+	}
+}
+
+// PerBSSRTT merges each BSS's stations' ping RTT samples into one
+// distribution per BSS, under fmt.Sprintf(format, b) names.
+func PerBSSRTT(format string, bssCount int) Probe { return perBSSRTT{format, bssCount} }
+
+type perBSSRTT struct {
+	format string
+	n      int
+}
+
+func (p perBSSRTT) Meta([]string) campaign.ProbeMeta {
+	meta := campaign.ProbeMeta{Name: "per-bss-rtt"}
+	for b := 0; b < p.n; b++ {
+		meta.Metrics = append(meta.Metrics, fmt.Sprintf(p.format, b))
+	}
+	return meta
+}
+
+func (p perBSSRTT) Collect(m *campaign.Metrics, rt *Runtime) {
+	for b := 0; b < p.n; b++ {
+		lo, hi := rt.World().BSSRange(b)
+		s := new(stats.Sample)
+		for i := lo; i < hi; i++ {
+			rt.RTT(i, s)
+		}
+		m.AddSample(fmt.Sprintf(p.format, b), s)
+	}
+}
+
 // --- Distribution probes -------------------------------------------------
 
 // RTTGroup maps stations (by name) onto one merged RTT distribution.
@@ -252,7 +357,7 @@ func (p rttByGroup) Collect(m *campaign.Metrics, rt *Runtime) {
 	for gi := range p.groups {
 		merged[gi] = new(stats.Sample)
 	}
-	for i, st := range rt.net.Stations {
+	for i, st := range rt.w.Stations {
 		for gi, g := range p.groups {
 			if g.Match == nil || g.Match(st.Name) {
 				rt.RTT(i, merged[gi])
@@ -290,7 +395,7 @@ func (p rttAt) Meta([]string) campaign.ProbeMeta {
 
 func (p rttAt) Collect(m *campaign.Metrics, rt *Runtime) {
 	s := new(stats.Sample)
-	rt.RTT(resolveIdx(p.idx, len(rt.net.Stations)), s)
+	rt.RTT(resolveIdx(p.idx, len(rt.w.Stations)), s)
 	m.AddSample(p.name, s)
 }
 
@@ -321,7 +426,7 @@ func (p pltProbe) Meta([]string) campaign.ProbeMeta {
 
 func (p pltProbe) Collect(m *campaign.Metrics, rt *Runtime) {
 	s := new(stats.Sample)
-	for i := range rt.net.Stations {
+	for i := range rt.w.Stations {
 		rt.PLT(i, s)
 	}
 	m.AddSample(p.name, s)
@@ -346,8 +451,8 @@ func (p table1Probe) Meta(stations []string) campaign.ProbeMeta {
 
 func (p table1Probe) Collect(m *campaign.Metrics, rt *Runtime) {
 	gps := rt.Goodputs()
-	params := make([]model.StationParams, len(rt.net.Stations))
-	for i, st := range rt.net.Stations {
+	params := make([]model.StationParams, len(rt.w.Stations))
+	for i, st := range rt.w.Stations {
 		agg := rt.AggMean(i)
 		if agg < 1 {
 			agg = 1

@@ -20,7 +20,7 @@ import (
 //	n.Run(end)
 //	shares, gp := rt.Shares(), rt.Goodputs()
 type Runtime struct {
-	net    *Net
+	w      *World
 	taps   []stationTaps
 	pingID int
 
@@ -30,6 +30,7 @@ type Runtime struct {
 	rxSnap  []int64
 	aggC    []int64
 	aggP    []int64
+	bssSnap []sim.Time // per-BSS medium busy time at Arm
 
 	// measurement-window results, cached per reading instant: computed
 	// on first access, discarded when simulated time moves on (or the
@@ -49,19 +50,28 @@ type stationTaps struct {
 	plt []*stats.Sample
 }
 
-// NewRuntime wraps a testbed for workload attachment and probing.
-func NewRuntime(n *Net) *Runtime {
-	return &Runtime{net: n, taps: make([]stationTaps, len(n.Stations))}
+// NewRuntime wraps a single-BSS testbed for workload attachment and
+// probing.
+func NewRuntime(n *Net) *Runtime { return NewWorldRuntime(n.World) }
+
+// NewWorldRuntime wraps a testbed world; stations are addressed in
+// flattened cell-major order.
+func NewWorldRuntime(w *World) *Runtime {
+	return &Runtime{w: w, taps: make([]stationTaps, len(w.Stations))}
 }
 
-// Net returns the underlying testbed.
-func (rt *Runtime) Net() *Net { return rt.net }
+// Net returns the underlying testbed's first cell (the whole testbed in
+// single-BSS worlds).
+func (rt *Runtime) Net() *Net { return rt.w.Cells[0] }
+
+// World returns the underlying testbed world.
+func (rt *Runtime) World() *World { return rt.w }
 
 // Attach attaches one workload to its selected stations immediately,
 // regardless of its declared phase.
 func (rt *Runtime) Attach(w *Workload) {
-	n := len(rt.net.Stations)
-	for i, st := range rt.net.Stations {
+	n := len(rt.w.Stations)
+	for i, st := range rt.w.Stations {
 		if w.Target.Matches(i, n, st.Name) {
 			w.attach(rt, i, st)
 		}
@@ -73,8 +83,8 @@ func (rt *Runtime) Attach(w *Workload) {
 // matching workload in declaration order), so a composition attaches —
 // and allocates flow identifiers — in one deterministic sequence.
 func (rt *Runtime) AttachPhase(ws []*Workload, ph Phase) {
-	n := len(rt.net.Stations)
-	for i, st := range rt.net.Stations {
+	n := len(rt.w.Stations)
+	for i, st := range rt.w.Stations {
 		for _, w := range ws {
 			if w.Phase == ph && w.Target.Matches(i, n, st.Name) {
 				w.attach(rt, i, st)
@@ -95,17 +105,21 @@ func (rt *Runtime) tapPLT(i int, s *stats.Sample)   { rt.taps[i].plt = append(rt
 // Re-arming starts a fresh window (cached readings are discarded).
 func (rt *Runtime) Arm() {
 	rt.armed = true
-	rt.armedAt = rt.net.Sim.Now()
+	rt.armedAt = rt.w.Sim.Now()
 	rt.air, rt.shares, rt.gps, rt.rxd = nil, nil, nil, nil
-	rt.airSnap = rt.net.SnapshotAirtime()
-	n := len(rt.net.Stations)
+	rt.airSnap = rt.w.SnapshotAirtime()
+	n := len(rt.w.Stations)
 	rt.rxSnap = make([]int64, n)
 	rt.aggC = make([]int64, n)
 	rt.aggP = make([]int64, n)
-	for i, st := range rt.net.Stations {
+	for i, st := range rt.w.Stations {
 		rt.aggC[i] = st.APView.AggCount
 		rt.aggP[i] = st.APView.AggPackets
 		rt.rxSnap[i] = rt.rxNow(i)
+	}
+	rt.bssSnap = make([]sim.Time, rt.w.BSSCount())
+	for b := range rt.bssSnap {
+		rt.bssSnap[b] = rt.w.Env.Medium.BSSBusyTime(b)
 	}
 }
 
@@ -126,7 +140,7 @@ func (rt *Runtime) mustArm() {
 	if !rt.armed {
 		panic("exp: Runtime.Arm must be called before reading window metrics")
 	}
-	if now := rt.net.Sim.Now(); now != rt.cachedAt {
+	if now := rt.w.Sim.Now(); now != rt.cachedAt {
 		rt.cachedAt = now
 		rt.air, rt.shares, rt.gps, rt.rxd = nil, nil, nil, nil
 	}
@@ -135,7 +149,7 @@ func (rt *Runtime) mustArm() {
 // Window reports the elapsed measured time (Arm to now), in seconds.
 func (rt *Runtime) Window() float64 {
 	rt.mustArm()
-	return (rt.net.Sim.Now() - rt.armedAt).Seconds()
+	return (rt.w.Sim.Now() - rt.armedAt).Seconds()
 }
 
 // AirDeltas returns each station's airtime accumulated over the
@@ -143,7 +157,7 @@ func (rt *Runtime) Window() float64 {
 func (rt *Runtime) AirDeltas() []float64 {
 	rt.mustArm()
 	if rt.air == nil {
-		rt.air = rt.net.AirtimeSince(rt.airSnap)
+		rt.air = rt.w.AirtimeSince(rt.airSnap)
 	}
 	return rt.air
 }
@@ -189,13 +203,25 @@ func (rt *Runtime) Goodputs() []float64 {
 // over the window, or 0 if it built none.
 func (rt *Runtime) AggMean(i int) float64 {
 	rt.mustArm()
-	st := rt.net.Stations[i]
+	st := rt.w.Stations[i]
 	dc := st.APView.AggCount - rt.aggC[i]
 	dp := st.APView.AggPackets - rt.aggP[i]
 	if dc <= 0 {
 		return 0
 	}
 	return float64(dp) / float64(dc)
+}
+
+// BSSBusyDeltas returns the medium busy time each BSS's transmitters
+// consumed over the measurement window, in seconds — the world's OBSS
+// occupancy split.
+func (rt *Runtime) BSSBusyDeltas() []float64 {
+	rt.mustArm()
+	out := make([]float64, len(rt.bssSnap))
+	for b := range out {
+		out[b] = (rt.w.Env.Medium.BSSBusyTime(b) - rt.bssSnap[b]).Seconds()
+	}
+	return out
 }
 
 // RTT merges station i's round-trip-time taps into out.

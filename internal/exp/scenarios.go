@@ -50,6 +50,7 @@ func PaperSpecs() []*Spec {
 		SpecWeightedUDP(),
 		SpecTable1(),
 		SpecMixed(),
+		SpecDense(),
 	}
 }
 

@@ -38,13 +38,37 @@ type Instance struct {
 	Probes []Probe
 }
 
+// stationNames flattens the config's station names, whichever topology
+// form it uses.
+func (cfg *NetConfig) stationNames() []string {
+	if len(cfg.BSSs) == 0 {
+		names := make([]string, len(cfg.Stations))
+		for i, st := range cfg.Stations {
+			names[i] = st.Name
+		}
+		return names
+	}
+	var names []string
+	for _, b := range cfg.BSSs {
+		for _, st := range b.Stations {
+			names = append(names, st.Name)
+		}
+	}
+	return names
+}
+
 // Meta builds the instance's introspection record.
 func (inst *Instance) Meta() *campaign.ScenarioMeta {
-	names := make([]string, len(inst.Net.Stations))
-	for i, st := range inst.Net.Stations {
-		names[i] = st.Name
-	}
+	names := inst.Net.stationNames()
 	meta := &campaign.ScenarioMeta{Stations: names}
+	if n := len(inst.Net.BSSs); n > 0 {
+		top := &campaign.TopologyMeta{BSSCount: n}
+		for _, b := range inst.Net.BSSs {
+			top.StationsPerBSS = append(top.StationsPerBSS, len(b.Stations))
+			top.TotalStations += len(b.Stations)
+		}
+		meta.Topology = top
+	}
 	for _, w := range inst.Workloads {
 		meta.Workloads = append(meta.Workloads, w.Meta())
 	}
@@ -62,13 +86,13 @@ func (inst *Instance) Meta() *campaign.ScenarioMeta {
 func (inst *Instance) Execute(run RunConfig) (*campaign.Metrics, *Runtime) {
 	cfg := inst.Net
 	cfg.Seed = run.Seed
-	n := NewNet(cfg)
-	rt := NewRuntime(n)
+	w := BuildWorld(cfg)
+	rt := NewWorldRuntime(w)
 	rt.AttachPhase(inst.Workloads, PhaseStart)
-	n.Run(run.Warmup)
+	w.Run(run.Warmup)
 	rt.AttachPhase(inst.Workloads, PhaseMeasure)
 	rt.Arm()
-	n.Run(run.End())
+	w.Run(run.End())
 	m := campaign.NewMetrics()
 	for _, p := range inst.Probes {
 		p.Collect(m, rt)

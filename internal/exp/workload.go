@@ -151,7 +151,7 @@ func TCPDown() *Workload {
 	return &Workload{
 		Kind: "tcp-down", Label: "bulk TCP download",
 		attach: func(rt *Runtime, i int, st *Station) {
-			conn := rt.net.DownloadTCP(st, pkt.ACBE)
+			conn := st.Cell.DownloadTCP(st, pkt.ACBE)
 			rt.tapRx(i, conn.Server().TotalReceived)
 		},
 	}
@@ -164,7 +164,7 @@ func TCPUp() *Workload {
 	return &Workload{
 		Kind: "tcp-up", Label: "bulk TCP upload",
 		attach: func(rt *Runtime, _ int, st *Station) {
-			rt.net.UploadTCP(st, pkt.ACBE)
+			st.Cell.UploadTCP(st, pkt.ACBE)
 		},
 	}
 }
@@ -176,7 +176,7 @@ func UDPFlood(rateBps float64) *Workload {
 		Kind:  "udp-flood",
 		Label: fmt.Sprintf("%.0f Mbps CBR UDP download", rateBps/1e6),
 		attach: func(rt *Runtime, i int, st *Station) {
-			_, sink := rt.net.DownloadUDP(st, rateBps, pkt.ACBE)
+			_, sink := st.Cell.DownloadUDP(st, rateBps, pkt.ACBE)
 			rt.tapRx(i, sink.RxBytes)
 		},
 	}
@@ -196,7 +196,7 @@ func Pings(interval sim.Time) *Workload {
 		Kind: "ping", Label: label, Phase: PhaseMeasure,
 		attach: func(rt *Runtime, i int, st *Station) {
 			rt.pingID++
-			p := rt.net.Ping(st, interval, rt.pingID)
+			p := st.Cell.Ping(st, interval, rt.pingID)
 			rt.tapRTT(i, p.RTTSample())
 		},
 	}
@@ -212,7 +212,7 @@ func VoIPCall(ac pkt.AC) *Workload {
 		Label: fmt.Sprintf("G.711 VoIP call (%v)", ac),
 		Phase: PhaseMeasure,
 		attach: func(rt *Runtime, i int, st *Station) {
-			_, sink := rt.net.VoIPDown(st, ac)
+			_, sink := st.Cell.VoIPDown(st, ac)
 			rt.tapMOS(i, sink.MOS)
 		},
 	}
@@ -227,7 +227,7 @@ func WebBrowse(page traffic.WebPage) *Workload {
 		Label: fmt.Sprintf("web browsing (%s page)", page.Name),
 		Phase: PhaseMeasure,
 		attach: func(rt *Runtime, i int, st *Station) {
-			wc := rt.net.Web(st, page)
+			wc := st.Cell.Web(st, page)
 			wc.Start()
 			rt.tapPLT(i, wc.PLTSample())
 		},

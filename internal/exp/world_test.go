@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// identityInstance is a composition exercising airtime, goodput,
+// aggregation and latency surfaces at once, used to compare the two
+// topology forms.
+func identityInstance(cfg NetConfig) *Instance {
+	return &Instance{
+		Net: cfg,
+		Workloads: []*Workload{
+			UDPFlood(20e6),
+			Pings(0),
+		},
+		Probes: []Probe{
+			PerStation(ShareCol("share-"), GoodputCol("goodput-"), AggCol("agg-")),
+			Jain("jain"),
+			SumRxMbps("total-mbps"),
+		},
+	}
+}
+
+// TestOneBSSWorldIdentity: a world built through the multi-BSS BSSs form
+// with a single cell reproduces the legacy Stations form exactly — same
+// airtime trajectory, same byte counts, same RTT samples — across all
+// five paper schemes. Float equality is exact: the two forms must build
+// the very same world.
+func TestOneBSSWorldIdentity(t *testing.T) {
+	run := RunConfig{Seed: 11, Duration: 2 * sim.Second, Warmup: sim.Second}
+	for _, name := range fivePaperSchemes {
+		scheme, err := ParseScheme(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy := NetConfig{Scheme: scheme, Stations: FourStations()}
+		world := NetConfig{Scheme: scheme, BSSs: []BSSSpec{{Name: "ap", Stations: FourStations()}}}
+
+		_, rtA := identityInstance(legacy).Execute(run)
+		_, rtB := identityInstance(world).Execute(run)
+
+		cmp := func(metric string, a, b []float64) {
+			t.Helper()
+			if len(a) != len(b) {
+				t.Fatalf("%s/%s: lengths %d vs %d", name, metric, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Errorf("%s/%s[%d]: legacy %v, 1-BSS world %v", name, metric, i, a[i], b[i])
+				}
+			}
+		}
+		cmp("shares", rtA.Shares(), rtB.Shares())
+		cmp("goodputs", rtA.Goodputs(), rtB.Goodputs())
+		cmp("airtime", rtA.AirDeltas(), rtB.AirDeltas())
+		for i := range rtA.World().Stations {
+			var sa, sb stats.Sample
+			rtA.RTT(i, &sa)
+			rtB.RTT(i, &sb)
+			if sa.N() != sb.N() || sa.Mean() != sb.Mean() || sa.Median() != sb.Median() {
+				t.Errorf("%s/rtt[%d]: legacy (n=%d mean=%v), 1-BSS world (n=%d mean=%v)",
+					name, i, sa.N(), sa.Mean(), sb.N(), sb.Mean())
+			}
+		}
+		// The single-cell world also wires the flattened views coherently.
+		w := rtB.World()
+		if w.BSSCount() != 1 {
+			t.Fatalf("%s: BSSCount = %d, want 1", name, w.BSSCount())
+		}
+		if lo, hi := w.BSSRange(0); lo != 0 || hi != len(w.Stations) {
+			t.Fatalf("%s: BSSRange(0) = [%d,%d), want [0,%d)", name, lo, hi, len(w.Stations))
+		}
+	}
+}
+
+// TestDenseDeterministicAcrossWorkers: the dense multi-BSS scenario's
+// aggregated artifact is byte-identical for 1, 4 and 8 workers.
+func TestDenseDeterministicAcrossWorkers(t *testing.T) {
+	plan := func(workers int) campaign.Plan {
+		return campaign.Plan{
+			Scenarios: []string{"dense"},
+			Overrides: map[string][]string{
+				"scheme":   {"Airtime", "FIFO"},
+				"stations": {"40"},
+				"bss":      {"4"},
+			},
+			Reps:     2,
+			Duration: 2 * sim.Second,
+			Warmup:   1 * sim.Second,
+			BaseSeed: 11,
+			Workers:  workers,
+		}
+	}
+	var ref []byte
+	for _, workers := range []int{1, 4, 8} {
+		res, err := NewRegistry().Execute(plan(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res.Cells) != 2 {
+			t.Fatalf("workers=%d: cells = %d, want 2", workers, len(res.Cells))
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(ref, buf.Bytes()) {
+			t.Fatalf("workers=%d artifact differs from workers=1", workers)
+		}
+	}
+}
+
+// TestDenseProbeColumns: the dense scenario's emitted metric set matches
+// its declared Meta exactly — per-BSS columns are stable in both name
+// and order, including the RTT distributions of BSSs whose pings see no
+// replies.
+func TestDenseProbeColumns(t *testing.T) {
+	spec := SpecDense()
+	inst, err := spec.Build(Params{"scheme": "Airtime", "stations": "24", "bss": "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := inst.Meta()
+	if meta.Topology == nil {
+		t.Fatal("dense instance has no topology metadata")
+	}
+	if meta.Topology.BSSCount != 4 || meta.Topology.TotalStations != 24 {
+		t.Fatalf("topology = %d BSS / %d stations, want 4/24", meta.Topology.BSSCount, meta.Topology.TotalStations)
+	}
+
+	m, _ := inst.Execute(RunConfig{Seed: 5, Duration: sim.Second, Warmup: sim.Second / 2})
+	for _, want := range meta.MetricNames() {
+		_, isScalar := m.Scalar(want)
+		if !isScalar && m.Sample(want) == nil {
+			t.Errorf("declared metric %q was not emitted", want)
+		}
+	}
+}
+
+// TestBSSBusyDeltas: the OBSS occupancy split over the measurement
+// window covers the whole world and every saturated BSS holds a
+// non-trivial share.
+func TestBSSBusyDeltas(t *testing.T) {
+	inst, err := SpecDense().Build(Params{"scheme": "FIFO", "stations": "16", "bss": "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rt := inst.Execute(RunConfig{Seed: 3, Duration: 2 * sim.Second, Warmup: sim.Second})
+	deltas := rt.BSSBusyDeltas()
+	if len(deltas) != 4 {
+		t.Fatalf("deltas = %d entries, want 4", len(deltas))
+	}
+	shares := stats.Shares(deltas)
+	for b, s := range shares {
+		if s < 0.1 || s > 0.5 {
+			t.Errorf("BSS %d busy share = %.3f, want a real slice of the medium", b, s)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// newBareTxq builds a txq that can enter contention without a full node
+// behind it (grant is never fired in these tests).
+func newBareTxq(id int) *txq {
+	q := &txq{node: &Node{ID: pkt.NodeID(id)}, ac: pkt.ACBE, par: EDCA(pkt.ACBE)}
+	q.resetCW()
+	return q
+}
+
+// shadowRemove removes q from an insertion-ordered list the way the
+// pre-incremental Medium did: an ordered shift preserving relative order.
+func shadowRemove(list []*txq, q *txq) []*txq {
+	for i, c := range list {
+		if c == q {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// TestContenderSetMatchesOrderedScan is the property test for the
+// incremental contender set: under randomized request/withdraw churn, the
+// swap-removed contender slice must (a) hold exactly the contending txqs
+// and (b) reconstruct, via grant's enlistment-sequence winner sort, the
+// same order a full scan of the historical insertion-ordered list yields.
+func TestContenderSetMatchesOrderedScan(t *testing.T) {
+	s := sim.New(1)
+	m := NewMedium(s)
+	rng := rand.New(rand.NewSource(42))
+
+	const n = 64
+	qs := make([]*txq, n)
+	for i := range qs {
+		qs[i] = newBareTxq(i + 1)
+	}
+	var shadow []*txq // insertion-ordered reference list
+
+	check := func(step int) {
+		t.Helper()
+		if len(m.contenders) != len(shadow) {
+			t.Fatalf("step %d: contenders = %d, shadow = %d", step, len(m.contenders), len(shadow))
+		}
+		// Indices must be self-consistent after every swap-remove.
+		for i, c := range m.contenders {
+			if c.ci != i {
+				t.Fatalf("step %d: contenders[%d].ci = %d", step, i, c.ci)
+			}
+			if !c.contending {
+				t.Fatalf("step %d: contenders[%d] not marked contending", step, i)
+			}
+		}
+		// grant's winner collection with an arbitrarily late deadline
+		// selects everyone — its output must equal the ordered full scan.
+		winners := m.collectWinners(m.idleStart + 3600*sim.Second)
+		if len(winners) != len(shadow) {
+			t.Fatalf("step %d: winners = %d, want %d", step, len(winners), len(shadow))
+		}
+		for i := range winners {
+			if winners[i] != shadow[i] {
+				t.Fatalf("step %d: winner[%d] = node %v, ordered scan has node %v",
+					step, i, winners[i].node.ID, shadow[i].node.ID)
+			}
+		}
+	}
+
+	for step := 0; step < 4096; step++ {
+		q := qs[rng.Intn(n)]
+		if q.contending {
+			m.withdraw(q)
+			shadow = shadowRemove(shadow, q)
+		} else {
+			m.request(q)
+			shadow = append(shadow, q)
+		}
+		check(step)
+	}
+}
+
+// TestContenderPartialWinnerOrder: when only a subset of contenders is
+// ready, the subset is still delivered in enlistment order.
+func TestContenderPartialWinnerOrder(t *testing.T) {
+	s := sim.New(7)
+	m := NewMedium(s)
+	rng := rand.New(rand.NewSource(9))
+
+	var shadow []*txq
+	for i := 0; i < 40; i++ {
+		q := newBareTxq(i + 1)
+		m.request(q)
+		shadow = append(shadow, q)
+	}
+	// Random slots, then churn a few withdrawals to force swap-removes.
+	for _, q := range shadow {
+		q.slots = rng.Intn(6)
+	}
+	for i := 0; i < 10; i++ {
+		q := shadow[rng.Intn(len(shadow))]
+		if q.contending {
+			m.withdraw(q)
+			shadow = shadowRemove(shadow, q)
+		}
+	}
+
+	deadline := m.idleStart + EDCA(pkt.ACBE).AIFS() + 3*phy.TSlot
+	winners := m.collectWinners(deadline)
+
+	var want []*txq
+	for _, q := range shadow {
+		if m.readyAt(q) <= deadline {
+			want = append(want, q)
+		}
+	}
+	if len(winners) == 0 || len(winners) == len(shadow) {
+		t.Fatalf("degenerate winner split %d/%d, pick different slots", len(winners), len(shadow))
+	}
+	if len(winners) != len(want) {
+		t.Fatalf("winners = %d, ordered scan = %d", len(winners), len(want))
+	}
+	for i := range winners {
+		if winners[i] != want[i] {
+			t.Fatalf("winner[%d] = node %v, ordered scan has node %v",
+				i, winners[i].node.ID, want[i].node.ID)
+		}
+	}
+}

@@ -12,12 +12,15 @@ type txq struct {
 	node *Node
 	ac   pkt.AC
 	par  EDCAParams
+	bss  int // owning node's BSS identity, for per-BSS medium accounting
 
 	hwq []*Aggregate // built aggregates awaiting air, depth-limited
 
-	cw         int  // current contention window
-	slots      int  // remaining backoff slots
-	contending bool // registered with the medium
+	cw         int    // current contention window
+	slots      int    // remaining backoff slots
+	contending bool   // registered with the medium
+	ci         int    // index in Medium.contenders while contending
+	seq        uint64 // enlistment order, restored by grant's winner sort
 }
 
 // popHW removes the head aggregate, shifting in place so the short
@@ -52,7 +55,15 @@ func (t *txq) resetCW() { t.cw = t.par.CWMin }
 type Medium struct {
 	sim *sim.Sim
 
+	// contenders is the set of actively-contending txqs, maintained
+	// incrementally: request appends, unlist swap-removes in O(1). Only
+	// backlogged transmitters ever appear here, so every scan below is
+	// O(active contenders) — independent of the world's total station
+	// count. Swap-removal perturbs slice order; grant() restores the
+	// historical insertion order by sorting winners on their enlistment
+	// sequence, so behaviour is identical to an ordered full scan.
 	contenders []*txq
+	enlistCtr  uint64
 	accessEv   sim.EventRef
 	idleStart  sim.Time
 	txActive   bool
@@ -77,6 +88,11 @@ type Medium struct {
 	BusyTime   sim.Time // total time the channel carried transmissions
 	Collisions int      // collision events (two or more nodes)
 	Grants     int      // successful single-winner grants
+
+	// bssBusy accounts channel time per BSS (indexed by the transmitter
+	// txq's BSS identity), grown on demand. In a multi-BSS world this is
+	// the OBSS occupancy split; single-AP worlds only ever touch entry 0.
+	bssBusy []sim.Time
 }
 
 // TxEvent describes one completed air transmission, as visible to a
@@ -112,10 +128,26 @@ func (m *Medium) request(q *txq) {
 		return
 	}
 	q.contending = true
+	q.seq = m.enlistCtr
+	m.enlistCtr++
 	q.drawBackoff(m.sim.Rand())
 	m.creditSlots()
+	q.ci = len(m.contenders)
 	m.contenders = append(m.contenders, q)
 	m.reschedule()
+}
+
+// unlist removes q from the contender set in O(1) by swapping the last
+// entry into its slot. The caller must hold q.contending == true.
+func (m *Medium) unlist(q *txq) {
+	last := len(m.contenders) - 1
+	if i := q.ci; i != last {
+		m.contenders[i] = m.contenders[last]
+		m.contenders[i].ci = i
+	}
+	m.contenders[last] = nil
+	m.contenders = m.contenders[:last]
+	q.contending = false
 }
 
 // withdraw removes q from contention (its hardware queue emptied).
@@ -123,13 +155,7 @@ func (m *Medium) withdraw(q *txq) {
 	if !q.contending {
 		return
 	}
-	q.contending = false
-	for i, c := range m.contenders {
-		if c == q {
-			m.contenders = append(m.contenders[:i], m.contenders[i+1:]...)
-			break
-		}
-	}
+	m.unlist(q)
 	m.reschedule()
 }
 
@@ -184,19 +210,35 @@ func (m *Medium) reschedule() {
 	m.accessEv = m.sim.At(earliest, m.grantCall)
 }
 
-// grant fires when the earliest contender's backoff expires: it resolves
-// winners, starts their transmissions and schedules completion.
-func (m *Medium) grant() {
-	m.accessEv = sim.EventRef{}
-	now := m.sim.Now()
-
+// collectWinners gathers the contenders whose backoff has expired by
+// now, in enlistment order. The contender slice itself is scan-order-free
+// (swap-removal), so the winners are sorted on their enlistment sequence
+// — reproducing exactly the order a full scan of the historical
+// insertion-ordered contender list would have produced, which the
+// virtual-collision resolution and loser backoff redraws below consume.
+func (m *Medium) collectWinners(now sim.Time) []*txq {
 	winners := m.winners[:0]
 	for _, c := range m.contenders {
 		if m.readyAt(c) <= now {
 			winners = append(winners, c)
 		}
 	}
+	for i := 1; i < len(winners); i++ {
+		for j := i; j > 0 && winners[j].seq < winners[j-1].seq; j-- {
+			winners[j], winners[j-1] = winners[j-1], winners[j]
+		}
+	}
 	m.winners = winners
+	return winners
+}
+
+// grant fires when the earliest contender's backoff expires: it resolves
+// winners, starts their transmissions and schedules completion.
+func (m *Medium) grant() {
+	m.accessEv = sim.EventRef{}
+	now := m.sim.Now()
+
+	winners := m.collectWinners(now)
 	if len(winners) == 0 {
 		m.reschedule()
 		return
@@ -273,7 +315,7 @@ func (m *Medium) grant() {
 	for _, w := range real {
 		if len(w.hwq) == 0 {
 			// Stale contender; drop it from contention.
-			w.contending = false
+			m.unlist(w)
 			continue
 		}
 		agg := w.hwq[0]
@@ -292,14 +334,7 @@ func (m *Medium) grant() {
 	}
 	// Remove actual transmitters from the contender list for the duration.
 	for gi := range m.inFlight {
-		g := &m.inFlight[gi]
-		for i, c := range m.contenders {
-			if c == g.q {
-				m.contenders = append(m.contenders[:i], m.contenders[i+1:]...)
-				break
-			}
-		}
-		g.q.contending = false
+		m.unlist(m.inFlight[gi].q)
 	}
 	if len(m.inFlight) == 0 {
 		m.reschedule()
@@ -309,10 +344,33 @@ func (m *Medium) grant() {
 	m.txActive = true
 	m.busyUntil = end
 	m.BusyTime += end - now
+	for gi := range m.inFlight {
+		g := &m.inFlight[gi]
+		m.chargeBSS(g.q.bss, g.occupied)
+	}
 	// Only one transmission occupies the air at a time, so complete()
 	// reads m.inFlight directly — the next grant cannot fire before the
 	// completion event has run.
 	m.sim.AtCall(end, m.completeCall, nil)
+}
+
+// chargeBSS accounts channel time consumed by a transmitter of the given
+// BSS. A collision charges every colliding BSS its own occupancy.
+func (m *Medium) chargeBSS(bss int, d sim.Time) {
+	for len(m.bssBusy) <= bss {
+		m.bssBusy = append(m.bssBusy, 0)
+	}
+	m.bssBusy[bss] += d
+}
+
+// BSSBusyTime reports the channel time transmitters of the given BSS have
+// consumed so far (including collision losses) — the medium's per-BSS
+// occupancy split in a multi-BSS world.
+func (m *Medium) BSSBusyTime(bss int) sim.Time {
+	if bss < 0 || bss >= len(m.bssBusy) {
+		return 0
+	}
+	return m.bssBusy[bss]
 }
 
 func less(a, b *txq) bool {

@@ -69,6 +69,11 @@ var Schemes = []Scheme{SchemeFIFO, SchemeFQCoDel, SchemeFQMAC, SchemeAirtimeFQ}
 type Config struct {
 	Scheme Scheme
 
+	// BSS tags the node with its basic-service-set index in a multi-BSS
+	// world (internal/bss): the shared medium accounts channel occupancy
+	// under this identity. Single-AP setups leave it 0.
+	BSS int
+
 	MaxAggrFrames int      // A-MPDU cap in MPDUs (default 32)
 	MaxAggrBytes  int      // A-MPDU cap in framed bytes (default 65535)
 	MaxAggrDur    sim.Time // A-MPDU cap in air time (default 4 ms, ath9k)
@@ -202,7 +207,7 @@ func NewNode(env *Env, id pkt.NodeID, name string, cfg Config) (*Node, error) {
 		reorder:  make(map[reorderKey]*reorderState),
 		pool:     pkt.PoolOf(env.Sim)}
 	for ac := 0; ac < pkt.NumACs; ac++ {
-		n.txqs[ac] = &txq{node: n, ac: pkt.AC(ac), par: EDCA(pkt.AC(ac))}
+		n.txqs[ac] = &txq{node: n, ac: pkt.AC(ac), par: EDCA(pkt.AC(ac)), bss: cfg.BSS}
 		n.txqs[ac].resetCW()
 	}
 	n.queue = info.comp.Queueing(n)
@@ -241,6 +246,10 @@ func (n *Node) Config() Config { return n.cfg }
 
 // Scheme returns the node's queueing scheme.
 func (n *Node) Scheme() Scheme { return n.cfg.Scheme }
+
+// BSS returns the node's basic-service-set index (0 outside multi-BSS
+// worlds).
+func (n *Node) BSS() int { return n.cfg.BSS }
 
 // Queueing exposes the node's queue substrate.
 func (n *Node) Queueing() TxQueueing { return n.queue }

@@ -57,8 +57,8 @@ type queue struct {
 	inList  listID
 	// idx is the queue's global scan position (hash queues first, then
 	// overflow queues in registration order); occPos its slot in the
-	// occupied list, -1 while empty. The over-limit policy scans only
-	// occupied queues, with idx preserving the full scan's first-longest
+	// occupied heap, -1 while empty. The over-limit policy reads the heap
+	// root, with idx preserving the full scan's first-longest
 	// tie-breaking.
 	idx    int
 	occPos int
@@ -122,7 +122,13 @@ type Fq struct {
 	cfg      Config
 	flows    []queue
 	overflow []*queue // TID overflow queues, registered as TIDs are created
-	occupied []*queue // queues currently holding bytes, in no particular order
+	// occupied is a binary max-heap of the queues currently holding
+	// bytes, ordered by (bytes desc, idx asc) — a total order, so the
+	// root is exactly the queue a full first-longest-wins scan would
+	// pick. Dense worlds keep hundreds of flows backlogged while the
+	// global limit is pinned; the heap makes the per-enqueue victim
+	// lookup O(log n) instead of O(n).
+	occupied []*queue
 	len      int
 
 	drops      int
@@ -184,42 +190,85 @@ func (fq *Fq) drop(p *pkt.Packet) {
 	}
 }
 
-// occUpdate keeps q's membership in the occupied list in step with its
-// byte count. Call after any push or pop on q.q.
+// occAbove reports whether a outranks b in the occupied heap: more
+// bytes, or equal bytes at a lower scan position. idx is unique, so
+// this is a strict total order and the heap root is the unique queue a
+// first-longest-wins scan over every queue would pick.
+func occAbove(a, b *queue) bool {
+	ab, bb := a.q.Bytes(), b.q.Bytes()
+	return ab > bb || (ab == bb && a.idx < b.idx)
+}
+
+func (fq *Fq) occSiftUp(i int) {
+	h := fq.occupied
+	for i > 0 {
+		par := (i - 1) / 2
+		if !occAbove(h[i], h[par]) {
+			return
+		}
+		h[i], h[par] = h[par], h[i]
+		h[i].occPos, h[par].occPos = i, par
+		i = par
+	}
+}
+
+func (fq *Fq) occSiftDown(i int) {
+	h := fq.occupied
+	for {
+		child := 2*i + 1
+		if child >= len(h) {
+			return
+		}
+		if r := child + 1; r < len(h) && occAbove(h[r], h[child]) {
+			child = r
+		}
+		if !occAbove(h[child], h[i]) {
+			return
+		}
+		h[i], h[child] = h[child], h[i]
+		h[i].occPos, h[child].occPos = i, child
+		i = child
+	}
+}
+
+// occUpdate keeps q's membership and position in the occupied heap in
+// step with its byte count. Call after any push or pop on q.q.
 func (fq *Fq) occUpdate(q *queue) {
 	if q.q.Bytes() > 0 {
-		if q.occPos < 0 {
-			q.occPos = len(fq.occupied)
+		i := q.occPos
+		if i < 0 {
+			i = len(fq.occupied)
+			q.occPos = i
 			fq.occupied = append(fq.occupied, q)
 		}
+		fq.occSiftUp(i)
+		fq.occSiftDown(q.occPos)
 		return
 	}
 	if q.occPos >= 0 {
+		i := q.occPos
 		last := len(fq.occupied) - 1
 		moved := fq.occupied[last]
-		fq.occupied[q.occPos] = moved
-		moved.occPos = q.occPos
+		fq.occupied[i] = moved
+		moved.occPos = i
 		fq.occupied[last] = nil
 		fq.occupied = fq.occupied[:last]
 		q.occPos = -1
+		if i < last {
+			fq.occSiftUp(i)
+			fq.occSiftDown(moved.occPos)
+		}
 	}
 }
 
 // longestQueue returns the queue (hash or overflow) holding the most
-// bytes. Only occupied queues are scanned; ties resolve to the lowest
-// scan position, matching a first-longest-wins scan over every queue.
+// bytes — the occupied heap's root. Ties resolve to the lowest scan
+// position, matching a first-longest-wins scan over every queue.
 func (fq *Fq) longestQueue() *queue {
 	if len(fq.occupied) == 0 {
 		return &fq.flows[0]
 	}
-	longest := fq.occupied[0]
-	lb := longest.q.Bytes()
-	for _, q := range fq.occupied[1:] {
-		if b := q.q.Bytes(); b > lb || (b == lb && q.idx < longest.idx) {
-			longest, lb = q, b
-		}
-	}
-	return longest
+	return fq.occupied[0]
 }
 
 // dropFromLongest implements the global-limit policy: drop the head packet
