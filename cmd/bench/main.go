@@ -2,19 +2,20 @@
 // nanoseconds, heap allocations and bytes per simulated packet — for each
 // transmit-path scheme, plus a station-count scaling sweep over dense
 // multi-BSS worlds, and writes the results as a JSON artifact
-// (BENCH_6.json; BENCH_5.json is the previous generation, kept as the
+// (BENCH_7.json; BENCH_6.json is the previous generation, kept as the
 // regression baseline). It is the repo's performance trajectory: CI runs
 // it in quick mode on every push, diffs the scheme section against the
-// committed BENCH_5.json, gates the scaling sweep on flatness (1000
-// stations within 1.3× of the 30-station ns/pkt), and the committed
-// artifact records the measurement the README's perf tables are built
-// from.
+// committed BENCH_6.json, gates every scheduled scheme within 1.2× of
+// FIFO's ns/pkt, gates the scaling sweep on flatness (1000 stations
+// within 1.3× of the 30-station ns/pkt), and the committed artifact
+// records the measurement the README's perf tables are built from.
 //
 // Usage:
 //
-//	go run ./cmd/bench            # full measurement, writes BENCH_6.json
+//	go run ./cmd/bench            # full measurement, writes BENCH_7.json
 //	go run ./cmd/bench -quick     # short CI mode
 //	go run ./cmd/bench -schemes Airtime,FIFO -dur 5 -out bench.json
+//	go run ./cmd/bench -scaling=false      # skip the scaling sweep
 //	go run ./cmd/bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // The profile flags capture pprof evidence over the whole measurement
@@ -99,7 +100,7 @@ type ScalingResult struct {
 	NsRatioVsFirst float64 `json:"ns_per_pkt_ratio_vs_first"`
 }
 
-// Artifact is the BENCH_6.json document.
+// Artifact is the BENCH_7.json document.
 type Artifact struct {
 	Bench    string          `json:"bench"`
 	Quick    bool            `json:"quick"`
@@ -119,8 +120,11 @@ type Config struct {
 
 func main() {
 	quick := flag.Bool("quick", false, "short CI mode (1 s simulated per iteration)")
-	out := flag.String("out", "BENCH_6.json", "output artifact path (\"-\" for stdout)")
+	out := flag.String("out", "BENCH_7.json", "output artifact path (\"-\" for stdout)")
 	durS := flag.Float64("dur", 3, "simulated seconds per iteration")
+	scaling := flag.Bool("scaling", true, "run the station-count scaling sweep")
+	reuseFloor := flag.Float64("reuse-floor", 90,
+		"fail when any scheme's pool_reuse_pct falls below this (0 disables)")
 	schemesCSV := flag.String("schemes", "FIFO,FQ-CoDel,FQ-MAC,Airtime,DTT",
 		"comma-separated scheme names to measure")
 	withTCP := flag.Bool("tcp", false, "add bulk TCP downloads to the workload")
@@ -181,10 +185,19 @@ func main() {
 			r := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					c = exp.RunBenchWorld(exp.BenchWorldConfig{
+					// Assemble the world and collect the previous
+					// iteration's garbage outside the timed window, so
+					// each measurement starts from the same GC state and
+					// per-scheme figures don't depend on what was
+					// measured earlier in the process.
+					b.StopTimer()
+					bw := exp.NewBenchWorld(exp.BenchWorldConfig{
 						Scheme: scheme, Seed: uint64(i) + 1,
 						Duration: dur, TCP: *withTCP,
 					})
+					runtime.GC()
+					b.StartTimer()
+					c = bw.Run()
 				}
 			})
 			return r, c
@@ -214,12 +227,26 @@ func main() {
 			name, sr.NsPerPkt, sr.AllocsPerPkt, sr.BytesPerPkt, sr.PoolReusePct, sr.AllocReductionPct)
 	}
 
+	// Pool-reuse floor: the pre-warmed pool should serve nearly every
+	// packet request from the free list on every scheme, not just FIFO.
+	failed := false
+	for _, sr := range art.Schemes {
+		if *reuseFloor > 0 && sr.PoolReusePct < *reuseFloor {
+			fmt.Fprintf(os.Stderr, "bench: FAIL %s pool reuse %.1f%% below floor %.1f%%\n",
+				sr.Scheme, sr.PoolReusePct, *reuseFloor)
+			failed = true
+		}
+	}
+
 	// Station-count scaling sweep: dense multi-BSS worlds under the
 	// occupancy-fixed workload, Airtime scheme (the heaviest scheduled
 	// path). The headline is the ratio column: ns/pkt at 1000 stations
 	// within 1.3× of the 30-station figure.
 	scalePoints := []struct{ stations, bsss int }{
 		{30, 1}, {120, 4}, {480, 8}, {1000, 8}, {1000, 16},
+	}
+	if !*scaling {
+		scalePoints = nil
 	}
 	airtime, err := exp.ParseScheme("Airtime")
 	if err != nil {
@@ -285,13 +312,16 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "-" {
 		os.Stdout.Write(buf)
-		return
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
+	if failed {
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 }
 
 // measure runs bench up to attempts times and keeps the fastest result —

@@ -26,11 +26,22 @@ type BenchWorldConfig struct {
 	TCP      bool     // add a bulk TCP download per station
 }
 
-// RunBenchWorld builds the paper's 3-station testbed, drives it with the
+// BenchWorld is a prepared 3-station testbed with its workload attached,
+// ready for one timed run. Construction is separate from Run so the
+// benchmark driver can assemble the world — and collect the previous
+// iteration's garbage — outside the timed window; measuring world
+// assembly alongside the run let GC pacer state bleed between schemes
+// measured in one process and made their relative ns/pkt figures
+// order-dependent.
+type BenchWorld struct {
+	n   *Net
+	dur sim.Time
+}
+
+// NewBenchWorld builds the paper's 3-station testbed and attaches the
 // standard saturating workload (per-station UDP floods plus a ping, and
-// optionally bulk TCP), runs it for the configured simulated time and
-// returns the counters. One call is one benchmark iteration.
-func RunBenchWorld(cfg BenchWorldConfig) BenchCounters {
+// optionally bulk TCP).
+func NewBenchWorld(cfg BenchWorldConfig) *BenchWorld {
 	if cfg.Duration <= 0 {
 		cfg.Duration = 3 * sim.Second
 	}
@@ -48,7 +59,14 @@ func RunBenchWorld(cfg BenchWorldConfig) BenchCounters {
 		}
 	}
 	n.Ping(n.Stations[0], 0, 1)
-	n.Run(cfg.Duration)
+	return &BenchWorld{n: n, dur: cfg.Duration}
+}
+
+// Run drives the world for the configured simulated time and returns the
+// counters. One call is one benchmark iteration.
+func (bw *BenchWorld) Run() BenchCounters {
+	n := bw.n
+	n.Run(bw.dur)
 
 	var c BenchCounters
 	c.Packets = n.AP.InputPackets
@@ -62,6 +80,12 @@ func RunBenchWorld(cfg BenchWorldConfig) BenchCounters {
 	c.Events = n.Sim.EventsRun()
 	c.EventAllocs = n.Sim.EventsAllocated()
 	return c
+}
+
+// RunBenchWorld is the one-shot form: build the 3-station testbed and
+// run it, returning the counters (construction included).
+func RunBenchWorld(cfg BenchWorldConfig) BenchCounters {
+	return NewBenchWorld(cfg).Run()
 }
 
 // DenseBenchConfig configures one dense multi-BSS benchmark world.

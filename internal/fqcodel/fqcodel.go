@@ -105,6 +105,13 @@ type FQCoDel struct {
 	cfg      Config
 	flows    []flow
 	occupied []*flow // flows currently holding bytes, in no particular order
+	// occBytes mirrors each occupied flow's byte count in a flat array,
+	// so the over-limit victim scan walks contiguous ints instead of
+	// dereferencing every flow's queue.
+	occBytes []int
+	// flowMask replaces the hash modulo when Flows is a power of two
+	// (the default): k % n == k & (n-1) then. Zero for other counts.
+	flowMask uint64
 	newQ     flowList
 	oldQ     flowList
 	len      int
@@ -126,6 +133,10 @@ func New(cfg Config) *FQCoDel {
 		// starting capacity keeps steady-state occupancy tracking
 		// allocation-free.
 		occupied: make([]*flow, 0, 16),
+		occBytes: make([]int, 0, 16),
+	}
+	if cfg.Flows&(cfg.Flows-1) == 0 {
+		fq.flowMask = uint64(cfg.Flows - 1)
 	}
 	for i := range fq.flows {
 		fq.flows[i].idx = i
@@ -160,10 +171,13 @@ func (fq *FQCoDel) drop(p *pkt.Packet) {
 // queue: flows enter when they gain their first byte and leave when they
 // drain. Call after any push or pop on f.q.
 func (fq *FQCoDel) occUpdate(f *flow) {
-	if f.q.Bytes() > 0 {
+	if b := f.q.Bytes(); b > 0 {
 		if f.occPos < 0 {
 			f.occPos = len(fq.occupied)
 			fq.occupied = append(fq.occupied, f)
+			fq.occBytes = append(fq.occBytes, b)
+		} else {
+			fq.occBytes[f.occPos] = b
 		}
 		return
 	}
@@ -171,9 +185,11 @@ func (fq *FQCoDel) occUpdate(f *flow) {
 		last := len(fq.occupied) - 1
 		moved := fq.occupied[last]
 		fq.occupied[f.occPos] = moved
+		fq.occBytes[f.occPos] = fq.occBytes[last]
 		moved.occPos = f.occPos
 		fq.occupied[last] = nil
 		fq.occupied = fq.occupied[:last]
+		fq.occBytes = fq.occBytes[:last]
 		f.occPos = -1
 	}
 }
@@ -185,19 +201,23 @@ func (fq *FQCoDel) longestFlow() *flow {
 	if len(fq.occupied) == 0 {
 		return &fq.flows[0]
 	}
-	longest := fq.occupied[0]
-	lb := longest.q.Bytes()
-	for _, f := range fq.occupied[1:] {
-		if b := f.q.Bytes(); b > lb || (b == lb && f.idx < longest.idx) {
-			longest, lb = f, b
+	li, lb := 0, fq.occBytes[0]
+	for i, b := range fq.occBytes[1:] {
+		if b > lb || (b == lb && fq.occupied[i+1].idx < fq.occupied[li].idx) {
+			li, lb = i+1, b
 		}
 	}
-	return longest
+	return fq.occupied[li]
 }
 
 // Enqueue implements qdisc.Qdisc.
 func (fq *FQCoDel) Enqueue(p *pkt.Packet) bool {
-	f := &fq.flows[p.FlowKey()%uint64(len(fq.flows))]
+	var f *flow
+	if fq.flowMask != 0 {
+		f = &fq.flows[p.FlowKey()&fq.flowMask]
+	} else {
+		f = &fq.flows[p.FlowKey()%uint64(len(fq.flows))]
+	}
 	p.Enqueued = fq.cfg.Clock()
 	f.q.Push(p)
 	fq.occUpdate(f)

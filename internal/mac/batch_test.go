@@ -1,0 +1,102 @@
+package mac
+
+import (
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+// TestBatchedGrantAccounting: the single-pass grant completion must
+// charge exactly what per-MPDU accounting would. The medium observer
+// and the receivers' Deliver hooks collect per-transmission and
+// per-packet ground truth independently of the station counters; every
+// aggregate number the batched path maintains has to match those sums.
+func TestBatchedGrantAccounting(t *testing.T) {
+	for _, scheme := range Schemes {
+		r := newRig(t, Config{Scheme: scheme}, phy.MCS(15, true), phy.MCS(3, true))
+
+		// Per-station ground truth from the medium: airtime, frames and
+		// grants, accumulated one transmission at a time.
+		airtime := map[pkt.NodeID]sim.Time{}
+		frames := map[pkt.NodeID]int64{}
+		grants := map[pkt.NodeID]int64{}
+		r.env.Medium.Observer = func(ev TxEvent) {
+			if ev.Collided {
+				return
+			}
+			airtime[ev.Rx] += ev.Dur
+			frames[ev.Rx] += int64(ev.Frames)
+			grants[ev.Rx]++
+		}
+
+		const n = 400
+		for i := 0; i < n; i++ {
+			for j, dst := range []pkt.NodeID{10, 11} {
+				size := 200 + (i*37+j*13)%1300
+				r.ap.Input(dataPkt(dst, size, uint64(1+i%7)))
+			}
+		}
+		r.s.RunUntil(3 * sim.Second)
+
+		for _, dst := range []pkt.NodeID{10, 11} {
+			sta := r.ap.Station(dst)
+			var gotBytes int64
+			for _, p := range r.received[dst] {
+				gotBytes += int64(p.Size)
+			}
+			if len(r.received[dst]) < n/2 {
+				t.Errorf("%v sta %d: only %d of %d delivered; workload too light to exercise batching",
+					scheme, dst, len(r.received[dst]), n)
+			}
+			if sta.TxPackets != int64(len(r.received[dst])) {
+				t.Errorf("%v sta %d: TxPackets %d != delivered %d",
+					scheme, dst, sta.TxPackets, len(r.received[dst]))
+			}
+			if sta.TxBytes != gotBytes {
+				t.Errorf("%v sta %d: TxBytes %d != delivered bytes %d",
+					scheme, dst, sta.TxBytes, gotBytes)
+			}
+			if sta.TxAirtime != airtime[dst] {
+				t.Errorf("%v sta %d: TxAirtime %v != observed air %v",
+					scheme, dst, sta.TxAirtime, airtime[dst])
+			}
+			if sta.AggPackets != frames[dst] {
+				t.Errorf("%v sta %d: AggPackets %d != observed frames %d",
+					scheme, dst, sta.AggPackets, frames[dst])
+			}
+			if sta.AggCount != grants[dst] {
+				t.Errorf("%v sta %d: AggCount %d != observed grants %d",
+					scheme, dst, sta.AggCount, grants[dst])
+			}
+		}
+	}
+}
+
+// TestBatchedGrantLossyParity: with loss the per-group path runs; its
+// counters must still reconcile with what the receivers actually got
+// plus the retry-limit drops.
+func TestBatchedGrantLossyParity(t *testing.T) {
+	cfg := Config{Scheme: SchemeAirtimeFQ, PerMPDULoss: 0.5, RetryLimit: 1}
+	r := newRig(t, cfg, phy.MCS(7, true))
+	const n = 300
+	for i := 0; i < n; i++ {
+		r.ap.Input(dataPkt(10, 1000, uint64(1+i%5)))
+	}
+	// Retry-limit drops leave reorder holes the receiver releases one
+	// 100 ms timeout at a time, so the drain tail is long; run to quiescence.
+	r.s.RunUntil(5 * sim.Second)
+	r.s.Run(0)
+	sta := r.ap.Station(10)
+	if got := int64(len(r.received[10])); sta.TxPackets != got {
+		t.Errorf("TxPackets %d != delivered %d", sta.TxPackets, got)
+	}
+	if total := sta.TxPackets + sta.DropPackets; total != n {
+		t.Errorf("delivered %d + dropped %d != offered %d",
+			sta.TxPackets, sta.DropPackets, n)
+	}
+	if sta.DropPackets == 0 {
+		t.Error("50% loss with retry limit 1 dropped nothing; loss path not exercised")
+	}
+}

@@ -63,11 +63,16 @@ type Medium struct {
 	// historical insertion order by sorting winners on their enlistment
 	// sequence, so behaviour is identical to an ordered full scan.
 	contenders []*txq
-	enlistCtr  uint64
-	accessEv   sim.EventRef
-	idleStart  sim.Time
-	txActive   bool
-	busyUntil  sim.Time
+	// waits[i] caches contenders[i]'s AIFS + remaining backoff, the
+	// quantity every reschedule and winner-collection scan needs: the
+	// scans walk this flat array instead of dereferencing each txq.
+	// Updated wherever a contender's slot count changes.
+	waits     []sim.Time
+	enlistCtr uint64
+	accessEv  sim.EventRef
+	idleStart sim.Time
+	txActive  bool
+	busyUntil sim.Time
 
 	// inFlight holds the current transmission's entries; only one
 	// transmission is on the air at a time, so the completion event reads
@@ -134,6 +139,7 @@ func (m *Medium) request(q *txq) {
 	m.creditSlots()
 	q.ci = len(m.contenders)
 	m.contenders = append(m.contenders, q)
+	m.waits = append(m.waits, q.aifs()+sim.Time(q.slots)*phy.TSlot)
 	m.reschedule()
 }
 
@@ -144,9 +150,11 @@ func (m *Medium) unlist(q *txq) {
 	if i := q.ci; i != last {
 		m.contenders[i] = m.contenders[last]
 		m.contenders[i].ci = i
+		m.waits[i] = m.waits[last]
 	}
 	m.contenders[last] = nil
 	m.contenders = m.contenders[:last]
+	m.waits = m.waits[:last]
 	q.contending = false
 }
 
@@ -166,7 +174,7 @@ func (m *Medium) creditSlots() {
 		return
 	}
 	now := m.sim.Now()
-	for _, c := range m.contenders {
+	for i, c := range m.contenders {
 		elapsed := now - m.idleStart - c.aifs()
 		if elapsed <= 0 {
 			continue
@@ -176,14 +184,23 @@ func (m *Medium) creditSlots() {
 			n = c.slots
 		}
 		c.slots -= n
+		m.waits[i] -= sim.Time(n) * phy.TSlot
 	}
 	m.idleStart = now
+}
+
+// refreshWait re-derives a contender's cached wait after its slot count
+// changed outside creditSlots.
+func (m *Medium) refreshWait(c *txq) {
+	if c.contending {
+		m.waits[c.ci] = c.aifs() + sim.Time(c.slots)*phy.TSlot
+	}
 }
 
 // readyAt returns when contender c could seize the channel, measured from
 // the current idle start.
 func (m *Medium) readyAt(c *txq) sim.Time {
-	return m.idleStart + c.aifs() + sim.Time(c.slots)*phy.TSlot
+	return m.idleStart + m.waits[c.ci]
 }
 
 // reschedule recomputes the next channel-access event.
@@ -201,13 +218,13 @@ func (m *Medium) reschedule() {
 	if m.idleStart < m.sim.Now() {
 		m.idleStart = m.sim.Now()
 	}
-	earliest := sim.Time(1<<62 - 1)
-	for _, c := range m.contenders {
-		if r := m.readyAt(c); r < earliest {
-			earliest = r
+	minWait := m.waits[0]
+	for _, w := range m.waits[1:] {
+		if w < minWait {
+			minWait = w
 		}
 	}
-	m.accessEv = m.sim.At(earliest, m.grantCall)
+	m.accessEv = m.sim.At(m.idleStart+minWait, m.grantCall)
 }
 
 // collectWinners gathers the contenders whose backoff has expired by
@@ -218,9 +235,10 @@ func (m *Medium) reschedule() {
 // virtual-collision resolution and loser backoff redraws below consume.
 func (m *Medium) collectWinners(now sim.Time) []*txq {
 	winners := m.winners[:0]
-	for _, c := range m.contenders {
-		if m.readyAt(c) <= now {
-			winners = append(winners, c)
+	cut := now - m.idleStart
+	for i, w := range m.waits {
+		if w <= cut {
+			winners = append(winners, m.contenders[i])
 		}
 	}
 	for i := 1; i < len(winners); i++ {
@@ -263,6 +281,7 @@ func (m *Medium) grant() {
 			n = 1
 		}
 		c.slots = n
+		m.refreshWait(c)
 	}
 
 	// Virtual (intra-node) collisions: the highest AC of a node transmits,
@@ -293,6 +312,7 @@ func (m *Medium) grant() {
 	for _, l := range virtLosers {
 		l.bumpCW()
 		l.drawBackoff(m.sim.Rand())
+		m.refreshWait(l)
 	}
 
 	// Deterministic order: sort by node id, AC.

@@ -165,6 +165,13 @@ type Node struct {
 	stationOrder []*Station
 	defaultPeer  *Station
 
+	// staLow/staSlice index stations by identifier offset for the
+	// per-packet route/receive lookups: one bounds check and a load
+	// instead of a map probe. Rebuilt on Add/RemoveStation; empty when
+	// the identifier range is too sparse (the map stays authoritative).
+	staLow   pkt.NodeID
+	staSlice []*Station
+
 	rr    [pkt.NumACs][]*tidState
 	rrIdx [pkt.NumACs]int
 
@@ -174,6 +181,9 @@ type Node struct {
 	// pool is the world's packet pool; the node releases packets it
 	// terminates (drops at enqueue, retry-limit drops, purges) into it.
 	pool *pkt.Pool
+	// tabs interns one phy.Tab per rate the node has transmitted at, so
+	// rate-control sampling does not rebuild duration tables.
+	tabs map[phy.Rate]*phy.Tab
 	// aggFree recycles Aggregate shells, and deliveredScratch is the
 	// reusable buffer txComplete collects successful MPDUs into.
 	aggFree          []*Aggregate
@@ -221,6 +231,19 @@ func NewNode(env *Env, id pkt.NodeID, name string, cfg Config) (*Node, error) {
 
 // freePkt releases a packet the node terminated back to the world pool.
 func (n *Node) freePkt(p *pkt.Packet) { n.pool.Put(p) }
+
+// tabFor returns the node's interned duration table for rate r.
+func (n *Node) tabFor(r phy.Rate) *phy.Tab {
+	if t, ok := n.tabs[r]; ok {
+		return t
+	}
+	if n.tabs == nil {
+		n.tabs = make(map[phy.Rate]*phy.Tab)
+	}
+	t := phy.NewTab(r)
+	n.tabs[r] = t
+	return t
+}
 
 // getAggregate pops a recycled aggregate shell or allocates a fresh one.
 func (n *Node) getAggregate() *Aggregate {
@@ -284,7 +307,7 @@ func (n *Node) AddStation(peer *Node, rate phy.Rate) *Station {
 	if _, dup := n.stations[peer.ID]; dup {
 		panic(fmt.Sprintf("mac: duplicate station %v", peer.ID))
 	}
-	s := &Station{Peer: peer, Rate: rate, owner: n}
+	s := &Station{Peer: peer, Rate: rate, owner: n, tab: n.tabFor(rate)}
 	for ac := 0; ac < pkt.NumACs; ac++ {
 		t := &tidState{sta: s, ac: pkt.AC(ac)}
 		t.q = n.queue.NewTID(pkt.AC(ac))
@@ -299,6 +322,7 @@ func (n *Node) AddStation(peer *Node, rate phy.Rate) *Station {
 	s.updateCodelParams(n.env.Sim.Now())
 	n.stations[peer.ID] = s
 	n.stationOrder = append(n.stationOrder, s)
+	n.rebuildStationIndex()
 	if n.defaultPeer == nil {
 		n.defaultPeer = s
 	}
@@ -315,6 +339,9 @@ func (n *Node) Station(id pkt.NodeID) *Station { return n.stations[id] }
 // re-evaluating the per-station CoDel parameters under hysteresis.
 func (n *Node) SetRate(s *Station, rate phy.Rate) {
 	s.Rate = rate
+	if s.tab == nil || s.tab.R != rate {
+		s.tab = n.tabFor(rate)
+	}
 	s.updateCodelParams(n.env.Sim.Now())
 }
 
@@ -354,6 +381,7 @@ func (n *Node) RemoveStation(s *Station) {
 			break
 		}
 	}
+	n.rebuildStationIndex()
 	if n.defaultPeer == s {
 		n.defaultPeer = nil
 		if len(n.stationOrder) > 0 {
@@ -383,10 +411,52 @@ func (n *Node) RemoveStation(s *Station) {
 	}
 }
 
+// rebuildStationIndex refreshes the dense lookup slice. Station
+// identifiers cluster inside one BSS window, so the span is small; a
+// pathological spread falls back to the map.
+func (n *Node) rebuildStationIndex() {
+	n.staSlice = n.staSlice[:0]
+	if len(n.stationOrder) == 0 {
+		n.staLow = 0
+		return
+	}
+	lo, hi := n.stationOrder[0].Peer.ID, n.stationOrder[0].Peer.ID
+	for _, s := range n.stationOrder[1:] {
+		if id := s.Peer.ID; id < lo {
+			lo = id
+		} else if id > hi {
+			hi = id
+		}
+	}
+	if hi-lo >= 1<<16 {
+		n.staLow = 0
+		return
+	}
+	n.staLow = lo
+	for len(n.staSlice) <= int(hi-lo) {
+		n.staSlice = append(n.staSlice, nil)
+	}
+	for _, s := range n.stationOrder {
+		n.staSlice[s.Peer.ID-lo] = s
+	}
+}
+
+// lookupStation returns the peer entry for id, or nil. When the dense
+// index is built it covers every station, so a miss there is a miss.
+func (n *Node) lookupStation(id pkt.NodeID) *Station {
+	if d := int(id - n.staLow); d >= 0 && d < len(n.staSlice) {
+		return n.staSlice[d]
+	}
+	if len(n.staSlice) > 0 {
+		return nil
+	}
+	return n.stations[id]
+}
+
 // route finds the peer entry a packet should be transmitted to: its
 // destination if directly associated, otherwise the default peer (the AP).
 func (n *Node) route(p *pkt.Packet) *Station {
-	if s, ok := n.stations[p.Dst]; ok {
+	if s := n.lookupStation(p.Dst); s != nil {
 		return s
 	}
 	return n.defaultPeer
@@ -541,7 +611,6 @@ func (n *Node) txComplete(q *txq, agg *Aggregate, collided bool, occupied sim.Ti
 	}
 
 	q.popHW()
-	rng := n.env.Sim.Rand()
 	// Per-MPDU success: the flat configured loss probability plus, when a
 	// channel model is attached, rate-dependent link errors. With A-MSDU
 	// bundling, an MPDU (group) succeeds or fails as a unit.
@@ -549,6 +618,39 @@ func (n *Node) txComplete(q *txq, agg *Aggregate, collided bool, occupied sim.Ti
 	if sta.Channel != nil {
 		succProb *= sta.Channel.SuccessProb(agg.Rate)
 	}
+	if succProb >= 1 {
+		// Lossless grant: every MPDU is delivered, so the per-group
+		// draw loop collapses to one pass — one stats flush and a
+		// zero-copy handoff of the aggregate's own packet slice. The
+		// shell is recycled only after delivery returns, so nothing
+		// downstream can reuse it mid-flight.
+		var bytes int64
+		for _, p := range agg.Pkts {
+			p.SentAir = agg.Started
+			bytes += int64(p.Size)
+		}
+		sta.TxBytes += bytes
+		sta.TxPackets += int64(len(agg.Pkts))
+		q.resetCW()
+		if rc := sta.RC; rc != nil {
+			rc.Report(agg.Rate, len(agg.Pkts), 0)
+			if rc.MaybeUpdate(n.env.Sim.Now()) {
+				n.SetRate(sta, rc.CurrentRate())
+			}
+		}
+		tid, totalDur := agg.TID, agg.TotalDur
+		if sc := n.sched[q.ac]; sc != nil && tid.backlogged() {
+			sc.Activate(tid.schedEntry)
+		}
+		if len(agg.Pkts) > 0 {
+			sta.Peer.receiveAggregate(n, q.ac, agg.Pkts, totalDur)
+		}
+		n.putAggregate(agg)
+		n.schedule(q.ac)
+		return
+	}
+
+	rng := n.env.Sim.Rand()
 	delivered := n.deliveredScratch[:0]
 	anyFailed := false
 	for gi := 0; gi < agg.NumGroups(); gi++ {
@@ -603,7 +705,7 @@ func (n *Node) txComplete(q *txq, agg *Aggregate, collided bool, occupied sim.Ti
 // airtime is attributed (and, under the airtime scheme, charged) to the
 // sending peer, and packets are handed to the upper layers.
 func (n *Node) receiveAggregate(from *Node, ac pkt.AC, pkts []*pkt.Packet, dur sim.Time) {
-	if sta, ok := n.stations[from.ID]; ok {
+	if sta := n.lookupStation(from.ID); sta != nil {
 		sta.RxAirtime += dur
 		if sc := n.sched[ac]; sc != nil {
 			sc.ChargeRx(sta.tids[ac].schedEntry, dur)

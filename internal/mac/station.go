@@ -28,6 +28,11 @@ type Station struct {
 	owner *Node
 	tids  [pkt.NumACs]*tidState
 
+	// tab caches the duration constants of Rate (phy.Tab); kept in sync
+	// by AddStation/SetRate so the aggregation hot path reads tables
+	// instead of dividing by the bitrate.
+	tab *phy.Tab
+
 	codelPa      codel.Params
 	codelSlow    bool
 	codelInit    bool
@@ -72,7 +77,7 @@ func (s *Station) updateCodelParams(now sim.Time) {
 	if s.RC != nil {
 		expect = s.RC.ExpectedThroughput()
 	} else {
-		expect = phy.EffectiveRate(expectedAggr(s.Rate, cfg), 1500, s.Rate)
+		expect = s.tab.EffectiveRate1500(expectedAggr(s.tab, cfg))
 	}
 	slow := expect < cfg.SlowRateThreshold
 	if s.codelInit {
@@ -94,14 +99,14 @@ func (s *Station) updateCodelParams(now sim.Time) {
 }
 
 // expectedAggr estimates the aggregation level rate control would reach at
-// rate r under the configured caps.
-func expectedAggr(r phy.Rate, cfg *Config) int {
-	if r.Legacy {
+// the tab's rate under the configured caps.
+func expectedAggr(tab *phy.Tab, cfg *Config) int {
+	if tab.R.Legacy {
 		return 1
 	}
 	n := 1
 	for n < cfg.MaxAggrFrames {
-		if phy.DataDur(n+1, 1500, r) > cfg.MaxAggrDur {
+		if tab.DataDur1500(n+1) > cfg.MaxAggrDur {
 			break
 		}
 		n++
@@ -222,10 +227,21 @@ func (n *Node) buildAggregate(t *tidState) *Aggregate {
 	if t.sta.RC != nil {
 		rate = t.sta.RC.PickRate(n.env.Sim.Rand())
 	}
+	tab := t.sta.tab
+	if tab == nil || tab.R != rate {
+		tab = n.tabFor(rate)
+	}
 	maxFrames := cfg.MaxAggrFrames
 	noAggr := EDCA(t.ac).NoAggr || rate.Legacy
 	if noAggr {
 		maxFrames = 1
+	}
+	// The duration cap as a byte threshold: newBytes > maxBytes is the
+	// same decision as DataDurBytes(newBytes, rate) > MaxAggrDur, by
+	// monotonicity of the duration in the byte count (phy.Tab.FitBytes).
+	maxBytes := cfg.MaxAggrBytes
+	if fb := tab.FitBytes(cfg.MaxAggrDur); fb < maxBytes {
+		maxBytes = fb
 	}
 
 	agg := n.getAggregate()
@@ -238,7 +254,7 @@ func (n *Node) buildAggregate(t *tidState) *Aggregate {
 		}
 		newBytes := agg.FrameBytes + glen
 		if agg.NumGroups() > 0 {
-			if newBytes > cfg.MaxAggrBytes || phy.DataDurBytes(newBytes, rate) > cfg.MaxAggrDur {
+			if newBytes > maxBytes {
 				// Does not fit: return the group for the next aggregate.
 				for i := len(agg.Pkts) - 1; i >= start; i-- {
 					t.retryq.PushFront(agg.Pkts[i])
@@ -266,7 +282,7 @@ func (n *Node) buildAggregate(t *tidState) *Aggregate {
 		return nil
 	}
 	agg.DataDur = phy.DataDurBytes(agg.FrameBytes, rate)
-	agg.TotalDur = agg.DataDur + phy.AckDur(rate)
+	agg.TotalDur = agg.DataDur + tab.Ack
 	if thr := cfg.RTSThreshold; thr > 0 && agg.TotalDur > thr {
 		agg.UseRTS = true
 		agg.TotalDur += phy.RTSCTSOverhead

@@ -129,6 +129,15 @@ type Fq struct {
 	// global limit is pinned; the heap makes the per-enqueue victim
 	// lookup O(log n) instead of O(n).
 	occupied []*queue
+	// pending is the one queue whose heap position may be stale: byte
+	// changes on it are folded into a single sift at the next heap read
+	// (or when a different queue changes). Aggregation drains one queue
+	// many packets at a time, so deferring exactly one queue batches the
+	// whole drain while every flush remains a plain op on a valid heap.
+	pending *queue
+	// flowMask replaces the hash modulo when Flows is a power of two
+	// (the default): k % n == k & (n-1) then. Zero for other counts.
+	flowMask uint64
 	len      int
 
 	drops      int
@@ -148,6 +157,9 @@ func New(cfg Config) *Fq {
 		// starting capacity keeps steady-state occupancy tracking
 		// allocation-free.
 		occupied: make([]*queue, 0, 16),
+	}
+	if cfg.Flows&(cfg.Flows-1) == 0 {
+		fq.flowMask = uint64(cfg.Flows - 1)
 	}
 	for i := range fq.flows {
 		fq.flows[i].idx = i
@@ -261,10 +273,32 @@ func (fq *Fq) occUpdate(q *queue) {
 	}
 }
 
+// occDefer records that q's byte count changed, deferring the heap
+// maintenance until the next read. Only one queue may be pending, so a
+// change to a different queue flushes the previous one first.
+func (fq *Fq) occDefer(q *queue) {
+	if fq.pending == q {
+		return
+	}
+	if fq.pending != nil {
+		fq.occUpdate(fq.pending)
+	}
+	fq.pending = q
+}
+
+// occFlush settles the pending queue into the heap before a read.
+func (fq *Fq) occFlush() {
+	if fq.pending != nil {
+		fq.occUpdate(fq.pending)
+		fq.pending = nil
+	}
+}
+
 // longestQueue returns the queue (hash or overflow) holding the most
 // bytes — the occupied heap's root. Ties resolve to the lowest scan
 // position, matching a first-longest-wins scan over every queue.
 func (fq *Fq) longestQueue() *queue {
+	fq.occFlush()
 	if len(fq.occupied) == 0 {
 		return &fq.flows[0]
 	}
@@ -280,7 +314,7 @@ func (fq *Fq) dropFromLongest() *pkt.Packet {
 	if p == nil {
 		return nil
 	}
-	fq.occUpdate(victim)
+	fq.occDefer(victim)
 	fq.len--
 	if victim.tid != nil {
 		victim.tid.len--
@@ -312,7 +346,12 @@ func (t *TID) Backlogged() bool { return t.len > 0 }
 func (t *TID) Enqueue(p *pkt.Packet, now sim.Time) bool {
 	fq := t.fq
 	accepted := true
-	q := &fq.flows[p.FlowKey()%uint64(len(fq.flows))]
+	var q *queue
+	if fq.flowMask != 0 {
+		q = &fq.flows[p.FlowKey()&fq.flowMask]
+	} else {
+		q = &fq.flows[p.FlowKey()%uint64(len(fq.flows))]
+	}
 	if q.tid != nil && q.tid != t {
 		q = t.overflowQ
 		fq.collisions++
@@ -320,7 +359,7 @@ func (t *TID) Enqueue(p *pkt.Packet, now sim.Time) bool {
 	q.tid = t
 	p.Enqueued = now
 	q.q.Push(p)
-	fq.occUpdate(q)
+	fq.occDefer(q)
 	fq.len++
 	t.len++
 	if q.inList == listNone {
@@ -370,7 +409,7 @@ func (t *TID) Dequeue(now sim.Time, pa codel.Params) *pkt.Packet {
 			fq.codelDrops++
 			fq.drop(dp)
 		})
-		fq.occUpdate(q)
+		fq.occDefer(q)
 		if p == nil {
 			if fromNew {
 				t.newQ.popHead()

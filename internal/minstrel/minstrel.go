@@ -26,7 +26,8 @@ const (
 
 type rateStats struct {
 	rate              phy.Rate
-	attempts, success int // current window
+	effRate           float64 // EffectiveRate(8, refPktLen, rate), a per-rate constant
+	attempts, success int     // current window
 	ewmaProb          float64
 	everUsed          bool
 }
@@ -50,7 +51,10 @@ type Controller struct {
 func New(startMCS int) *Controller {
 	c := &Controller{}
 	for i := 0; i < 16; i++ {
-		c.rates = append(c.rates, rateStats{rate: phy.MCS(i, true), ewmaProb: 0.5})
+		r := phy.MCS(i, true)
+		c.rates = append(c.rates, rateStats{
+			rate: r, effRate: phy.EffectiveRate(8, refPktLen, r), ewmaProb: 0.5,
+		})
 	}
 	c.order = make([]int, 16)
 	for i := range c.order {
@@ -87,7 +91,7 @@ func (c *Controller) ExpectedThroughput() float64 {
 }
 
 func (c *Controller) goodput(i int) float64 {
-	return phy.EffectiveRate(8, refPktLen, c.rates[i].rate) * c.rates[i].ewmaProb
+	return c.rates[i].effRate * c.rates[i].ewmaProb
 }
 
 // PickRate chooses the rate for the next aggregate: usually the current

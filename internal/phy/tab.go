@@ -1,0 +1,95 @@
+package phy
+
+import "repro/internal/sim"
+
+// This file implements precomputed per-rate duration tables for the
+// grant hot path. DataDur/AckDur/Overhead divide by the PHY bitrate on
+// every call; aggregation builds one frame per grant but probes the
+// duration cap once per MPDU, so the float division shows up per packet.
+// A Tab turns those probes into integer comparisons and the per-grant
+// constants into loads, with every cached value produced by the exact
+// formula it replaces — bit-identical results, pinned by TestTabExact.
+
+// tabAggrMax bounds the per-aggregation-level duration table: one entry
+// per A-MPDU size up to twice the default 32-frame cap.
+const tabAggrMax = 64
+
+// Tab caches the duration constants of one PHY rate.
+type Tab struct {
+	R   Rate
+	Ack sim.Time // AckDur(R)
+	Oh  sim.Time // Overhead(R, CWMin)
+
+	// dataDur1500[n-1] is DataDur(n, 1500, R): the air time of an
+	// n-MPDU aggregate of full-size packets, the reference workload of
+	// expected-throughput estimation. Legacy rates fill only n = 1.
+	dataDur1500 [tabAggrMax]sim.Time
+
+	fitDur   sim.Time // FitBytes memo: cap the threshold was computed for
+	fitBytes int
+}
+
+// NewTab precomputes the duration table for rate r.
+func NewTab(r Rate) *Tab {
+	t := &Tab{R: r, Ack: AckDur(r), Oh: Overhead(r, CWMin), fitDur: -1}
+	top := tabAggrMax
+	if r.Legacy {
+		top = 1
+	}
+	for n := 1; n <= top; n++ {
+		t.dataDur1500[n-1] = DataDur(n, 1500, r)
+	}
+	return t
+}
+
+// DataDur1500 returns DataDur(n, 1500, R) as a table read, falling back
+// to the formula beyond the table.
+func (t *Tab) DataDur1500(n int) sim.Time {
+	if n >= 1 && n <= tabAggrMax && (!t.R.Legacy || n == 1) {
+		return t.dataDur1500[n-1]
+	}
+	return DataDur(n, 1500, t.R)
+}
+
+// EffectiveRate1500 returns EffectiveRate(n, 1500, R) via the table.
+func (t *Tab) EffectiveRate1500(n int) float64 {
+	d := t.DataDur1500(n) + t.Oh
+	return float64(8*n*1500) / d.Seconds()
+}
+
+// FitBytes returns the largest framed body length whose air time at R
+// does not exceed maxDur: frameBytes fit under the cap exactly when
+// frameBytes <= FitBytes(maxDur), because DataDurBytes is monotone
+// non-decreasing in the byte count. The threshold is memoized per cap
+// (the cap is a per-run constant), so the per-MPDU fit probe of
+// aggregation becomes one integer comparison. Returns -1 when nothing
+// fits.
+func (t *Tab) FitBytes(maxDur sim.Time) int {
+	if t.fitDur == maxDur {
+		return t.fitBytes
+	}
+	var fit int
+	if DataDurBytes(0, t.R) > maxDur {
+		fit = -1
+	} else {
+		hi := 1
+		for hi < 1<<30 && DataDurBytes(hi, t.R) <= maxDur {
+			hi <<= 1
+		}
+		lo := hi >> 1 // the last doubling that fit (0 when hi stayed 1)
+		if DataDurBytes(hi, t.R) <= maxDur {
+			lo = hi // doubling hit the cap while still fitting
+		}
+		for hi-lo > 1 {
+			mid := lo + (hi-lo)/2
+			if DataDurBytes(mid, t.R) <= maxDur {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		fit = lo
+	}
+	t.fitDur, t.fitBytes = maxDur, fit
+	return fit
+}

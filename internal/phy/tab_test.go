@@ -1,0 +1,93 @@
+package phy
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func tabRates() []Rate {
+	var rs []Rate
+	for i := 0; i < 16; i++ {
+		rs = append(rs, MCS(i, true), MCS(i, false))
+	}
+	return append(rs, Legacy(1), Legacy(11), Legacy(54))
+}
+
+// TestTabExact: every cached Tab value is bit-identical to the formula
+// it replaces — the property that keeps the table a pure optimization.
+func TestTabExact(t *testing.T) {
+	for _, r := range tabRates() {
+		tab := NewTab(r)
+		if tab.Ack != AckDur(r) {
+			t.Errorf("%v: Ack = %v, formula %v", r, tab.Ack, AckDur(r))
+		}
+		if tab.Oh != Overhead(r, CWMin) {
+			t.Errorf("%v: Oh = %v, formula %v", r, tab.Oh, Overhead(r, CWMin))
+		}
+		top := tabAggrMax
+		if r.Legacy {
+			top = 1
+		}
+		for n := 1; n <= top; n++ {
+			if got, want := tab.DataDur1500(n), DataDur(n, 1500, r); got != want {
+				t.Errorf("%v: DataDur1500(%d) = %v, formula %v", r, n, got, want)
+			}
+			if got, want := tab.EffectiveRate1500(n), EffectiveRate(n, 1500, r); got != want {
+				t.Errorf("%v: EffectiveRate1500(%d) = %v, formula %v", r, n, got, want)
+			}
+		}
+	}
+}
+
+// TestTabFitBytes: the memoized byte threshold makes exactly the same
+// fit/no-fit decisions as comparing DataDurBytes against the cap.
+func TestTabFitBytes(t *testing.T) {
+	caps := []sim.Time{4 * sim.Millisecond, 1 * sim.Millisecond, 100 * sim.Microsecond, TPhy, 0}
+	for _, r := range tabRates() {
+		tab := NewTab(r)
+		for _, cap := range caps {
+			fit := tab.FitBytes(cap)
+			if fit >= 0 && DataDurBytes(fit, r) > cap {
+				t.Errorf("%v cap %v: FitBytes %d exceeds the cap", r, cap, fit)
+			}
+			if DataDurBytes(fit+1, r) <= cap {
+				t.Errorf("%v cap %v: FitBytes %d is not maximal", r, cap, fit)
+			}
+			// Spot-check decision identity across the boundary.
+			for b := fit - 2; b <= fit+2; b++ {
+				if b < 0 {
+					continue
+				}
+				if (b > fit) != (DataDurBytes(b, r) > cap) {
+					t.Errorf("%v cap %v: decision differs at %d bytes", r, cap, b)
+				}
+			}
+			if again := tab.FitBytes(cap); again != fit {
+				t.Errorf("%v cap %v: memoized FitBytes changed: %d then %d", r, cap, fit, again)
+			}
+		}
+	}
+}
+
+// BenchmarkDataDur: the per-probe duration formula (float division).
+func BenchmarkDataDur(b *testing.B) {
+	r := MCS(15, true)
+	var acc sim.Time
+	for i := 0; i < b.N; i++ {
+		acc += DataDur(1+i%32, 1500, r)
+	}
+	benchSink = acc
+}
+
+// BenchmarkDataDurTab: the same lookups through the precomputed table.
+func BenchmarkDataDurTab(b *testing.B) {
+	tab := NewTab(MCS(15, true))
+	var acc sim.Time
+	for i := 0; i < b.N; i++ {
+		acc += tab.DataDur1500(1 + i%32)
+	}
+	benchSink = acc
+}
+
+var benchSink sim.Time

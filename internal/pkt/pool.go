@@ -24,10 +24,11 @@ func PoolingEnabled() bool { return poolingEnabled.Load() }
 
 // PoolStats are a pool's lifetime counters.
 type PoolStats struct {
-	Gets    int64 // packets handed out
-	Puts    int64 // packets released
-	News    int64 // packets heap-allocated (Gets that missed the free list)
-	Headers int64 // TCP headers heap-allocated
+	Gets      int64 // packets handed out
+	Puts      int64 // packets released
+	News      int64 // packets heap-allocated (Gets that missed the free list)
+	Headers   int64 // TCP headers heap-allocated
+	Prewarmed int64 // packets pre-sized into the free list before traffic
 }
 
 // Live reports packets currently held by the simulation (handed out and
@@ -102,6 +103,24 @@ func (pl *Pool) Put(p *Packet) {
 	p.pooled = true
 	p.next = pl.free
 	pl.free = p
+}
+
+// Prewarm grows the free list by n packets allocated as one contiguous
+// slab, so a world that can estimate its standing-queue depth up front
+// pays one allocation instead of n during queue build-up. A no-op when
+// pooling is disabled.
+func (pl *Pool) Prewarm(n int) {
+	if !pl.enabled || n <= 0 {
+		return
+	}
+	slab := make([]Packet, n)
+	for i := range slab {
+		p := &slab[i]
+		p.pooled = true
+		p.next = pl.free
+		pl.free = p
+	}
+	pl.stats.Prewarmed += int64(n)
 }
 
 // GetHeader returns a zero-valued TCP header with any recycled Sack

@@ -62,6 +62,7 @@ type Event struct {
 	fn    func()
 	fnArg func(any) // used instead of fn when scheduled via AtCall
 	arg   any
+	wnext *Event // next event in a timer-wheel bucket list
 	gen   uint32 // bumped on recycle; stale EventRefs stop matching
 	dead  bool   // lazily cancelled; skipped and recycled at pop
 }
@@ -127,6 +128,13 @@ type Sim struct {
 	nowQ     []*Event
 	draining bool // inside runInstant; at == now schedules divert to nowQ
 
+	// wh is the hierarchical timing wheel fronting the heap (wheel.go):
+	// bounded-horizon events wait in O(1) buckets and are flushed into
+	// the heap slot-by-slot just before their window opens, preserving
+	// the heap's (time, seq) pop order exactly.
+	wh      wheel
+	wheelOn bool
+
 	free      []*Event // recycled events
 	allocated uint64   // events ever heap-allocated
 	pooling   bool
@@ -140,7 +148,7 @@ type Sim struct {
 
 // New creates a simulator whose random source is seeded with seed.
 func New(seed uint64) *Sim {
-	return &Sim{rng: NewRand(seed), pooling: true}
+	return &Sim{rng: NewRand(seed), pooling: true, wheelOn: true}
 }
 
 // Now returns the current virtual time.
@@ -165,6 +173,13 @@ func (s *Sim) Pending() int { return s.live }
 // which no Event object is ever reused — useful for verifying that
 // pooling does not change behaviour.
 func (s *Sim) SetEventPooling(on bool) { s.pooling = on }
+
+// SetTimerWheel enables or disables the timing-wheel front-end (enabled
+// by default). With the wheel off, every event is heaped at schedule
+// time — the pure-heap mode the wheel's pop-order identity is property-
+// tested against. Events already parked in wheel buckets when the wheel
+// is turned off still drain normally.
+func (s *Sim) SetTimerWheel(on bool) { s.wheelOn = on }
 
 // Allocator returns the world's opaque allocator attachment (nil until
 // SetAllocator). See pkt.PoolOf for the packet pool that rides here.
@@ -192,6 +207,7 @@ func (s *Sim) recycle(e *Event) {
 	e.fn = nil
 	e.fnArg = nil
 	e.arg = nil
+	e.wnext = nil
 	e.dead = false
 	if s.pooling {
 		s.free = append(s.free, e)
@@ -269,7 +285,7 @@ func (s *Sim) schedule(e *Event, at Time) EventRef {
 		// instant already queued carries a smaller seq, so FIFO order on
 		// the side queue is exactly (at, seq) order — no heap traffic.
 		s.nowQ = append(s.nowQ, e)
-	} else {
+	} else if !s.wheelOn || !s.wheelInsert(e) {
 		s.push(e)
 	}
 	return EventRef{e: e, gen: e.gen}
@@ -342,18 +358,39 @@ func (s *Sim) exec(e *Event) {
 }
 
 // next reports the time of the next live event, discarding dead events
-// that have surfaced at the heap top. ok is false when no live events
-// remain.
+// that have surfaced at the heap top and flushing wheel slots whose
+// window could contain it. ok is false when no live events remain.
+//
+// The flush loop maintains the ordering invariant: no wheel event can
+// fire before every event at or ahead of it is in the heap. A slot is
+// flushed whenever the heap top does not come strictly before the
+// slot's window start, so by the time a candidate time is returned,
+// every remaining wheel event is strictly later than it.
 func (s *Sim) next() (t Time, ok bool) {
-	for len(s.events) > 0 {
-		if e := s.events[0].e; e.dead {
-			s.pop()
-			s.recycle(e)
-			continue
+	for {
+		for len(s.events) > 0 {
+			if e := s.events[0].e; e.dead {
+				s.pop()
+				s.recycle(e)
+				continue
+			}
+			break
 		}
-		return s.events[0].at, true
+		if s.wheelEmpty() {
+			if len(s.events) == 0 {
+				return 0, false
+			}
+			return s.events[0].at, true
+		}
+		slot, start, wok := s.wheelEarliest()
+		if !wok {
+			continue // the wheel drained its last (cancelled) events
+		}
+		if len(s.events) > 0 && s.events[0].at < start {
+			return s.events[0].at, true
+		}
+		s.wheelFlush(slot)
 	}
-	return 0, false
 }
 
 // Step runs the next event, advancing the clock. It reports false when no

@@ -1,0 +1,202 @@
+package sim
+
+import "math/bits"
+
+// This file implements the hierarchical timing wheel that fronts the
+// event heap. The bounded-horizon event classes that dominate scheduling
+// traffic — pacing ticks, medium grant completions, link propagation
+// delays, retry and CoDel interval timers — are parked in O(1) wheel
+// buckets instead of being sifted through the heap at schedule time.
+// Whole buckets are flushed into the heap just before their time window
+// opens, so every event still passes through the heap before it can
+// fire and the engine's total order — (time, seq), same-instant FIFO —
+// is exactly the pure heap's pop order. The wheel changes where events
+// wait, never when or in what order they run.
+//
+// Two levels of 256 slots cover the horizon: level 0 at 4.096 µs per
+// slot (~1.05 ms), level 1 at ~1.05 ms per slot (~268 ms). Events
+// beyond the level-1 horizon, or behind an already-flushed slot, go
+// straight to the heap. Level-1 slots cascade into level 0 when their
+// window approaches; each event therefore sees at most two O(1) bucket
+// hops, one push into a near-empty heap, and one pop.
+
+const (
+	wheelSlotBits = 8
+	wheelSlots    = 1 << wheelSlotBits
+	wheelMask     = wheelSlots - 1
+
+	// wheelShift0 sets the level-0 granularity: 2^12 ns = 4.096 µs per
+	// slot. Events are flushed to the heap at most one slot-width before
+	// they fire, so the heap holds only the current few microseconds.
+	wheelShift0 = 12
+	wheelShift1 = wheelShift0 + wheelSlotBits
+
+	wheelWords = wheelSlots / 64
+)
+
+// wheel is the two-level bucket store. Slot lists are intrusive through
+// Event.wnext; occupancy bitmaps make earliest-slot lookup a handful of
+// word operations. Positions are absolute slot indices (time >> shift),
+// not ring offsets: slots behind pos are flushed, slots at pos+wheelSlots
+// and beyond are out of horizon.
+type wheel struct {
+	slots0 [wheelSlots]*Event
+	slots1 [wheelSlots]*Event
+	bits0  [wheelWords]uint64
+	bits1  [wheelWords]uint64
+	pos0   int64 // absolute level-0 index of the next unflushed slot
+	pos1   int64 // absolute level-1 index of the next uncascaded slot
+	cnt0   int
+	cnt1   int
+}
+
+// insert parks e in a wheel bucket, reporting false when the event is
+// out of horizon (or its slot already flushed) and must go to the heap.
+func (s *Sim) wheelInsert(e *Event) bool {
+	w := &s.wh
+	idx0 := int64(e.at) >> wheelShift0
+	if w.cnt0 == 0 {
+		// Empty level: snap the position forward so a long quiet period
+		// does not strand the horizon in the past.
+		if p := int64(s.now) >> wheelShift0; p > w.pos0 {
+			w.pos0 = p
+		}
+	}
+	d := idx0 - w.pos0
+	if d < 0 {
+		return false
+	}
+	if d < wheelSlots {
+		i := idx0 & wheelMask
+		e.wnext = w.slots0[i]
+		w.slots0[i] = e
+		w.bits0[i>>6] |= 1 << (uint(i) & 63)
+		w.cnt0++
+		return true
+	}
+	idx1 := int64(e.at) >> wheelShift1
+	if w.cnt1 == 0 {
+		if p := w.pos0 >> wheelSlotBits; p > w.pos1 {
+			w.pos1 = p
+		}
+	}
+	d1 := idx1 - w.pos1
+	if d1 < 0 || d1 >= wheelSlots {
+		return false
+	}
+	i := idx1 & wheelMask
+	e.wnext = w.slots1[i]
+	w.slots1[i] = e
+	w.bits1[i>>6] |= 1 << (uint(i) & 63)
+	w.cnt1++
+	return true
+}
+
+// wheelEmpty reports whether the wheel holds no events.
+func (s *Sim) wheelEmpty() bool { return s.wh.cnt0 == 0 && s.wh.cnt1 == 0 }
+
+// wheelEarliest returns the absolute index and window-start time of the
+// earliest non-empty level-0 slot, cascading level-1 slots down first
+// whenever their window opens at or before it — a level-1 slot loaded
+// long ago can cover earlier times than a level-0 slot filled just now.
+// ok is false when the wheel turned out to hold only cancelled events
+// (they are recycled on the way) and is now empty.
+func (s *Sim) wheelEarliest() (slot int64, start Time, ok bool) {
+	w := &s.wh
+	for {
+		a0 := int64(-1)
+		if w.cnt0 > 0 {
+			a0 = findSlot(&w.bits0, w.pos0)
+		}
+		if w.cnt1 > 0 {
+			a1 := findSlot(&w.bits1, w.pos1)
+			if a0 < 0 || a1<<wheelSlotBits <= a0 {
+				s.wheelCascade(a1)
+				continue
+			}
+		}
+		if a0 < 0 {
+			return 0, 0, false
+		}
+		return a0, Time(a0) << wheelShift0, true
+	}
+}
+
+// wheelCascade redistributes level-1 slot a1 into level 0 (or, for
+// events whose level-0 slot has already been flushed, into the heap)
+// and advances past it.
+func (s *Sim) wheelCascade(a1 int64) {
+	w := &s.wh
+	i := a1 & wheelMask
+	e := w.slots1[i]
+	w.slots1[i] = nil
+	w.bits1[i>>6] &^= 1 << (uint(i) & 63)
+	if p := a1 << wheelSlotBits; p > w.pos0 {
+		w.pos0 = p
+	}
+	w.pos1 = a1 + 1
+	for e != nil {
+		next := e.wnext
+		e.wnext = nil
+		w.cnt1--
+		if e.dead {
+			s.recycle(e)
+		} else if idx0 := int64(e.at) >> wheelShift0; idx0 < w.pos0 {
+			s.push(e)
+		} else {
+			j := idx0 & wheelMask
+			e.wnext = w.slots0[j]
+			w.slots0[j] = e
+			w.bits0[j>>6] |= 1 << (uint(j) & 63)
+			w.cnt0++
+		}
+		e = next
+	}
+}
+
+// wheelFlush spills every event of level-0 slot a0 into the heap and
+// advances past it. Lazily-cancelled events are recycled here instead
+// of travelling through the heap.
+func (s *Sim) wheelFlush(a0 int64) {
+	w := &s.wh
+	i := a0 & wheelMask
+	e := w.slots0[i]
+	w.slots0[i] = nil
+	w.bits0[i>>6] &^= 1 << (uint(i) & 63)
+	w.pos0 = a0 + 1
+	for e != nil {
+		next := e.wnext
+		e.wnext = nil
+		w.cnt0--
+		if e.dead {
+			s.recycle(e)
+		} else {
+			s.push(e)
+		}
+		e = next
+	}
+}
+
+// findSlot returns the absolute index of the first occupied slot at or
+// after from, searching the 256-slot ring circularly. The bitmap must
+// have at least one bit set.
+func findSlot(bm *[wheelWords]uint64, from int64) int64 {
+	fj := int(from) & wheelMask
+	wi, bo := fj>>6, uint(fj)&63
+	if b := bm[wi] &^ (1<<bo - 1); b != 0 {
+		j := wi<<6 + bits.TrailingZeros64(b)
+		return from + int64((j-fj)&wheelMask)
+	}
+	for k := 1; k < wheelWords; k++ {
+		i := (wi + k) & (wheelWords - 1)
+		if bm[i] != 0 {
+			j := i<<6 + bits.TrailingZeros64(bm[i])
+			return from + int64((j-fj)&wheelMask)
+		}
+	}
+	if b := bm[wi] & (1<<bo - 1); b != 0 {
+		j := wi<<6 + bits.TrailingZeros64(b)
+		return from + int64((j-fj)&wheelMask)
+	}
+	panic("sim: wheel bitmap empty")
+}

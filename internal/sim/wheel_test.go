@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// wheelTrace runs a randomized self-scheduling workload and records, for
+// every fired event, the (time, id) pair. The workload exercises every
+// routing path of the hybrid: zero-delay continuations, sub-slot delays,
+// level-0 and level-1 horizons, beyond-horizon delays that overflow into
+// the heap, lazy cancellations of pending events at all horizons, and
+// RunUntil stepping (which snaps the clock forward across quiet gaps).
+func wheelTrace(seed uint64, wheel bool, events int) []string {
+	s := New(seed)
+	s.SetTimerWheel(wheel)
+	r := NewRand(seed ^ 0x9e3779b97f4a7c15)
+	var order []string
+	var refs []EventRef
+	n := 0
+	var spawn func(id int)
+	spawn = func(id int) {
+		order = append(order, fmt.Sprintf("%d@%d", id, s.Now()))
+		if n >= events {
+			return
+		}
+		// A burst of follow-ups across all delay classes.
+		for i := 0; i < 1+r.Intn(3); i++ {
+			n++
+			id := n
+			var d Time
+			switch r.Intn(6) {
+			case 0:
+				d = 0 // same-instant continuation
+			case 1:
+				d = Time(r.Intn(4096)) // sub-slot
+			case 2:
+				d = Time(r.Intn(1 << 20)) // level-0 horizon
+			case 3:
+				d = Time(r.Intn(1 << 28)) // level-1 horizon
+			case 4:
+				d = Time(1<<28 + r.Intn(1<<29)) // beyond horizon -> heap
+			case 5:
+				d = Time(r.Intn(100)) * Millisecond // slot-aligned-ish
+			}
+			refs = append(refs, s.After(d, func() { spawn(id) }))
+		}
+		// Cancellation storm: kill a random pending ref now and then.
+		if len(refs) > 4 && r.Intn(3) == 0 {
+			s.Cancel(refs[r.Intn(len(refs))])
+		}
+	}
+	s.After(0, func() { spawn(0) })
+	for end := Time(0); end < 2*Second; end += 100 * Millisecond {
+		s.RunUntil(end)
+	}
+	s.Run(0)
+	return order
+}
+
+// TestWheelPopOrderIdentity: across randomized cancel/reschedule storms,
+// the wheel+heap hybrid must fire the exact same events at the exact
+// same times in the exact same order as the pure heap. This is the
+// property that keeps golden campaign artifacts byte-identical.
+func TestWheelPopOrderIdentity(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		a := wheelTrace(seed, true, 30000)
+		b := wheelTrace(seed, false, 30000)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: fired %d events with wheel, %d without", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: divergence at event %d: wheel fired %s, heap fired %s",
+					seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestWheelSameInstantFIFO: events scheduled for the same instant drain
+// in schedule order with the wheel on, including continuations scheduled
+// for the current instant while draining.
+func TestWheelSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() {
+			got = append(got, i)
+			if i < 3 {
+				j := 10 + i
+				s.At(5, func() { got = append(got, j) })
+			}
+		})
+	}
+	s.Run(0)
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWheelCascadeOrdering: an event parked in a level-1 slot long in
+// advance must not be overtaken by a nearer event inserted into level 0
+// later. This is the regression test for positional cascading.
+func TestWheelCascadeOrdering(t *testing.T) {
+	s := New(1)
+	var got []string
+	// Far event: lands in level 1.
+	s.At(10*Millisecond, func() { got = append(got, "far") })
+	// Busy level 0 right up to the far event's window, so level 0 never
+	// empties; the near event below lands in level 0 *after* the far
+	// event's window start.
+	stop := s.Ticker(100*Microsecond, func() {})
+	s.At(9*Millisecond, func() {
+		s.After(1*Millisecond+50*Microsecond, func() { got = append(got, "near") })
+	})
+	s.RunUntil(12 * Millisecond)
+	stop()
+	if len(got) != 2 || got[0] != "far" || got[1] != "near" {
+		t.Fatalf("cascade ordering wrong: %v", got)
+	}
+}
+
+// BenchmarkHeapPushPop: schedule/fire cost through the pure 4-ary heap
+// with a steady population of pending timers, the pre-wheel baseline.
+func BenchmarkHeapPushPop(b *testing.B) {
+	benchPushPop(b, false)
+}
+
+// BenchmarkWheelPushPop: the same workload through the timing wheel.
+func BenchmarkWheelPushPop(b *testing.B) {
+	benchPushPop(b, true)
+}
+
+func benchPushPop(b *testing.B, wheel bool) {
+	s := New(1)
+	s.SetTimerWheel(wheel)
+	r := NewRand(7)
+	nop := func() {}
+	// Steady population of 4096 pending timers at mixed horizons, as the
+	// MAC keeps in flight across pacing, grants and CoDel intervals.
+	for i := 0; i < 4096; i++ {
+		s.After(Time(1+r.Intn(1<<22)), nop)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(Time(1+r.Intn(1<<22)), nop)
+		s.Step()
+	}
+}
+
+// BenchmarkSameInstantDrain: cost of bursts of same-instant events, the
+// pattern of aggregate delivery fan-out.
+func BenchmarkSameInstantDrain(b *testing.B) {
+	s := New(1)
+	nop := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := s.Now() + 100
+		for j := 0; j < 16; j++ {
+			s.At(at, nop)
+		}
+		s.Run(0)
+	}
+}
