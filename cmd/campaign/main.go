@@ -1,6 +1,7 @@
 // campaign drives the parallel experiment-campaign engine from the
 // command line: list the registered scenarios, run a selection of them
-// across every core, or sweep chosen parameter axes.
+// across every core, sweep chosen parameter axes, or serve as a shard
+// worker for other campaign processes.
 //
 // Usage:
 //
@@ -9,6 +10,10 @@
 //	campaign run  [-s udp -s fairness] [-reps 10] [-dur 30] [-workers 8]
 //	              [-out results.json] [-csv results.csv]
 //	campaign sweep -s udp -axis scheme=FIFO,Airtime -axis rate-mbps=10,50,100
+//	campaign run  -journal c.journal ...      # checkpoint as cells finish
+//	campaign run  -journal c.journal -resume  # replay it, run the rest
+//	campaign serve -listen :8080              # HTTP shard worker
+//	campaign run  -remote http://hostA:8080 -remote http://hostB:8080 ...
 //
 // describe prints a scenario's declarative composition — its stations,
 // workloads, probes, parameter axes and emitted metric names — from
@@ -16,18 +21,32 @@
 // run plus axis overrides. Aggregated output (JSON/CSV artifacts and
 // the printed table) is byte-identical for any -workers value: per-run
 // seeds derive from job coordinates and aggregation folds in matrix
-// order.
+// order. The same contract extends across the result cache, the resume
+// journal and the shard wire protocol: cold, warm-cache, resumed and
+// remote executions of one campaign produce byte-identical artifacts.
+//
+// Results are cached by default under os.UserCacheDir()/hj17, keyed by
+// (scenario, canonicalized params, rep, seed, code fingerprint); rerun
+// a campaign and only never-seen cells simulate. -no-cache opts out,
+// -cache-dir relocates the store, and -fingerprint overrides the code
+// fingerprint for development builds that go vcs-stamping cannot tell
+// apart.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/campaign/cache"
+	"repro/internal/campaign/journal"
+	"repro/internal/campaign/wire"
 	"repro/internal/exp"
 	"repro/internal/mac"
 	"repro/internal/sim"
@@ -69,6 +88,8 @@ func main() {
 		schemes(args)
 	case "run", "sweep":
 		execute(reg, cmd, args)
+	case "serve":
+		serve(reg, args)
 	default:
 		fmt.Fprintf(os.Stderr, "campaign: unknown command %q\n\n", cmd)
 		usage()
@@ -87,6 +108,8 @@ commands:
   schemes [-csv]       print registered scheme names (for scripting sweeps)
   run   [flags]        run scenarios over their default parameter grids
   sweep [flags]        run with -axis overrides sweeping chosen parameters
+  serve [flags]        run as an HTTP shard worker (-listen addr) that
+                       executes cell batches for -remote campaign clients
 
 flags of run and sweep:
 `)
@@ -181,16 +204,24 @@ func schemes(args []string) {
 }
 
 type options struct {
-	scenarios stringList
-	axes      axisOverrides
-	reps      int
-	dur       float64
-	warmup    float64
-	seed      uint64
-	workers   int
-	out       string
-	csv       string
-	quiet     bool
+	scenarios   stringList
+	axes        axisOverrides
+	reps        int
+	dur         float64
+	warmup      float64
+	seed        uint64
+	workers     int
+	out         string
+	csv         string
+	quiet       bool
+	cacheDir    string
+	noCache     bool
+	fingerprint string
+	journalPath string
+	resume      bool
+	remotes     stringList
+	shardSize   int
+	statsOut    string
 }
 
 func executeFlags(o *options) *flag.FlagSet {
@@ -206,6 +237,14 @@ func executeFlags(o *options) *flag.FlagSet {
 	fs.StringVar(&o.out, "out", "", "write JSON artifact to this path")
 	fs.StringVar(&o.csv, "csv", "", "write CSV artifact to this path")
 	fs.BoolVar(&o.quiet, "q", false, "suppress progress output")
+	fs.StringVar(&o.cacheDir, "cache-dir", "", "result cache directory (default <user cache dir>/hj17)")
+	fs.BoolVar(&o.noCache, "no-cache", false, "disable the content-addressed result cache")
+	fs.StringVar(&o.fingerprint, "fingerprint", "", "override the code fingerprint cache keys use")
+	fs.StringVar(&o.journalPath, "journal", "", "checkpoint completed cells to this file")
+	fs.BoolVar(&o.resume, "resume", false, "replay the -journal file and run only the remainder")
+	fs.Var(&o.remotes, "remote", "shard-worker base URL, e.g. http://host:8080 (repeatable)")
+	fs.IntVar(&o.shardSize, "shard-size", 0, "cells per remote shard request (0 = default)")
+	fs.StringVar(&o.statsOut, "stats-out", "", "write execution stats JSON (cache hits, wall time) to this path")
 	return fs
 }
 
@@ -217,34 +256,84 @@ func execute(reg *campaign.Registry, cmd string, args []string) {
 		fmt.Fprintln(os.Stderr, "campaign sweep: need at least one -axis name=v1,v2,...")
 		os.Exit(2)
 	}
+	checkScenarios(reg, o.scenarios)
 
 	plan := campaign.Plan{
-		Scenarios: o.scenarios,
-		Overrides: o.axes,
-		Reps:      o.reps,
-		Duration:  sim.Time(o.dur * float64(sim.Second)),
-		Warmup:    sim.Time(o.warmup * float64(sim.Second)),
-		BaseSeed:  o.seed,
-		Workers:   o.workers,
+		Scenarios:   o.scenarios,
+		Overrides:   o.axes,
+		Reps:        o.reps,
+		Duration:    sim.Time(o.dur * float64(sim.Second)),
+		Warmup:      sim.Time(o.warmup * float64(sim.Second)),
+		BaseSeed:    o.seed,
+		Workers:     o.workers,
+		Fingerprint: o.fingerprint,
 	}
-	if !o.quiet {
-		plan.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
+
+	if !o.noCache {
+		dir := o.cacheDir
+		if dir == "" {
+			d, err := cache.DefaultDir()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "campaign: no default cache dir (%v); pass -cache-dir or -no-cache\n", err)
+				os.Exit(1)
 			}
+			dir = d
+		}
+		store, err := cache.Open(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: opening cache %s: %v\n", dir, err)
+			os.Exit(1)
+		}
+		plan.Cache = store
+	}
+
+	if o.resume {
+		if o.journalPath == "" {
+			fmt.Fprintln(os.Stderr, "campaign: -resume needs -journal <path>")
+			os.Exit(2)
+		}
+		replayed, n, err := journal.Replay(o.journalPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: replaying %s: %v\n", o.journalPath, err)
+			os.Exit(1)
+		}
+		plan.Resume = replayed
+		if !o.quiet {
+			fmt.Fprintf(os.Stderr, "resuming: %d completed cells replayed from %s\n", n, o.journalPath)
+		}
+	}
+	if o.journalPath != "" {
+		w, err := journal.Create(o.journalPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: opening journal %s: %v\n", o.journalPath, err)
+			os.Exit(1)
+		}
+		defer w.Close()
+		plan.Journal = w
+	}
+	if len(o.remotes) > 0 {
+		plan.Dispatch = &wire.Client{
+			Workers:     o.remotes,
+			Fingerprint: plan.Fingerprint, // Execute fills "" the same way
+			ShardSize:   o.shardSize,
 		}
 	}
 
 	start := time.Now()
+	if !o.quiet {
+		plan.OnProgress = progressLine(start)
+	}
+
 	res, err := reg.Execute(plan)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
 	}
+	wall := time.Since(start)
 	if !o.quiet {
-		fmt.Fprintf(os.Stderr, "%d runs (%d cells × %d reps) in %.1fs\n",
-			res.Runs, len(res.Cells), res.Reps, time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "%d runs (%d cells × %d reps; %d cached, %d simulated) in %.1fs\n",
+			res.Runs, len(res.Cells), res.Reps,
+			res.Stats.FromCache, res.Stats.Simulated, wall.Seconds())
 	}
 
 	fmt.Print(res.Render())
@@ -254,6 +343,81 @@ func execute(reg *campaign.Registry, cmd string, args []string) {
 	}
 	if o.csv != "" {
 		writeArtifact(o.csv, res.WriteCSV)
+	}
+	if o.statsOut != "" {
+		writeArtifact(o.statsOut, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(map[string]any{
+				"total":      res.Stats.Total,
+				"from_cache": res.Stats.FromCache,
+				"simulated":  res.Stats.Simulated,
+				"wall_sec":   wall.Seconds(),
+			})
+		})
+	}
+}
+
+// checkScenarios rejects unknown -s names up front with a did-you-mean
+// hint and a non-zero exit, instead of failing mid-campaign.
+func checkScenarios(reg *campaign.Registry, names []string) {
+	known := reg.Names()
+	bad := false
+	for _, name := range names {
+		if reg.Get(name) != nil {
+			continue
+		}
+		bad = true
+		if sug := campaign.Suggest(name, known); len(sug) > 0 {
+			fmt.Fprintf(os.Stderr, "campaign: unknown scenario %q — did you mean %s?\n",
+				name, strings.Join(sug, " or "))
+		} else {
+			fmt.Fprintf(os.Stderr, "campaign: unknown scenario %q (have %s)\n",
+				name, strings.Join(known, ", "))
+		}
+	}
+	if bad {
+		os.Exit(2)
+	}
+}
+
+// progressLine renders `done/total (cached, simulated) eta`. The ETA
+// divides the remaining cells by the simulated-cell rate only: cache
+// hits land in microseconds and would otherwise poison the estimate.
+func progressLine(start time.Time) func(campaign.ProgressInfo) {
+	return func(p campaign.ProgressInfo) {
+		eta := ""
+		if rem := p.Total - p.Done; rem > 0 && p.Simulated > 0 {
+			perCell := time.Since(start) / time.Duration(p.Simulated)
+			eta = fmt.Sprintf("  eta %s", (perCell * time.Duration(rem)).Round(time.Second))
+		}
+		fmt.Fprintf(os.Stderr, "\r%d/%d runs (%d cached, %d simulated)%s ",
+			p.Done, p.Total, p.FromCache, p.Simulated, eta)
+		if p.Done == p.Total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
+
+// serve runs the process as an HTTP shard worker for remote campaign
+// clients: POST /shard executes a cell batch, GET /healthz reports
+// liveness and the worker's code fingerprint.
+func serve(reg *campaign.Registry, args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", ":8080", "address to listen on")
+	fingerprint := fs.String("fingerprint", "", "override the code fingerprint offered to clients")
+	workers := fs.Int("workers", 0, "worker goroutines per shard (0 = GOMAXPROCS)")
+	fs.Parse(args)
+
+	fp := *fingerprint
+	if fp == "" {
+		fp = campaign.BuildFingerprint()
+	}
+	srv := &wire.Server{Registry: reg, Fingerprint: fp, Workers: *workers}
+	fmt.Fprintf(os.Stderr, "campaign serve: listening on %s (fingerprint %s)\n", *listen, fp)
+	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "campaign serve: %v\n", err)
+		os.Exit(1)
 	}
 }
 

@@ -3,6 +3,7 @@ package campaign
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"strconv"
 	"testing"
 
@@ -234,6 +235,132 @@ func TestArtifactFormats(t *testing.T) {
 	}
 	if r := res.Render(); !bytes.Contains([]byte(r), []byte("mean±ci95")) {
 		t.Error("text render missing header")
+	}
+}
+
+// TestMetricsCodecRoundTrip: the cache/wire blob encoding reproduces a
+// Metrics exactly — names, insertion order, float bits, samples.
+func TestMetricsCodecRoundTrip(t *testing.T) {
+	m := NewMetrics()
+	m.Add("zeta", 1.5)
+	m.Add("alpha", -0.0)  // negative zero must survive
+	m.Add("tiny", 5e-324) // smallest denormal
+	m.Add("odd", 0.1+0.2) // non-representable decimal
+	var s1, s2 stats.Sample
+	for i := 0; i < 100; i++ {
+		s1.Add(float64(i) * 0.31)
+	}
+	m.AddSample("dist-b", &s1)
+	m.AddSample("dist-a", &s2) // empty sample round-trips too
+	blob, err := EncodeMetrics(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMetrics(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.scalars) != len(m.scalars) || len(got.samples) != len(m.samples) {
+		t.Fatalf("shape: %d/%d scalars, %d/%d samples",
+			len(got.scalars), len(m.scalars), len(got.samples), len(m.samples))
+	}
+	for i, s := range m.scalars {
+		g := got.scalars[i]
+		if g.name != s.name || math.Float64bits(g.value) != math.Float64bits(s.value) {
+			t.Fatalf("scalar %d: %q=%v vs %q=%v", i, g.name, g.value, s.name, s.value)
+		}
+	}
+	for i, ns := range m.samples {
+		g := got.samples[i]
+		if g.name != ns.name || !g.sample.Equal(ns.sample) {
+			t.Fatalf("sample %d (%q) differs", i, ns.name)
+		}
+	}
+	// Determinism and corruption rejection.
+	blob2, _ := EncodeMetrics(got)
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("re-encoding differs")
+	}
+	for _, bad := range [][]byte{nil, blob[:3], blob[:len(blob)-2], append(append([]byte{}, blob...), 9)} {
+		if _, err := DecodeMetrics(bad); err == nil {
+			t.Fatalf("corrupted blob (%d bytes) decoded", len(bad))
+		}
+	}
+}
+
+// TestCacheKeyProperties: canonicalization and sensitivity of the
+// content address.
+func TestCacheKeyProperties(t *testing.T) {
+	base := JobSpec{
+		Scenario: "udp",
+		Params:   []Param{{"scheme", "FIFO"}, {"rate", "50"}},
+		Point:    3, Rep: 1, Seed: 99,
+		Duration: 10 * sim.Second, Warmup: 2 * sim.Second,
+	}
+	key := base.CacheKey("fp")
+	if len(key) != 64 {
+		t.Fatalf("key length %d, want 64 hex chars", len(key))
+	}
+	// Param order is canonicalized away.
+	reordered := base
+	reordered.Params = []Param{{"rate", "50"}, {"scheme", "FIFO"}}
+	if reordered.CacheKey("fp") != key {
+		t.Fatal("param order changed the key")
+	}
+	// The point index is display metadata, not identity — the seed
+	// already encodes the coordinates.
+	moved := base
+	moved.Point = 7
+	if moved.CacheKey("fp") != key {
+		t.Fatal("point index changed the key")
+	}
+	// Every result-affecting coordinate changes the key.
+	mutations := []func(*JobSpec){
+		func(j *JobSpec) { j.Scenario = "udp2" },
+		func(j *JobSpec) { j.Params[0].Value = "Airtime" },
+		func(j *JobSpec) { j.Rep = 2 },
+		func(j *JobSpec) { j.Seed = 100 },
+		func(j *JobSpec) { j.Duration++ },
+		func(j *JobSpec) { j.Warmup++ },
+	}
+	for i, mutate := range mutations {
+		j := base
+		j.Params = append([]Param{}, base.Params...)
+		mutate(&j)
+		if j.CacheKey("fp") == key {
+			t.Errorf("mutation %d did not change the key", i)
+		}
+	}
+	if base.CacheKey("fp2") == key {
+		t.Error("fingerprint did not change the key")
+	}
+}
+
+// TestSuggest: did-you-mean candidates for mistyped scenario names.
+func TestSuggest(t *testing.T) {
+	names := []string{"latency", "udp", "fairness", "throughput", "dense", "mixed"}
+	cases := []struct {
+		in   string
+		want string // first suggestion, "" for none
+	}{
+		{"farness", "fairness"},
+		{"fair", "fairness"},
+		{"throghput", "throughput"},
+		{"dens", "dense"},
+		{"upd", "udp"},
+		{"zzzzzzz", ""},
+	}
+	for _, c := range cases {
+		got := Suggest(c.in, names)
+		if c.want == "" {
+			if len(got) != 0 {
+				t.Errorf("Suggest(%q) = %v, want none", c.in, got)
+			}
+			continue
+		}
+		if len(got) == 0 || got[0] != c.want {
+			t.Errorf("Suggest(%q) = %v, want %q first", c.in, got, c.want)
+		}
 	}
 }
 

@@ -1,0 +1,135 @@
+package campaign
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Stable binary encoding for the Metrics of one repetition — the value
+// type of the result cache and the journal, and the payload of the
+// shard wire protocol. The encoding is exact (float64 bit patterns,
+// insertion order preserved), so a decoded Metrics aggregates
+// byte-identically to the in-memory original: cold, warm-cache, resumed
+// and remote executions of the same cell produce the same artifact.
+
+// metricsMagic tags (and versions) the Metrics blob layout.
+var metricsMagic = []byte("HJM1")
+
+// EncodeMetrics serializes one repetition's metrics. Equal metric sets
+// produce equal bytes.
+func EncodeMetrics(m *Metrics) ([]byte, error) {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, metricsMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(m.scalars)))
+	for _, s := range m.scalars {
+		buf = binary.AppendUvarint(buf, uint64(len(s.name)))
+		buf = append(buf, s.name...)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.value))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.samples)))
+	for _, ns := range m.samples {
+		blob, err := ns.sample.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("campaign: encoding sample %q: %w", ns.name, err)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(ns.name)))
+		buf = append(buf, ns.name...)
+		buf = binary.AppendUvarint(buf, uint64(len(blob)))
+		buf = append(buf, blob...)
+	}
+	return buf, nil
+}
+
+// DecodeMetrics parses an EncodeMetrics blob. Corruption of any kind is
+// an error, never a partial result — the cache treats a failed decode
+// as a miss and recomputes.
+func DecodeMetrics(blob []byte) (*Metrics, error) {
+	if len(blob) < len(metricsMagic) || string(blob[:len(metricsMagic)]) != string(metricsMagic) {
+		return nil, fmt.Errorf("campaign: metrics blob has no %s header", metricsMagic)
+	}
+	d := blobReader{buf: blob[len(metricsMagic):]}
+	m := NewMetrics()
+	nScalars := d.uvarint()
+	for i := uint64(0); i < nScalars && d.err == nil; i++ {
+		name := d.str()
+		m.Add(name, d.float64())
+	}
+	nSamples := d.uvarint()
+	for i := uint64(0); i < nSamples && d.err == nil; i++ {
+		name := d.str()
+		sb := d.bytes()
+		if d.err != nil {
+			break
+		}
+		var s stats.Sample
+		if err := s.UnmarshalBinary(sb); err != nil {
+			return nil, fmt.Errorf("campaign: metrics sample %q: %w", name, err)
+		}
+		m.AddSample(name, &s)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("campaign: decoding metrics: %w", d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("campaign: metrics blob has %d trailing bytes", len(d.buf))
+	}
+	return m, nil
+}
+
+// blobReader is a cursor over a binary blob that latches the first
+// error, mirroring the stats decoder.
+type blobReader struct {
+	buf []byte
+	err error
+}
+
+func (d *blobReader) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *blobReader) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail(fmt.Errorf("truncated varint"))
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *blobReader) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)) {
+		d.fail(fmt.Errorf("field of %d bytes in %d remaining", n, len(d.buf)))
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *blobReader) str() string { return string(d.bytes()) }
+
+func (d *blobReader) float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.fail(fmt.Errorf("truncated float64"))
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf))
+	d.buf = d.buf[8:]
+	return v
+}

@@ -41,6 +41,36 @@ type Plan struct {
 	// number of finished runs and the matrix size. Calls may come from
 	// any worker.
 	Progress func(done, total int)
+
+	// OnProgress, if set, receives richer snapshots than Progress:
+	// cache-hit versus simulated counts alongside done/total. Calls may
+	// come from any worker.
+	OnProgress func(ProgressInfo)
+
+	// Cache, if set, is the content-addressed result store: Execute
+	// consults it (under Fingerprint) before dispatching each job and
+	// writes completed results back, so repeated runs and sweep
+	// supersets only simulate cells never seen before.
+	Cache BlobStore
+
+	// Journal, if set, receives every completed cell as it finishes —
+	// the checkpoint stream an interrupted campaign resumes from.
+	Journal JournalWriter
+
+	// Resume maps cache keys to encoded Metrics blobs replayed from a
+	// previous run's journal; matching cells are not re-simulated.
+	Resume map[string][]byte
+
+	// Fingerprint identifies the code that produces results, scoping
+	// cache keys so results never leak across code changes. Empty means
+	// BuildFingerprint() when the cache, journal or resume map is in
+	// use.
+	Fingerprint string
+
+	// Dispatch, if set, executes the simulated jobs remotely instead of
+	// on the local worker pool (cache and resume hits are still
+	// resolved locally).
+	Dispatch Dispatcher
 }
 
 func (p *Plan) fill() {
@@ -59,6 +89,9 @@ func (p *Plan) fill() {
 	if p.Workers <= 0 {
 		p.Workers = runtime.GOMAXPROCS(0)
 	}
+	if p.Fingerprint == "" && (p.Cache != nil || p.Journal != nil || len(p.Resume) > 0) {
+		p.Fingerprint = BuildFingerprint()
+	}
 }
 
 // Result is a completed campaign: one aggregated Cell per (scenario,
@@ -73,12 +106,18 @@ type Result struct {
 
 	// Runs is the executed matrix size (cells × reps).
 	Runs int `json:"runs"`
+
+	// Stats reports how the matrix was satisfied (cache hits versus
+	// simulated runs). It is excluded from the JSON artifact so warm
+	// and cold runs stay byte-identical.
+	Stats ExecStats `json:"-"`
 }
 
 // job is one schedulable run: a repetition of a scenario at a grid point.
 type job struct {
 	sc   *Scenario
 	ctx  Ctx
+	spec JobSpec
 	cell int // index into the cell table
 	rep  int
 }
@@ -154,6 +193,11 @@ func (r *Registry) Execute(p Plan) (*Result, error) {
 						Duration: p.Duration, Warmup: p.Warmup,
 						params: pm,
 					},
+					spec: JobSpec{
+						Scenario: sc.Name, Params: params, Point: pi,
+						Rep: rep, Seed: seed,
+						Duration: p.Duration, Warmup: p.Warmup,
+					},
 					cell: cellIdx,
 					rep:  rep,
 				})
@@ -162,44 +206,154 @@ func (r *Registry) Execute(p Plan) (*Result, error) {
 		}
 	}
 
-	// Shard the matrix across the pool. Results land in a slice indexed
-	// by job position, so completion order is irrelevant. A failed job
-	// stops further dispatch (in-flight runs drain) — a long campaign
-	// should not burn every core before reporting a broken cell.
+	// Resolve cache and resume hits first: cells already computed — by a
+	// previous campaign via the content-addressed cache, or by this
+	// campaign's interrupted predecessor via the journal — decode
+	// straight into the result matrix and never reach a worker. A blob
+	// that fails to decode is a miss (recompute), never an error.
 	outs := make([]*Metrics, len(jobs))
 	errs := make([]error, len(jobs))
-	var done atomic.Int64
-	var failed atomic.Bool
-	next := make(chan int)
-	var wg sync.WaitGroup
-	workers := p.Workers
-	if workers > len(jobs) {
-		workers = len(jobs)
+	keys := make([]string, len(jobs))
+	needKeys := p.Cache != nil || p.Journal != nil || len(p.Resume) > 0
+	st := ExecStats{Total: len(jobs)}
+	var miss []int
+
+	// mu guards the completion state (stats, journal) that both the
+	// local pool and a remote dispatcher's delivery goroutines touch.
+	var mu sync.Mutex
+	var journalErr error
+	appendJournal := func(i int, blob []byte) {
+		if p.Journal == nil || journalErr != nil {
+			return
+		}
+		if err := p.Journal.Append(keys[i], blob); err != nil {
+			journalErr = err
+		}
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				outs[i], errs[i] = runJob(jobs[i])
-				if errs[i] != nil {
-					failed.Store(true)
-				}
-				if p.Progress != nil {
-					p.Progress(int(done.Add(1)), len(jobs))
+	progress := func() {
+		if p.Progress != nil {
+			p.Progress(st.FromCache+st.Simulated, st.Total)
+		}
+		if p.OnProgress != nil {
+			p.OnProgress(ProgressInfo{
+				Done: st.FromCache + st.Simulated, Total: st.Total,
+				FromCache: st.FromCache, Simulated: st.Simulated,
+			})
+		}
+	}
+
+	for i := range jobs {
+		if needKeys {
+			keys[i] = jobs[i].spec.CacheKey(p.Fingerprint)
+		}
+		if len(p.Resume) > 0 {
+			if blob, ok := p.Resume[keys[i]]; ok {
+				if m, err := DecodeMetrics(blob); err == nil {
+					outs[i] = m
+					st.FromCache++
+					progress()
+					continue
 				}
 			}
-		}()
-	}
-	for i := range jobs {
-		if failed.Load() {
-			break
 		}
-		next <- i
+		if p.Cache != nil {
+			if blob, ok := p.Cache.Get(keys[i]); ok {
+				if m, err := DecodeMetrics(blob); err == nil {
+					outs[i] = m
+					st.FromCache++
+					// Journal the hit too: a later -resume must see every
+					// completed cell, not only the simulated ones.
+					appendJournal(i, blob)
+					progress()
+					continue
+				}
+			}
+		}
+		miss = append(miss, i)
 	}
-	close(next)
-	wg.Wait()
 
+	// complete records one simulated result: write-back to the cache
+	// (best-effort) and the journal, then progress. Any worker may call
+	// it.
+	complete := func(i int, m *Metrics, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		outs[i], errs[i] = m, err
+		if err != nil {
+			progress()
+			return
+		}
+		st.Simulated++
+		if p.Cache != nil || p.Journal != nil {
+			if blob, encErr := EncodeMetrics(m); encErr == nil {
+				if p.Cache != nil {
+					p.Cache.Put(keys[i], blob)
+				}
+				appendJournal(i, blob)
+			}
+		}
+		progress()
+	}
+
+	switch {
+	case len(miss) == 0:
+		// Everything came from the cache or the journal.
+	case p.Dispatch != nil:
+		// Fan the remaining jobs out to remote shard workers.
+		specs := make([]JobSpec, len(miss))
+		for k, i := range miss {
+			specs[k] = jobs[i].spec
+		}
+		err := p.Dispatch.Dispatch(specs, func(k int, blob []byte) error {
+			m, derr := DecodeMetrics(blob)
+			if derr != nil {
+				return fmt.Errorf("job %s: %w", specs[k].Label(), derr)
+			}
+			complete(miss[k], m, nil)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("campaign: remote dispatch: %w", err)
+		}
+	default:
+		// Shard the remainder across the local pool. Results land in a
+		// slice indexed by job position, so completion order is
+		// irrelevant. A failed job stops further dispatch (in-flight
+		// runs drain) — a long campaign should not burn every core
+		// before reporting a broken cell.
+		var failed atomic.Bool
+		next := make(chan int)
+		var wg sync.WaitGroup
+		workers := p.Workers
+		if workers > len(miss) {
+			workers = len(miss)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					m, err := runJob(jobs[i])
+					if err != nil {
+						failed.Store(true)
+					}
+					complete(i, m, err)
+				}
+			}()
+		}
+		for _, i := range miss {
+			if failed.Load() {
+				break
+			}
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	if journalErr != nil {
+		return nil, fmt.Errorf("campaign: journal: %w", journalErr)
+	}
 	for i, err := range errs {
 		if err != nil {
 			j := jobs[i]
@@ -212,7 +366,7 @@ func (r *Registry) Execute(p Plan) (*Result, error) {
 	res := &Result{
 		BaseSeed: p.BaseSeed, Reps: p.Reps,
 		DurationSec: p.Duration.Seconds(), WarmupSec: p.Warmup.Seconds(),
-		Runs: len(jobs),
+		Runs: len(jobs), Stats: st,
 	}
 	byCell := make([][]*Metrics, len(cells))
 	for i := range byCell {
@@ -227,15 +381,19 @@ func (r *Registry) Execute(p Plan) (*Result, error) {
 	return res, nil
 }
 
-// runJob executes one run, converting a panic in scenario code into an
-// error so a bad cell cannot take down the whole campaign process.
-func runJob(j job) (m *Metrics, err error) {
+// runJob executes one run of the expanded matrix.
+func runJob(j job) (*Metrics, error) { return runScenario(j.sc, j.ctx) }
+
+// runScenario executes one scenario repetition, converting a panic in
+// scenario code into an error so a bad cell cannot take down the whole
+// campaign process.
+func runScenario(sc *Scenario, ctx Ctx) (m *Metrics, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	m, err = j.sc.Run(j.ctx)
+	m, err = sc.Run(ctx)
 	if err == nil && m == nil {
 		err = fmt.Errorf("scenario returned no metrics")
 	}

@@ -1,0 +1,45 @@
+package campaign
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// BuildFingerprint derives the code fingerprint the result cache keys
+// on: stale results must never leak across code changes, so the
+// fingerprint folds in the module version and the VCS revision of the
+// build (plus a +dirty marker for modified trees). Binaries built
+// without VCS stamping (go run, test binaries) fall back to the module
+// version — typically "(devel)" — which is stable across invocations of
+// the same tree but cannot distinguish code changes; development
+// workflows that edit scenario code should pass an explicit
+// -fingerprint instead.
+func BuildFingerprint() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	var parts []string
+	if v := bi.Main.Version; v != "" {
+		parts = append(parts, v)
+	}
+	if rev != "" {
+		if modified == "true" {
+			rev += "+dirty"
+		}
+		parts = append(parts, rev)
+	}
+	if len(parts) == 0 {
+		return "unknown"
+	}
+	return strings.Join(parts, "-")
+}

@@ -1,0 +1,136 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// JobSpec is the portable identity of one run: the scenario name, the
+// resolved grid point (ordered parameter assignment plus the point
+// index the seed derivation uses), the repetition, the derived seed and
+// the measurement timing. It is everything a remote worker needs to
+// execute the run, and everything the cache needs to key its result.
+type JobSpec struct {
+	Scenario string   `json:"scenario"`
+	Params   []Param  `json:"params,omitempty"`
+	Point    int      `json:"point"`
+	Rep      int      `json:"rep"`
+	Seed     uint64   `json:"seed"`
+	Duration sim.Time `json:"duration_ns"`
+	Warmup   sim.Time `json:"warmup_ns"`
+}
+
+// CacheKey derives the content address of this job's result under the
+// given code fingerprint: a hex SHA-256 over the canonicalized
+// coordinates. Parameters are sorted by name, so axis declaration order
+// is irrelevant; every field that can change the result — scenario,
+// parameter values, repetition, seed, measurement timing, and the code
+// that ran — is folded in, so a stale result can never be returned for
+// changed inputs.
+func (j JobSpec) CacheKey(fingerprint string) string {
+	h := sha256.New()
+	w := func(parts ...string) {
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+		}
+	}
+	w("hj17-cell-v1", fingerprint, j.Scenario,
+		strconv.FormatInt(int64(j.Duration), 10),
+		strconv.FormatInt(int64(j.Warmup), 10),
+		strconv.Itoa(j.Rep),
+		strconv.FormatUint(j.Seed, 10))
+	params := make([]Param, len(j.Params))
+	copy(params, j.Params)
+	sort.Slice(params, func(a, b int) bool { return params[a].Name < params[b].Name })
+	for _, p := range params {
+		w(p.Name, p.Value)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Label renders the job's coordinates for diagnostics.
+func (j JobSpec) Label() string {
+	s := j.Scenario
+	for _, p := range j.Params {
+		s += " " + p.Name + "=" + p.Value
+	}
+	return fmt.Sprintf("%s rep=%d", s, j.Rep)
+}
+
+// ctx builds the scenario-facing run context for this spec.
+func (j JobSpec) ctx() Ctx {
+	pm := make(map[string]string, len(j.Params))
+	for _, p := range j.Params {
+		pm[p.Name] = p.Value
+	}
+	return Ctx{
+		Seed: j.Seed, Rep: j.Rep,
+		Duration: j.Duration, Warmup: j.Warmup,
+		params: pm,
+	}
+}
+
+// RunJob executes one job spec against the registry — the entry point
+// remote shard workers use. Panics in scenario code become errors.
+func (r *Registry) RunJob(spec JobSpec) (*Metrics, error) {
+	sc := r.Get(spec.Scenario)
+	if sc == nil {
+		return nil, fmt.Errorf("campaign: unknown scenario %q (have %v)", spec.Scenario, r.Names())
+	}
+	return runScenario(sc, spec.ctx())
+}
+
+// BlobStore is the content-addressed result cache Execute consults
+// before dispatching a job and writes back on completion. Get reports a
+// miss for unknown or unreadable keys; Put failures are best-effort
+// (the engine proceeds without caching).
+type BlobStore interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, blob []byte) error
+}
+
+// JournalWriter receives each completed cell as it finishes. Append
+// must be safe for concurrent use. Append errors abort the campaign —
+// a journal that silently drops cells would make resume lie.
+type JournalWriter interface {
+	Append(key string, blob []byte) error
+}
+
+// Dispatcher executes jobs somewhere other than the local worker pool —
+// e.g. fanned out over remote shard workers. Deliver is called once per
+// completed job with the job's index into the jobs slice and its
+// encoded Metrics blob; calls are serialized by the dispatcher.
+// Dispatch returns after every job has been delivered or a job has
+// failed permanently.
+type Dispatcher interface {
+	Dispatch(jobs []JobSpec, deliver func(i int, blob []byte) error) error
+}
+
+// ProgressInfo is a campaign progress snapshot: how much of the matrix
+// is done, and how it got done — cells served from the cache (or a
+// resume journal) versus cells actually simulated. ETA estimation
+// should use the simulated-cell rate only; cached cells resolve in
+// microseconds and would otherwise make the forecast absurdly
+// optimistic.
+type ProgressInfo struct {
+	Done      int // completed runs (FromCache + Simulated)
+	Total     int // matrix size
+	FromCache int // runs served from cache or resume journal
+	Simulated int // runs actually executed
+}
+
+// ExecStats summarises how a campaign's matrix was satisfied. It lives
+// outside the JSON artifact: a warm run must produce byte-identical
+// artifacts to a cold one, and a hit counter in the output would break
+// that.
+type ExecStats struct {
+	Total     int
+	FromCache int
+	Simulated int
+}

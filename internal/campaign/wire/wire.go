@@ -1,0 +1,306 @@
+// Package wire is the shard protocol behind `campaign serve`: an HTTP
+// worker that executes batches of campaign cells and streams their
+// encoded Metrics blobs back, plus the client-side dispatcher that fans
+// a campaign's jobs out across such workers with retry on worker
+// failure.
+//
+// Protocol: POST /shard with a JSON ShardRequest (code fingerprint +
+// JobSpec batch). The worker refuses a mismatched fingerprint with 409
+// — results computed by different code must never enter a campaign —
+// then executes the batch across its local cores and streams one JSON
+// ShardResult line (NDJSON) per job as it completes, in completion
+// order. The blob payload is the same stable Metrics encoding the
+// result cache stores, so remote execution is byte-identical to local
+// by construction.
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// ShardRequest is the body of POST /shard: the jobs to execute and the
+// fingerprint of the code the client expects to be running.
+type ShardRequest struct {
+	Fingerprint string             `json:"fingerprint"`
+	Jobs        []campaign.JobSpec `json:"jobs"`
+}
+
+// ShardResult is one NDJSON response line: the index of the job within
+// the request, and either its encoded Metrics blob or an error.
+type ShardResult struct {
+	Index int    `json:"index"`
+	Blob  []byte `json:"blob,omitempty"` // base64 over the wire
+	Err   string `json:"error,omitempty"`
+}
+
+// Server executes shards against a scenario registry — the `campaign
+// serve` worker.
+type Server struct {
+	Registry    *campaign.Registry
+	Fingerprint string
+	Workers     int // per-shard parallelism (0 = GOMAXPROCS)
+}
+
+// Handler returns the worker's HTTP handler: POST /shard plus a
+// GET /healthz liveness probe reporting the worker's fingerprint.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/shard", s.handleShard)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{
+			"status": "ok", "fingerprint": s.Fingerprint,
+		})
+	})
+	return mux
+}
+
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req ShardRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad shard request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.Fingerprint != s.Fingerprint {
+		http.Error(w, fmt.Sprintf("fingerprint mismatch: worker runs %q, client wants %q",
+			s.Fingerprint, req.Fingerprint), http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+
+	// Execute the shard across local cores, streaming each result line
+	// as its job completes so the client can pipeline decoding.
+	flusher, _ := w.(http.Flusher)
+	var wmu sync.Mutex
+	enc := json.NewEncoder(w)
+	emit := func(res ShardResult) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		enc.Encode(res)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	campaign.Map(len(req.Jobs), workers, func(i int) struct{} {
+		res := ShardResult{Index: i}
+		m, err := s.Registry.RunJob(req.Jobs[i])
+		if err == nil {
+			res.Blob, err = campaign.EncodeMetrics(m)
+		}
+		if err != nil {
+			res.Err = err.Error()
+		}
+		emit(res)
+		return struct{}{}
+	})
+}
+
+// Client fans campaign jobs out across remote shard workers. It
+// implements campaign.Dispatcher.
+type Client struct {
+	// Workers are the base URLs of the shard workers, e.g.
+	// "http://host:8080".
+	Workers []string
+
+	// Fingerprint must match every worker's; campaign.Execute fills the
+	// plan's fingerprint the same way.
+	Fingerprint string
+
+	// ShardSize is the number of jobs per request (default 8): small
+	// enough to balance load across workers, large enough to amortize
+	// the HTTP round trip over several simulations.
+	ShardSize int
+
+	// Attempts bounds how many times one shard may be tried before the
+	// campaign fails (default 2×workers+2, so a healthy worker gets a
+	// chance even when every other worker is down).
+	Attempts int
+
+	// HTTP overrides the transport (default http.DefaultClient, no
+	// timeout — simulations legitimately run for minutes).
+	HTTP *http.Client
+
+	// Backoff is the pause a worker goroutine takes after a failed
+	// shard before pulling the next one, so a dead worker does not
+	// starve healthy ones of retries (default 100ms).
+	Backoff time.Duration
+}
+
+type shard struct {
+	base     int // index of the shard's first job in the dispatch slice
+	jobs     []campaign.JobSpec
+	attempts int
+}
+
+// Dispatch implements campaign.Dispatcher: it splits jobs into shards,
+// runs one puller goroutine per worker, and retries failed shards on
+// whichever worker frees up next. A shard's results are delivered only
+// after the whole shard succeeds, so a retried shard never delivers a
+// job twice; deliver calls are serialized.
+func (c *Client) Dispatch(jobs []campaign.JobSpec, deliver func(i int, blob []byte) error) error {
+	if len(c.Workers) == 0 {
+		return fmt.Errorf("wire: no workers configured")
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	size := c.ShardSize
+	if size <= 0 {
+		size = 8
+	}
+	attempts := c.Attempts
+	if attempts <= 0 {
+		attempts = 2*len(c.Workers) + 2
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+
+	var shards []*shard
+	for base := 0; base < len(jobs); base += size {
+		end := base + size
+		if end > len(jobs) {
+			end = len(jobs)
+		}
+		shards = append(shards, &shard{base: base, jobs: jobs[base:end]})
+	}
+
+	// The queue is buffered for every possible attempt, so requeueing a
+	// failed shard never blocks a worker goroutine.
+	queue := make(chan *shard, len(shards)*attempts)
+	for _, sh := range shards {
+		queue <- sh
+	}
+	var (
+		mu        sync.Mutex // guards everything below, and serializes deliver
+		remaining = len(shards)
+		firstErr  error
+		closed    bool
+	)
+	closeQueue := func() {
+		if !closed {
+			closed = true
+			close(queue)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, url := range c.Workers {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			for sh := range queue {
+				blobs, err := c.runShard(url, sh)
+				mu.Lock()
+				switch {
+				case err == nil:
+					for k, blob := range blobs {
+						if derr := deliver(sh.base+k, blob); derr != nil {
+							// A delivery error is deterministic (bad blob,
+							// full disk) — retrying elsewhere cannot help.
+							if firstErr == nil {
+								firstErr = derr
+							}
+							closeQueue()
+							break
+						}
+					}
+					remaining--
+					if remaining == 0 {
+						closeQueue()
+					}
+					mu.Unlock()
+				case sh.attempts+1 >= attempts:
+					if firstErr == nil {
+						firstErr = fmt.Errorf("shard at job %d failed %d times, last on %s: %w",
+							sh.base, sh.attempts+1, url, err)
+					}
+					closeQueue()
+					mu.Unlock()
+				default:
+					sh.attempts++
+					if !closed {
+						queue <- sh // retry on whichever worker frees up
+					}
+					mu.Unlock()
+					time.Sleep(backoff) // let healthier workers grab the retry
+				}
+			}
+		}(url)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// runShard posts one shard to one worker and collects its results,
+// positionally. Any transport error, non-200 status, malformed line,
+// job-level error, or short response fails the whole shard — partial
+// results are discarded, so a retry on another worker starts clean.
+func (c *Client) runShard(url string, sh *shard) ([][]byte, error) {
+	body, err := json.Marshal(ShardRequest{Fingerprint: c.Fingerprint, Jobs: sh.jobs})
+	if err != nil {
+		return nil, err
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Post(url+"/shard", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("worker %s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+	}
+	blobs := make([][]byte, len(sh.jobs))
+	got := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var res ShardResult
+		if err := json.Unmarshal(line, &res); err != nil {
+			return nil, fmt.Errorf("worker %s: bad result line: %w", url, err)
+		}
+		if res.Index < 0 || res.Index >= len(sh.jobs) || blobs[res.Index] != nil {
+			return nil, fmt.Errorf("worker %s: bogus result index %d", url, res.Index)
+		}
+		if res.Err != "" {
+			return nil, fmt.Errorf("job %s: %s", sh.jobs[res.Index].Label(), res.Err)
+		}
+		blobs[res.Index] = res.Blob
+		got++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("worker %s: reading results: %w", url, err)
+	}
+	if got != len(sh.jobs) {
+		return nil, fmt.Errorf("worker %s: %d/%d results before stream ended", url, got, len(sh.jobs))
+	}
+	return blobs, nil
+}

@@ -1,0 +1,181 @@
+package wire
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// testRegistry mirrors the engine tests' synthetic scenarios: cheap,
+// deterministic, seed-dependent.
+func testRegistry() *campaign.Registry {
+	r := campaign.NewRegistry()
+	r.Register(&campaign.Scenario{
+		Name: "alpha",
+		Desc: "seed-dependent scalar and distribution",
+		Axes: []campaign.Axis{
+			{Name: "scheme", Values: []string{"a", "b"}},
+			{Name: "rate", Values: []string{"10", "50"}},
+		},
+		Run: func(ctx campaign.Ctx) (*campaign.Metrics, error) {
+			rate, err := strconv.Atoi(ctx.Param("rate"))
+			if err != nil {
+				return nil, err
+			}
+			m := campaign.NewMetrics()
+			m.Add("seed-lo", float64(ctx.Seed%1000))
+			m.Add("rate-x2", float64(2*rate))
+			var s stats.Sample
+			x := ctx.Seed
+			for i := 0; i < 40; i++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				s.Add(float64(x % 1009))
+			}
+			m.AddSample("dist", &s)
+			return m, nil
+		},
+	})
+	return r
+}
+
+func plan() campaign.Plan {
+	return campaign.Plan{
+		Reps: 3, Duration: 2 * sim.Second, Warmup: sim.Second,
+		BaseSeed: 9, Workers: 4, Fingerprint: "test-fp",
+	}
+}
+
+func artifact(t *testing.T, res *campaign.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRemoteMatchesLocal is the wire half of the byte-identity
+// contract: a campaign dispatched over HTTP shard workers produces the
+// same artifact bytes as a purely local run.
+func TestRemoteMatchesLocal(t *testing.T) {
+	local, err := testRegistry().Execute(plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := artifact(t, local)
+
+	srv := &Server{Registry: testRegistry(), Fingerprint: "test-fp", Workers: 2}
+	w1 := httptest.NewServer(srv.Handler())
+	defer w1.Close()
+	w2 := httptest.NewServer(srv.Handler())
+	defer w2.Close()
+
+	for _, shardSize := range []int{1, 2, 5, 100} {
+		p := plan()
+		p.Dispatch = &Client{
+			Workers:     []string{w1.URL, w2.URL},
+			Fingerprint: "test-fp",
+			ShardSize:   shardSize,
+		}
+		remote, err := testRegistry().Execute(p)
+		if err != nil {
+			t.Fatalf("shardSize=%d: %v", shardSize, err)
+		}
+		if got := artifact(t, remote); !bytes.Equal(got, want) {
+			t.Fatalf("shardSize=%d: remote artifact differs from local", shardSize)
+		}
+		if remote.Stats.Simulated != local.Runs {
+			t.Fatalf("shardSize=%d: simulated %d runs, want %d",
+				shardSize, remote.Stats.Simulated, local.Runs)
+		}
+	}
+}
+
+// TestRetryOnWorkerFailure: with one worker permanently broken, every
+// shard still completes on the healthy one and the artifact is
+// unchanged.
+func TestRetryOnWorkerFailure(t *testing.T) {
+	local, err := testRegistry().Execute(plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := artifact(t, local)
+
+	var failures atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		failures.Add(1)
+		http.Error(w, "worker on fire", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer((&Server{Registry: testRegistry(), Fingerprint: "test-fp"}).Handler())
+	defer good.Close()
+
+	p := plan()
+	p.Dispatch = &Client{
+		Workers:     []string{bad.URL, good.URL},
+		Fingerprint: "test-fp",
+		ShardSize:   2,
+		Backoff:     1, // keep the test fast
+	}
+	remote, err := testRegistry().Execute(p)
+	if err != nil {
+		t.Fatalf("campaign failed despite a healthy worker: %v", err)
+	}
+	if got := artifact(t, remote); !bytes.Equal(got, want) {
+		t.Fatal("artifact differs after worker-failure retries")
+	}
+	if failures.Load() == 0 {
+		t.Fatal("broken worker was never tried — retry path not exercised")
+	}
+}
+
+// TestAllWorkersDownFails: when no worker can serve, Dispatch reports
+// the failure instead of hanging.
+func TestAllWorkersDownFails(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	dead.Close() // connection refused from now on
+
+	p := plan()
+	p.Dispatch = &Client{Workers: []string{dead.URL}, Fingerprint: "test-fp", Backoff: 1}
+	if _, err := testRegistry().Execute(p); err == nil {
+		t.Fatal("campaign succeeded with no live workers")
+	}
+}
+
+// TestFingerprintMismatchRefused: a worker built from different code
+// must refuse the shard, and the campaign must fail rather than mix
+// results.
+func TestFingerprintMismatchRefused(t *testing.T) {
+	w := httptest.NewServer((&Server{Registry: testRegistry(), Fingerprint: "other-code"}).Handler())
+	defer w.Close()
+	p := plan()
+	p.Dispatch = &Client{Workers: []string{w.URL}, Fingerprint: "test-fp", Backoff: 1, Attempts: 2}
+	_, err := testRegistry().Execute(p)
+	if err == nil {
+		t.Fatal("fingerprint mismatch accepted")
+	}
+}
+
+// TestJobErrorSurfaces: a scenario error on the worker propagates to
+// the campaign error, naming the job.
+func TestJobErrorSurfaces(t *testing.T) {
+	w := httptest.NewServer((&Server{Registry: testRegistry(), Fingerprint: "test-fp"}).Handler())
+	defer w.Close()
+	p := plan()
+	p.Overrides = map[string][]string{"rate": {"not-a-number"}}
+	p.Dispatch = &Client{Workers: []string{w.URL}, Fingerprint: "test-fp", Backoff: 1, Attempts: 2}
+	if _, err := testRegistry().Execute(p); err == nil {
+		t.Fatal("job error swallowed")
+	}
+}

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/campaign/cache"
+	"repro/internal/sim"
+)
+
+// TestColdWarmIdentityAllScenarios is the cache half of the
+// byte-identity contract on the real paper scenarios: for every
+// registered scenario, a warm-cache rerun simulates nothing and emits
+// the same artifact bytes as the cold run. Each axis is pinned to its
+// first value so the whole registry stays cheap.
+func TestColdWarmIdentityAllScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry sweep")
+	}
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range NewRegistry().Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			overrides := make(map[string][]string, len(sc.Axes))
+			for _, a := range sc.Axes {
+				overrides[a.Name] = a.Values[:1]
+			}
+			plan := campaign.Plan{
+				Scenarios:   []string{sc.Name},
+				Overrides:   overrides,
+				Reps:        1,
+				Duration:    1 * sim.Second,
+				Warmup:      500 * sim.Millisecond,
+				BaseSeed:    23,
+				Workers:     1,
+				Cache:       store,
+				Fingerprint: "exp-test",
+			}
+			cold, err := NewRegistry().Execute(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cold.Stats.Simulated != cold.Runs {
+				t.Fatalf("cold stats = %+v over %d runs", cold.Stats, cold.Runs)
+			}
+			warm, err := NewRegistry().Execute(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.Stats.Simulated != 0 || warm.Stats.FromCache != warm.Runs {
+				t.Fatalf("warm stats = %+v over %d runs", warm.Stats, warm.Runs)
+			}
+			var a, b bytes.Buffer
+			if err := cold.WriteJSON(&a); err != nil {
+				t.Fatal(err)
+			}
+			if err := warm.WriteJSON(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Fatal("warm artifact differs from cold")
+			}
+		})
+	}
+}

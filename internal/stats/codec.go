@@ -1,0 +1,269 @@
+package stats
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Stable serialization for Sample and its streaming layer. The encoding
+// is exact — float64s travel as their IEEE-754 bit patterns (binary) or
+// Go's shortest round-trippable decimal form (JSON) — so a decoded
+// sample folds into downstream aggregation byte-identically to the
+// original. The campaign result cache depends on this exactness: a cell
+// replayed from the cache must produce the same artifact bytes as the
+// run that populated it.
+//
+// What round-trips: the retained observations (in insertion order), the
+// unbounded flag, and the full streaming state (Welford accumulator,
+// exact min/max, histogram buckets) once spilled. What intentionally
+// does not: the sorted-order cache and its instrumentation counter —
+// both are lazily rebuilt and observationally irrelevant.
+
+// sampleCodecVersion tags the binary encoding; bump on layout change.
+const sampleCodecVersion = 1
+
+const (
+	sampleFlagUnbounded = 1 << iota
+	sampleFlagSpilled
+)
+
+// MarshalBinary encodes the sample. The encoding is deterministic: equal
+// samples produce equal bytes.
+func (s *Sample) MarshalBinary() ([]byte, error) {
+	var flags byte
+	if s.unbounded {
+		flags |= sampleFlagUnbounded
+	}
+	if s.str != nil {
+		flags |= sampleFlagSpilled
+	}
+	buf := make([]byte, 0, 2+8*len(s.xs)+16)
+	buf = append(buf, sampleCodecVersion, flags)
+	if s.str == nil {
+		buf = binary.AppendUvarint(buf, uint64(len(s.xs)))
+		for _, x := range s.xs {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		}
+		return buf, nil
+	}
+	return s.str.appendBinary(buf), nil
+}
+
+// UnmarshalBinary decodes an encoding produced by MarshalBinary,
+// replacing the sample's state.
+func (s *Sample) UnmarshalBinary(data []byte) error {
+	if len(data) < 2 {
+		return fmt.Errorf("stats: sample blob too short (%d bytes)", len(data))
+	}
+	if data[0] != sampleCodecVersion {
+		return fmt.Errorf("stats: unknown sample codec version %d", data[0])
+	}
+	flags := data[1]
+	d := decoder{buf: data[2:]}
+	*s = Sample{unbounded: flags&sampleFlagUnbounded != 0}
+	if flags&sampleFlagSpilled == 0 {
+		n := d.uvarint()
+		if n > uint64(len(d.buf)/8) {
+			return fmt.Errorf("stats: sample claims %d values in %d bytes", n, len(d.buf))
+		}
+		if n > 0 {
+			s.xs = make([]float64, n)
+			for i := range s.xs {
+				s.xs[i] = d.float64()
+			}
+		}
+		return d.finish("sample")
+	}
+	s.str = &Stream{}
+	s.str.readBinary(&d)
+	return d.finish("sample")
+}
+
+// appendBinary encodes the stream's exact state: Welford accumulator,
+// min/max, and the non-zero histogram buckets as (index, count) pairs.
+func (s *Stream) appendBinary(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(s.w.n))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.w.mean))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.w.m2))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.min))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.max))
+	buf = binary.AppendUvarint(buf, uint64(s.h.n))
+	var nz uint64
+	for _, c := range s.h.counts {
+		if c != 0 {
+			nz++
+		}
+	}
+	buf = binary.AppendUvarint(buf, nz)
+	for i, c := range s.h.counts {
+		if c != 0 {
+			buf = binary.AppendUvarint(buf, uint64(i))
+			buf = binary.AppendUvarint(buf, uint64(c))
+		}
+	}
+	return buf
+}
+
+func (s *Stream) readBinary(d *decoder) {
+	s.w.n = int64(d.uvarint())
+	s.w.mean = d.float64()
+	s.w.m2 = d.float64()
+	s.min = d.float64()
+	s.max = d.float64()
+	s.h.n = int64(d.uvarint())
+	nz := d.uvarint()
+	for i := uint64(0); i < nz && d.err == nil; i++ {
+		idx := d.uvarint()
+		cnt := d.uvarint()
+		if idx >= histBkts {
+			d.fail(fmt.Errorf("histogram bucket %d out of range", idx))
+			return
+		}
+		s.h.counts[idx] = int64(cnt)
+	}
+}
+
+// decoder is a cursor over a binary blob that latches the first error.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail(fmt.Errorf("truncated varint"))
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.fail(fmt.Errorf("truncated float64"))
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf))
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *decoder) finish(what string) error {
+	if d.err != nil {
+		return fmt.Errorf("stats: decoding %s: %w", what, d.err)
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("stats: decoding %s: %d trailing bytes", what, len(d.buf))
+	}
+	return nil
+}
+
+// sampleJSON is the JSON shape of a Sample: either the retained values
+// or the spilled stream, never both.
+type sampleJSON struct {
+	Unbounded bool        `json:"unbounded,omitempty"`
+	Values    []float64   `json:"values,omitempty"`
+	Stream    *streamJSON `json:"stream,omitempty"`
+}
+
+type streamJSON struct {
+	N       int64      `json:"n"`
+	Mean    float64    `json:"mean"`
+	M2      float64    `json:"m2"`
+	Min     float64    `json:"min"`
+	Max     float64    `json:"max"`
+	HistN   int64      `json:"hist_n"`
+	Buckets [][2]int64 `json:"buckets,omitempty"` // (index, count), ascending
+}
+
+// MarshalJSON encodes the sample as JSON. Values use Go's shortest
+// round-trippable float formatting, so decode restores exact bits.
+func (s *Sample) MarshalJSON() ([]byte, error) {
+	j := sampleJSON{Unbounded: s.unbounded}
+	if s.str == nil {
+		j.Values = s.xs
+		if j.Values == nil {
+			j.Values = []float64{}
+		}
+		return json.Marshal(j)
+	}
+	st := &streamJSON{
+		N: s.str.w.n, Mean: s.str.w.mean, M2: s.str.w.m2,
+		Min: s.str.min, Max: s.str.max, HistN: s.str.h.n,
+	}
+	for i, c := range s.str.h.counts {
+		if c != 0 {
+			st.Buckets = append(st.Buckets, [2]int64{int64(i), c})
+		}
+	}
+	j.Stream = st
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes a MarshalJSON encoding, replacing the sample's
+// state.
+func (s *Sample) UnmarshalJSON(data []byte) error {
+	var j sampleJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Stream != nil && len(j.Values) > 0 {
+		return fmt.Errorf("stats: sample JSON has both values and stream")
+	}
+	*s = Sample{unbounded: j.Unbounded}
+	if j.Stream == nil {
+		if len(j.Values) > 0 {
+			s.xs = j.Values
+		}
+		return nil
+	}
+	st := &Stream{
+		w:   Welford{n: j.Stream.N, mean: j.Stream.Mean, m2: j.Stream.M2},
+		min: j.Stream.Min, max: j.Stream.Max,
+	}
+	st.h.n = j.Stream.HistN
+	for _, b := range j.Stream.Buckets {
+		if b[0] < 0 || b[0] >= histBkts {
+			return fmt.Errorf("stats: sample JSON histogram bucket %d out of range", b[0])
+		}
+		st.h.counts[b[0]] = b[1]
+	}
+	s.str = st
+	return nil
+}
+
+// Equal reports whether two samples hold identical state: the same
+// retained observations in the same order, or the same spilled stream.
+// It is the oracle the round-trip tests use.
+func (s *Sample) Equal(o *Sample) bool {
+	if s.unbounded != o.unbounded || (s.str == nil) != (o.str == nil) {
+		return false
+	}
+	if s.str != nil {
+		return *s.str == *o.str
+	}
+	if len(s.xs) != len(o.xs) {
+		return false
+	}
+	for i, x := range s.xs {
+		if math.Float64bits(x) != math.Float64bits(o.xs[i]) {
+			return false
+		}
+	}
+	return true
+}
