@@ -1,0 +1,26 @@
+// Command hj17vet is the repository's static-invariant gate: a
+// multichecker bundling the simdet (determinism), pktown (packet
+// ownership) and hotalloc (hot-path allocation) analyzers.
+//
+// Standalone:
+//
+//	go run ./cmd/hj17vet ./...
+//
+// Under the vet driver (shares cmd/go's build cache and package graph):
+//
+//	go build -o /tmp/hj17vet ./cmd/hj17vet
+//	go vet -vettool=/tmp/hj17vet ./...
+//
+// Exit status: 0 clean, 1 tool error, 2 findings.
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/pktown"
+	"repro/internal/analysis/simdet"
+)
+
+func main() {
+	analysis.Main(simdet.Analyzer, pktown.Analyzer, hotalloc.Analyzer)
+}

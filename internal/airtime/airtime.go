@@ -115,6 +115,8 @@ func New() *Scheduler {
 // Activate notifies the scheduler that st has become backlogged. Idempotent
 // for stations already scheduled. New stations enter the new-stations list
 // when the sparse optimisation is on, the old list otherwise.
+//
+//hj17:hotpath
 func (sc *Scheduler) Activate(st *Station) {
 	if st.inList != listNone {
 		return
@@ -139,6 +141,8 @@ func (sc *Scheduler) quantum() sim.Time {
 // backlogged station remains. The chosen station stays at the head of its
 // list; it continues to be returned until its deficit is exhausted by
 // Charge or its queue empties.
+//
+//hj17:hotpath
 func (sc *Scheduler) Next() *Station {
 	for {
 		var st *Station
@@ -183,6 +187,8 @@ func (sc *Scheduler) Next() *Station {
 }
 
 // ChargeTx subtracts transmitted airtime from st's deficit.
+//
+//hj17:hotpath
 func (sc *Scheduler) ChargeTx(st *Station, d sim.Time) {
 	st.deficit -= d
 	st.ChargedTx += d
@@ -191,6 +197,8 @@ func (sc *Scheduler) ChargeTx(st *Station, d sim.Time) {
 // ChargeRx subtracts received airtime from st's deficit. Accounting
 // received frames lets the scheduler partially compensate for upstream
 // traffic it cannot directly control (§4.1.2).
+//
+//hj17:hotpath
 func (sc *Scheduler) ChargeRx(st *Station, d sim.Time) {
 	st.deficit -= d
 	st.ChargedRx += d

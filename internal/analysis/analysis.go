@@ -1,0 +1,132 @@
+// Package analysis is a self-contained stand-in for the parts of
+// golang.org/x/tools/go/analysis that the hj17vet suite needs. The
+// container this repository builds in has no module proxy access, so
+// instead of vendoring x/tools the suite defines the same shapes —
+// Analyzer, Pass, Diagnostic — over the standard library's go/ast,
+// go/parser and go/types, plus a loader (load.go) that resolves
+// dependencies from compiler export data via `go list -export`.
+//
+// The three analyzers (packages simdet, pktown and hotalloc) are written
+// against this API exactly as they would be against the real one, so a
+// future PR that gains network access can swap the import path and
+// delete this package with minimal churn.
+//
+// Cross-package knowledge travels as facts (facts.go): strings of the
+// form "verb:symbol" derived from //hj17: directives (directives.go).
+// The driver propagates facts in dependency order when running
+// standalone, and through vetx files when running under
+// `go vet -vettool=` (unitchecker.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries everything an analyzer needs to check one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Dirs      *Directives // //hj17: directives scanned from this package
+	Facts     *Facts      // facts of this package and everything it imports
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// SymbolName renders a function or method object as the canonical
+// "pkgpath.Name" / "pkgpath.Recv.Name" string used in facts. It matches
+// the syntactic form directiveFacts derives from declarations.
+func SymbolName(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		if recv := sig.Recv(); recv != nil {
+			t := recv.Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			switch t := t.(type) {
+			case *types.Named:
+				return t.Obj().Pkg().Path() + "." + t.Obj().Name() + "." + fn.Name()
+			case *types.Interface:
+				// Interface method reached through an unnamed interface:
+				// fall back to the defining package and method name.
+				return fn.Pkg().Path() + "." + fn.Name()
+			}
+		}
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// InScope reports whether a package path is subject to a repo-scoped
+// analyzer: it must carry one of the include prefixes and none of the
+// exclude prefixes — except that testdata packages always stay in
+// scope, so each analyzer's own fixtures exercise it even though they
+// live under the (otherwise excluded) analysis tree.
+func InScope(path string, include, exclude []string) bool {
+	ok := false
+	for _, p := range include {
+		if strings.HasPrefix(path, p) {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return false
+	}
+	for _, p := range exclude {
+		if strings.HasPrefix(path, p) && !strings.Contains(path, "/testdata/") {
+			return false
+		}
+	}
+	return true
+}
+
+// sortDiagnostics orders diagnostics by position for stable output.
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}

@@ -1,0 +1,117 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against `// want "regexp"` annotations in the
+// fixture source, mirroring x/tools' package of the same name. A want
+// comment expects one diagnostic on its own line whose message matches
+// the (double- or back-quoted) regular expression; several expectations
+// may share one comment. Unmatched expectations and unexpected
+// diagnostics both fail the test, so a fixture with a want line is by
+// construction a test that fails if its analyzer's check is removed.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture packages matched by patterns (relative to the
+// test's working directory, e.g. "./testdata/src/a"), applies the
+// analyzer, and compares diagnostics with the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := analysis.Load(".", patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := pkgs[0].Fset
+
+	var wants []*want
+	seenFile := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			filename := fset.Position(f.Pos()).Filename
+			if seenFile[filename] {
+				continue
+			}
+			seenFile[filename] = true
+			wants = append(wants, fileWants(t, fset, f)...)
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %s, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func fileWants(t *testing.T, fset *token.FileSet, f *ast.File) []*want {
+	t.Helper()
+	var out []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+			for rest != "" {
+				quoted, tail, err := quotedPrefix(rest)
+				if err != nil {
+					t.Fatalf("%s: malformed want comment %q: %v", pos, c.Text, err)
+				}
+				expr, err := strconv.Unquote(quoted)
+				if err != nil {
+					t.Fatalf("%s: malformed want pattern %s: %v", pos, quoted, err)
+				}
+				re, err := regexp.Compile(expr)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pos, expr, err)
+				}
+				out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, raw: quoted})
+				rest = strings.TrimSpace(tail)
+			}
+		}
+	}
+	return out
+}
+
+func quotedPrefix(s string) (quoted, rest string, err error) {
+	q, err := strconv.QuotedPrefix(s)
+	if err != nil {
+		return "", "", err
+	}
+	return q, s[len(q):], nil
+}

@@ -1,0 +1,398 @@
+// Package cfg builds a statement-level control-flow graph for one
+// function body, the substrate pktown's packet-ownership reachability
+// walk runs on. Each executable statement becomes one node; edges
+// follow Go's structured control flow, including break/continue with
+// labels, goto, fallthrough, and early returns. Granularity is one
+// statement per node — coarser than a basic-block CFG, but exactly what
+// a per-variable must-release walk needs, and small enough to build per
+// function without measurable cost.
+//
+// Panics terminate a path without reaching Exit: a path that dies in a
+// panic is not a leak (the simulator treats panics as model bugs, and
+// the packet pool's own double-free panics are precisely such traps).
+package cfg
+
+import "go/ast"
+
+// Node is one statement in the graph. The synthetic Exit node has a nil
+// Stmt and marks normal function return — falling off the end of the
+// body or any return statement.
+type Node struct {
+	Stmt  ast.Stmt
+	Succs []*Node
+
+	index int // visitation bookkeeping for Graph walks
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry *Node
+	Exit  *Node
+	Nodes []*Node
+}
+
+// New builds the graph for a function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{Exit: &Node{}}
+	b := &builder{g: g, labels: make(map[string]*labelTarget), gotos: make(map[string][]*Node)}
+	g.Exit.index = 0
+	g.Nodes = append(g.Nodes, g.Exit)
+	g.Entry = b.stmtList(body.List, g.Exit)
+	b.patchGotos()
+	return g
+}
+
+// ReachesExit walks forward from the node for start, pruning paths at
+// statements for which stop returns true, and reports the first
+// statement path position that reaches Exit — ok=false when every path
+// is stopped (or dies in a panic). The start node itself is not tested
+// against stop.
+func (g *Graph) ReachesExit(start ast.Stmt, stop func(ast.Stmt) bool) (via ast.Stmt, ok bool) {
+	startNode := g.find(start)
+	if startNode == nil {
+		return nil, false
+	}
+	seen := make([]bool, len(g.Nodes))
+	var last ast.Stmt
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		if n == g.Exit {
+			return true
+		}
+		if seen[n.index] {
+			return false
+		}
+		seen[n.index] = true
+		for _, s := range n.Succs {
+			if s != g.Exit && s.Stmt != nil && stop(s.Stmt) {
+				continue
+			}
+			if s.Stmt != nil {
+				last = s.Stmt
+			}
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	if walk(startNode) {
+		if last == nil {
+			last = start
+		}
+		return last, true
+	}
+	return nil, false
+}
+
+// EntryReachesExit is ReachesExit starting from the function entry —
+// used for obligations that exist from the first instruction, such as
+// an //hj17:owns packet parameter. Unlike ReachesExit, the entry
+// statement itself is tested against stop. An empty body trivially
+// reaches Exit.
+func (g *Graph) EntryReachesExit(stop func(ast.Stmt) bool) (via ast.Stmt, ok bool) {
+	if g.Entry == g.Exit {
+		return nil, true
+	}
+	if g.Entry.Stmt != nil && stop(g.Entry.Stmt) {
+		return nil, false
+	}
+	return g.ReachesExit(g.Entry.Stmt, stop)
+}
+
+func (g *Graph) find(s ast.Stmt) *Node {
+	for _, n := range g.Nodes {
+		if n.Stmt == s {
+			return n
+		}
+	}
+	return nil
+}
+
+type labelTarget struct {
+	brk  *Node // jump target of `break label`
+	cont *Node // jump target of `continue label`
+}
+
+type builder struct {
+	g      *Graph
+	brk    []*Node // innermost-last break targets
+	cont   []*Node // innermost-last continue targets
+	labels map[string]*labelTarget
+	gotos  map[string][]*Node
+	// label pending for the next loop/switch statement built
+	pendingLabel string
+	// labeled statement entries, for goto resolution
+	labelEntry map[string]*Node
+}
+
+func (b *builder) newNode(s ast.Stmt) *Node {
+	n := &Node{Stmt: s, index: len(b.g.Nodes)}
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+// stmtList builds the list so control falls from each statement to the
+// next, ending at next; it returns the entry node.
+func (b *builder) stmtList(list []ast.Stmt, next *Node) *Node {
+	entry := next
+	for i := len(list) - 1; i >= 0; i-- {
+		entry = b.stmt(list[i], entry)
+	}
+	return entry
+}
+
+// stmt builds the graph for s, flowing to next afterwards, and returns
+// s's entry node.
+func (b *builder) stmt(s ast.Stmt, next *Node) *Node {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, next)
+
+	case *ast.LabeledStmt:
+		lt := &labelTarget{brk: next}
+		b.labels[s.Label.Name] = lt
+		b.pendingLabel = s.Label.Name
+		entry := b.stmt(s.Stmt, next)
+		b.pendingLabel = ""
+		if b.labelEntry == nil {
+			b.labelEntry = make(map[string]*Node)
+		}
+		b.labelEntry[s.Label.Name] = entry
+		return entry
+
+	case *ast.IfStmt:
+		thenEntry := b.stmtList(s.Body.List, next)
+		elseEntry := next
+		if s.Else != nil {
+			elseEntry = b.stmt(s.Else, next)
+		}
+		cond := b.newNode(s)
+		cond.Succs = []*Node{thenEntry, elseEntry}
+		if s.Init != nil {
+			init := b.newNode(s.Init)
+			init.Succs = []*Node{cond}
+			return init
+		}
+		return cond
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		head := b.newNode(s) // evaluates the condition
+		var postEntry *Node
+		if s.Post != nil {
+			postEntry = b.newNode(s.Post)
+			postEntry.Succs = []*Node{head}
+		} else {
+			postEntry = head
+		}
+		b.pushLoop(label, next, postEntry)
+		bodyEntry := b.stmtList(s.Body.List, postEntry)
+		b.popLoop(label)
+		if s.Cond != nil {
+			head.Succs = []*Node{bodyEntry, next}
+		} else {
+			head.Succs = []*Node{bodyEntry}
+		}
+		if s.Init != nil {
+			init := b.newNode(s.Init)
+			init.Succs = []*Node{head}
+			return init
+		}
+		return head
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newNode(s)
+		b.pushLoop(label, next, head)
+		bodyEntry := b.stmtList(s.Body.List, head)
+		b.popLoop(label)
+		head.Succs = []*Node{bodyEntry, next}
+		return head
+
+	case *ast.SwitchStmt:
+		return b.switchLike(s, s.Init, caseClauses(s.Body), next)
+
+	case *ast.TypeSwitchStmt:
+		return b.switchLike(s, s.Init, caseClauses(s.Body), next)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.newNode(s)
+		b.pushSwitch(label, next)
+		for _, cc := range s.Body.List {
+			comm := cc.(*ast.CommClause)
+			head.Succs = append(head.Succs, b.stmtList(comm.Body, next))
+		}
+		b.popSwitch(label)
+		if len(head.Succs) == 0 {
+			head.Succs = nil // empty select blocks forever
+		}
+		return head
+
+	case *ast.ReturnStmt:
+		n := b.newNode(s)
+		n.Succs = []*Node{b.g.Exit}
+		return n
+
+	case *ast.BranchStmt:
+		n := b.newNode(s)
+		switch s.Tok.String() {
+		case "break":
+			n.Succs = []*Node{b.branchTarget(s, true)}
+		case "continue":
+			n.Succs = []*Node{b.branchTarget(s, false)}
+		case "goto":
+			b.gotos[s.Label.Name] = append(b.gotos[s.Label.Name], n)
+		case "fallthrough":
+			// Patched by switchLike via the fallthrough map; if it was
+			// not (malformed code), fall through to next.
+			n.Succs = []*Node{next}
+		}
+		return n
+
+	case *ast.ExprStmt:
+		n := b.newNode(s)
+		if isPanicCall(s.X) {
+			return n // terminal: no successors
+		}
+		n.Succs = []*Node{next}
+		return n
+
+	default:
+		// Assignments, declarations, sends, defers, go, incdec, empty:
+		// straight-line statements.
+		n := b.newNode(s)
+		n.Succs = []*Node{next}
+		return n
+	}
+}
+
+// switchLike builds expression and type switches: the head branches to
+// every case body (and to next when there is no default); fallthrough
+// in case i jumps to case i+1's body entry.
+func (b *builder) switchLike(s ast.Stmt, init ast.Stmt, clauses []*ast.CaseClause, next *Node) *Node {
+	label := b.takeLabel()
+	head := b.newNode(s)
+	b.pushSwitch(label, next)
+	entries := make([]*Node, len(clauses))
+	hasDefault := false
+	// Build in reverse so fallthrough targets exist; a fallthrough is
+	// the last statement of a clause and jumps to the next clause body.
+	for i := len(clauses) - 1; i >= 0; i-- {
+		cc := clauses[i]
+		if cc.List == nil {
+			hasDefault = true
+		}
+		ftNext := next
+		if i+1 < len(clauses) {
+			ftNext = entries[i+1]
+		}
+		body := cc.Body
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				ft := b.newNode(br)
+				ft.Succs = []*Node{ftNext}
+				entries[i] = b.stmtList(body[:n-1], ft)
+				continue
+			}
+		}
+		entries[i] = b.stmtList(body, next)
+	}
+	b.popSwitch(label)
+	head.Succs = append(head.Succs, entries...)
+	if !hasDefault {
+		head.Succs = append(head.Succs, next)
+	}
+	if init != nil {
+		in := b.newNode(init)
+		in.Succs = []*Node{head}
+		return in
+	}
+	return head
+}
+
+func caseClauses(body *ast.BlockStmt) []*ast.CaseClause {
+	out := make([]*ast.CaseClause, 0, len(body.List))
+	for _, s := range body.List {
+		if cc, ok := s.(*ast.CaseClause); ok {
+			out = append(out, cc)
+		}
+	}
+	return out
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Node) {
+	b.brk = append(b.brk, brk)
+	b.cont = append(b.cont, cont)
+	if label != "" {
+		b.labels[label] = &labelTarget{brk: brk, cont: cont}
+	}
+}
+
+func (b *builder) popLoop(string) {
+	b.brk = b.brk[:len(b.brk)-1]
+	b.cont = b.cont[:len(b.cont)-1]
+}
+
+func (b *builder) pushSwitch(label string, brk *Node) {
+	b.brk = append(b.brk, brk)
+	if label != "" {
+		b.labels[label] = &labelTarget{brk: brk}
+	}
+}
+
+func (b *builder) popSwitch(string) {
+	b.brk = b.brk[:len(b.brk)-1]
+}
+
+func (b *builder) branchTarget(s *ast.BranchStmt, isBreak bool) *Node {
+	if s.Label != nil {
+		if lt := b.labels[s.Label.Name]; lt != nil {
+			if isBreak {
+				return lt.brk
+			}
+			if lt.cont != nil {
+				return lt.cont
+			}
+		}
+		return b.g.Exit // unresolved label: be conservative
+	}
+	if isBreak {
+		if n := len(b.brk); n > 0 {
+			return b.brk[n-1]
+		}
+	} else if n := len(b.cont); n > 0 {
+		return b.cont[n-1]
+	}
+	return b.g.Exit
+}
+
+func (b *builder) patchGotos() {
+	for label, nodes := range b.gotos {
+		target := b.g.Exit
+		if b.labelEntry != nil {
+			if t, ok := b.labelEntry[label]; ok {
+				target = t
+			}
+		}
+		for _, n := range nodes {
+			n.Succs = []*Node{target}
+		}
+	}
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

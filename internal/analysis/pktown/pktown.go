@@ -1,0 +1,493 @@
+// Package pktown implements the packet-ownership analyzer of the
+// hj17vet suite. The simulator circulates *pkt.Packet values through a
+// free-list pool; a packet that leaves the pool must come back via
+// Pool.Put exactly once, and the hot paths rely on that to stay
+// allocation-free. pktown checks, per function, that every packet
+// obligation is discharged on every control-flow path:
+//
+//   - An obligation is created by obtaining a packet from the pool
+//     (p := pool.Get() / pool.GetHeader()), and — for functions
+//     annotated //hj17:owns — by each *pkt.Packet parameter, which the
+//     annotation declares the function takes ownership of.
+//   - An obligation is discharged by a statement that releases the
+//     packet: a pkt Pool.Put call, a handoff to a function carrying an
+//     //hj17:owns or //hj17:sink annotation (looked up cross-package
+//     through facts), a return of the packet (ownership moves to the
+//     caller), storing it into a structure / channel / slice (the
+//     structure now owns it), or capture by a closure or deferred call.
+//     Calls through function values and interface methods without facts
+//     are treated conservatively as consuming.
+//   - A path that dies in a panic discharges nothing but is not a leak:
+//     the pool's own double-free panic is the model-bug trap.
+//
+// Passing a tracked packet to an ordinary, unannotated function does
+// NOT discharge the obligation — that is the analyzer's teeth: drop and
+// error branches must route packets through annotated releases, so
+// deleting a release in a drop hook (or forgetting one in a new branch)
+// fails the gate.
+//
+// //hj17:sink on a function additionally marks its own body as trusted:
+// pktown skips it (used for the pool internals themselves).
+package pktown
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+// Analyzer is the pktown analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "pktown",
+	Doc: "check every pool-obtained *pkt.Packet is released on every control-flow\n" +
+		"path (Pool.Put, //hj17:owns///hj17:sink handoff, return, or escape)",
+	Run: run,
+}
+
+// Include/Exclude delimit the packages pktown applies to.
+var (
+	Include = []string{"repro/internal/"}
+	Exclude = []string{"repro/internal/analysis"}
+)
+
+// pktPkgSuffix identifies the packet-pool package by import-path suffix
+// so fixtures importing the real pool are tracked identically.
+const pktPkgSuffix = "internal/pkt"
+
+func isPktPkg(pkg *types.Package) bool {
+	return pkg != nil && strings.HasSuffix(pkg.Path(), pktPkgSuffix)
+}
+
+// isPacketPtr reports whether t is *pkt.Packet.
+func isPacketPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Packet" && isPktPkg(named.Obj().Pkg())
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), Include, Exclude) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.Dirs.FuncHas(fd, analysis.DirSink) {
+				continue // trusted body
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	checkBody(pass, fd.Body, ownsParams(pass, fd))
+
+	// Closures get their own graph; their acquisitions are excluded from
+	// the enclosing body's scan and checked here instead.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			checkBody(pass, fl.Body, nil)
+		}
+		return true
+	})
+}
+
+// ownsParams returns the *pkt.Packet parameter objects of an
+// //hj17:owns function, which the body must release on every path.
+func ownsParams(pass *analysis.Pass, fd *ast.FuncDecl) []types.Object {
+	if !pass.Dirs.FuncHas(fd, analysis.DirOwns) {
+		return nil
+	}
+	var out []types.Object
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && isPacketPtr(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, params []types.Object) {
+	g := cfg.New(body)
+
+	for _, obj := range params {
+		if deferConsumes(pass, body, obj) {
+			continue
+		}
+		stop := func(s ast.Stmt) bool { return consumesStmt(pass, s, obj) }
+		if via, leaks := g.EntryReachesExit(stop); leaks {
+			pass.Reportf(obj.Pos(), "owns-annotated packet parameter %q can reach function exit%s "+
+				"without being released (Pool.Put, //hj17:owns///hj17:sink handoff, or return)",
+				obj.Name(), nearClause(pass, via))
+		}
+	}
+
+	shallowStmts(body, func(s ast.Stmt) {
+		obj, ok := acquisitionObj(pass, s)
+		if !ok {
+			return
+		}
+		if deferConsumes(pass, body, obj) {
+			return
+		}
+		stop := func(st ast.Stmt) bool { return consumesStmt(pass, st, obj) }
+		if via, leaks := g.ReachesExit(s, stop); leaks {
+			pass.Reportf(s.Pos(), "pool-obtained packet %q can reach function exit%s "+
+				"without being released (Pool.Put, //hj17:owns///hj17:sink handoff, or return)",
+				obj.Name(), nearClause(pass, via))
+		}
+	})
+}
+
+func nearClause(pass *analysis.Pass, via ast.Stmt) string {
+	if via == nil {
+		return ""
+	}
+	p := pass.Fset.Position(via.Pos())
+	return " (via line " + itoa(p.Line) + ")"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// shallowStmts visits every statement in body without descending into
+// nested function literals (those are separate ownership domains).
+func shallowStmts(body *ast.BlockStmt, f func(ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			f(s)
+		}
+		return true
+	})
+}
+
+// acquisitionObj matches `p := pool.Get()` (define or plain assign) and
+// returns the packet variable's object. Pool.GetHeader is not tracked:
+// a TCPHeader is released through its owning packet's Put.
+func acquisitionObj(pass *analysis.Pass, s ast.Stmt) (types.Object, bool) {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, false
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || !isPoolMethod(fn, "Get") {
+		return nil, false
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	return obj, obj != nil
+}
+
+func isPoolMethod(fn *types.Func, names ...string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Pool" || !isPktPkg(named.Obj().Pkg()) {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// deferConsumes reports whether a defer or go statement anywhere in the
+// body mentions obj — a function-wide discharge, since deferred calls
+// run on every exit path.
+func deferConsumes(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if usesObj(pass, n.Call, obj) {
+				found = true
+			}
+		case *ast.GoStmt:
+			if usesObj(pass, n.Call, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func usesObj(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// consumesStmt reports whether executing s discharges the obligation on
+// obj. Only the statement's own expressions count — nested statements
+// (if/for bodies) are separate CFG nodes.
+func consumesStmt(pass *analysis.Pass, s ast.Stmt, obj types.Object) bool {
+	if capturedByClosure(pass, s, obj) {
+		return true
+	}
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if exprConsumes(pass, rhs, obj, true) {
+				return true
+			}
+		}
+		for _, lhs := range s.Lhs {
+			if exprConsumes(pass, lhs, obj, false) {
+				return true
+			}
+		}
+	case *ast.ExprStmt:
+		return exprConsumes(pass, s.X, obj, false)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if exprConsumes(pass, r, obj, true) {
+				return true
+			}
+		}
+	case *ast.SendStmt:
+		return exprConsumes(pass, s.Value, obj, true) || exprConsumes(pass, s.Chan, obj, false)
+	case *ast.DeferStmt:
+		return usesObj(pass, s.Call, obj)
+	case *ast.GoStmt:
+		return usesObj(pass, s.Call, obj)
+	case *ast.IfStmt:
+		return exprConsumes(pass, s.Cond, obj, false)
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			return exprConsumes(pass, s.Cond, obj, false)
+		}
+	case *ast.RangeStmt:
+		return exprConsumes(pass, s.X, obj, false)
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			return exprConsumes(pass, s.Tag, obj, false)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						if exprConsumes(pass, v, obj, true) {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// capturedByClosure reports whether a function literal inside s
+// references obj — the closure (and whoever runs it) now shares the
+// packet, so tracking ends conservatively.
+func capturedByClosure(pass *analysis.Pass, s ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if fl, ok := n.(*ast.FuncLit); ok {
+			if usesObj(pass, fl.Body, obj) {
+				found = true
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// exprConsumes reports whether evaluating e discharges the obligation
+// on obj. escape means a bare use of obj here transfers ownership
+// (assignment right-hand sides, composite-literal elements, channel
+// sends, return results); in non-escape positions (comparisons, field
+// reads, index expressions) a bare use is just a read.
+func exprConsumes(pass *analysis.Pass, e ast.Expr, obj types.Object, escape bool) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return escape && pass.TypesInfo.Uses[e] == obj
+	case *ast.ParenExpr:
+		return exprConsumes(pass, e.X, obj, escape)
+	case *ast.CallExpr:
+		return callConsumes(pass, e, obj)
+	case *ast.UnaryExpr:
+		return exprConsumes(pass, e.X, obj, escape)
+	case *ast.BinaryExpr:
+		return exprConsumes(pass, e.X, obj, false) || exprConsumes(pass, e.Y, obj, false)
+	case *ast.SelectorExpr:
+		if isObjExpr(pass, e.X, obj) {
+			return false // field read on the packet
+		}
+		return exprConsumes(pass, e.X, obj, false)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if exprConsumes(pass, el, obj, true) {
+				return true
+			}
+		}
+	case *ast.IndexExpr:
+		return exprConsumes(pass, e.X, obj, false) || exprConsumes(pass, e.Index, obj, false)
+	case *ast.SliceExpr:
+		return exprConsumes(pass, e.X, obj, false)
+	case *ast.StarExpr:
+		return exprConsumes(pass, e.X, obj, false)
+	case *ast.TypeAssertExpr:
+		return exprConsumes(pass, e.X, obj, false)
+	}
+	return false
+}
+
+// callConsumes classifies one call with respect to obj.
+func callConsumes(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	// Method call on the packet itself: only an annotated method
+	// consumes (p.Recycle() with //hj17:owns); plain p.Len() does not.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isObjExpr(pass, sel.X, obj) {
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+			if factConsumes(pass, fn) {
+				return true
+			}
+		}
+	}
+
+	argHasObj := false
+	for _, arg := range call.Args {
+		if isObjExpr(pass, arg, obj) {
+			argHasObj = true
+		} else if exprConsumes(pass, arg, obj, false) {
+			return true // consumed by a nested call in the argument
+		}
+	}
+	if !argHasObj {
+		return false
+	}
+
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch o := pass.TypesInfo.Uses[fun].(type) {
+		case *types.Builtin:
+			// append(s, p) escapes the packet into the slice; the slice
+			// owner releases it. panic(p) dies anyway.
+			return o.Name() == "append" || o.Name() == "panic"
+		case *types.Func:
+			return factConsumes(pass, o)
+		case *types.Var:
+			return true // call through a function value: conservative
+		case *types.TypeName:
+			return true // conversion aliases the packet: conservative
+		}
+	case *ast.SelectorExpr:
+		switch o := pass.TypesInfo.Uses[fun.Sel].(type) {
+		case *types.Func:
+			if isPoolMethod(o, "Put") {
+				return true
+			}
+			if factConsumes(pass, o) {
+				return true
+			}
+			// Interface-method dispatch is dynamic: conservative consume
+			// (annotate the interface method to make ownership explicit).
+			if sig, ok := o.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if types.IsInterface(sig.Recv().Type()) {
+					return true
+				}
+			}
+			return false
+		case *types.Var:
+			return true // struct-field function value (drop hooks): conservative
+		}
+	case *ast.FuncLit:
+		return true // immediately-invoked literal: conservative
+	default:
+		return true // call of a call result etc.: dynamic, conservative
+	}
+	return false
+}
+
+func factConsumes(pass *analysis.Pass, fn *types.Func) bool {
+	sym := analysis.SymbolName(fn)
+	return sym != "" && pass.Facts.HasVerb(sym, analysis.DirOwns, analysis.DirSink)
+}
+
+func isObjExpr(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,12 @@
+package pktown_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pktown"
+)
+
+func TestPktown(t *testing.T) {
+	analysistest.Run(t, pktown.Analyzer, "./testdata/src/a", "./testdata/src/b")
+}

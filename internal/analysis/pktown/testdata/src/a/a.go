@@ -1,0 +1,113 @@
+// Package pktfix is the pktown fixture: pool acquisitions that leak on
+// some path, the sanctioned release idioms, and the //hj17:owns /
+// //hj17:sink directives.
+package pktfix
+
+import "repro/internal/pkt"
+
+// Leak: the early-return path releases nothing.
+func Leak(pl *pkt.Pool, drop bool) {
+	p := pl.Get() // want `pool-obtained packet "p" can reach function exit`
+	if drop {
+		return
+	}
+	pl.Put(p)
+}
+
+// Clean: every path releases.
+func Balanced(pl *pkt.Pool, drop bool) {
+	p := pl.Get()
+	if drop {
+		pl.Put(p)
+		return
+	}
+	pl.Put(p)
+}
+
+// Returning the packet moves ownership to the caller.
+func Fresh(pl *pkt.Pool) *pkt.Packet {
+	p := pl.Get()
+	p.Size = 1500
+	return p
+}
+
+// Handoff to an //hj17:owns function discharges the obligation.
+func Handoff(pl *pkt.Pool) {
+	p := pl.Get()
+	Free(pl, p)
+}
+
+// Free takes ownership of p; its body is checked.
+//
+//hj17:owns
+func Free(pl *pkt.Pool, p *pkt.Packet) {
+	pl.Put(p)
+}
+
+// An owns body that forgets a branch is caught.
+//
+//hj17:owns
+func LossyFree(pl *pkt.Pool, p *pkt.Packet, keep bool) { // want `owns-annotated packet parameter "p" can reach function exit`
+	if !keep {
+		pl.Put(p)
+	}
+}
+
+// Passing to an unannotated function does NOT discharge the obligation.
+func BadHandoff(pl *pkt.Pool) {
+	p := pl.Get() // want `pool-obtained packet "p" can reach function exit`
+	Inspect(p)
+}
+
+// Inspect borrows the packet; it carries no directive.
+func Inspect(p *pkt.Packet) {}
+
+// A sink is trusted at call sites and its body is not checked.
+//
+//hj17:sink
+func Discard(p *pkt.Packet) {
+	// Deliberately no release: the body is trusted.
+}
+
+func SinkHandoff(pl *pkt.Pool) {
+	p := pl.Get()
+	Discard(p)
+}
+
+// Pushing into a pkt.Queue hands ownership to the queue (Queue.Push is
+// annotated //hj17:owns in the pkt package itself).
+func Stash(pl *pkt.Pool, q *pkt.Queue) {
+	p := pl.Get()
+	q.Push(p)
+}
+
+// Deferred release discharges every path.
+func Deferred(pl *pkt.Pool) {
+	p := pl.Get()
+	defer pl.Put(p)
+	mightPanic()
+}
+
+// Closure capture ends tracking conservatively.
+func Captured(pl *pkt.Pool, run func(func())) {
+	p := pl.Get()
+	run(func() { pl.Put(p) })
+}
+
+// A path that dies in a panic is not a leak.
+func PanicPath(pl *pkt.Pool, bad bool) {
+	p := pl.Get()
+	if bad {
+		panic("model bug")
+	}
+	pl.Put(p)
+}
+
+// Batching into a slice hands the packets to the slice's owner.
+func Batch(pl *pkt.Pool, out []*pkt.Packet) []*pkt.Packet {
+	p := pl.Get()
+	out = append(out, p)
+	return out
+}
+
+func mightPanic() {}

@@ -1,0 +1,20 @@
+// Package pktfixb checks that //hj17:owns facts cross package
+// boundaries: the annotation on pktfix.Free travels to importers.
+package pktfixb
+
+import (
+	a "repro/internal/analysis/pktown/testdata/src/a"
+	"repro/internal/pkt"
+)
+
+// The owns fact on a.Free discharges the handoff.
+func CleanHandoff(pl *pkt.Pool) {
+	p := pl.Get()
+	a.Free(pl, p)
+}
+
+// Unannotated cross-package calls do not discharge.
+func DirtyHandoff(pl *pkt.Pool) {
+	p := pl.Get() // want `pool-obtained packet "p" can reach function exit`
+	a.Inspect(p)
+}

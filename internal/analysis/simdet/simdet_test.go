@@ -1,0 +1,12 @@
+package simdet_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/simdet"
+)
+
+func TestSimdet(t *testing.T) {
+	analysistest.Run(t, simdet.Analyzer, "./testdata/src/a")
+}

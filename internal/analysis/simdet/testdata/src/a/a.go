@@ -1,0 +1,94 @@
+// Package simfix is the simdet fixture: nondeterminism sources that
+// must be flagged, the sanctioned idioms that must not be, and the
+// //hj17:ordered suppression.
+package simfix
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// --- forbidden ambient sources (positive cases) ---
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now is nondeterministic`
+}
+
+func wallSleep() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep is nondeterministic`
+}
+
+func env() string {
+	return os.Getenv("HOME") // want `os\.Getenv is nondeterministic`
+}
+
+// --- sanctioned uses (negative cases) ---
+
+// Durations and conversions are fine; only the ambient clock is banned.
+func duration(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// --- map iteration feeding output ---
+
+func mapAppendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration appends to "keys"`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapAppendSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapWrite(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration writes output`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func mapFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `accumulates float "sum"`
+		sum += v
+	}
+	return sum
+}
+
+// Integer accumulation is order-independent; not flagged.
+func mapIntSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Audited iteration: the directive suppresses the diagnostic.
+func mapAppendAudited(m map[string]int) []string {
+	var keys []string
+	//hj17:ordered
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Slice iteration is ordered; never flagged.
+func sliceAppend(in []string) []string {
+	var out []string
+	for _, s := range in {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,9 @@
+package simfix
+
+import (
+	"math/rand" // want `import of math/rand is forbidden`
+)
+
+func roll() int {
+	return rand.Intn(6)
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig is the JSON configuration cmd/go writes for each package
+// when a vet tool runs under `go vet -vettool=`. Field names follow the
+// (stable, documented-in-source) protocol of x/tools' unitchecker.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	ModulePath                string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point shared by cmd/hj17vet's two modes:
+//
+//	hj17vet [packages]         — standalone multichecker: loads the
+//	                             packages itself via `go list -export`
+//	                             and prints findings.
+//	hj17vet <file>.cfg         — unitchecker protocol: invoked by
+//	                             `go vet -vettool=$(which hj17vet)`,
+//	                             one package per process, facts carried
+//	                             between packages in vetx files.
+//
+// Exit status: 0 clean, 1 tool error, 2 diagnostics reported.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+
+	// cmd/go probes `tool -flags` for a JSON description of pass-through
+	// flags before running it; hj17vet exposes none beyond the protocol
+	// flags cmd/go already knows.
+	if len(os.Args) > 1 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (cmd/go protocol)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-json] package...\n", progname)
+		fmt.Fprintf(os.Stderr, "       %s unit.cfg  (under go vet -vettool)\n\n", progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "%s: %s\n\n", a.Name, a.Doc)
+		}
+	}
+	fs.Parse(os.Args[1:])
+
+	if *versionFlag != "" {
+		// cmd/go runs `tool -V=full` and uses the line as the content
+		// hash of the tool for build caching. Bump hj17vetVersion when
+		// analyzer behaviour changes so stale cached vet verdicts die.
+		fmt.Printf("%s version %s buildID=%s\n", progname, hj17vetVersion, hj17vetVersion)
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0], analyzers)
+		return
+	}
+	if len(args) == 0 {
+		args = []string{"."}
+	}
+
+	pkgs, err := Load(".", args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	diags, err := RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(diags) == 0 {
+		os.Exit(0)
+	}
+	printDiagnostics(pkgs[0].Fset, diags, *jsonFlag)
+	os.Exit(2)
+}
+
+// hj17vetVersion doubles as the vet build-cache key; bump on any
+// analyzer behaviour change.
+const hj17vetVersion = "1"
+
+func printDiagnostics(fset *token.FileSet, diags []Diagnostic, asJSON bool) {
+	if asJSON {
+		type jsonDiag struct {
+			Pos      string `json:"posn"`
+			Message  string `json:"message"`
+			Analyzer string `json:"analyzer"`
+		}
+		out := make([]jsonDiag, len(diags))
+		for i, d := range diags {
+			out[i] = jsonDiag{fset.Position(d.Pos).String(), d.Message, d.Analyzer}
+		}
+		json.NewEncoder(os.Stdout).Encode(out)
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}
+
+// runUnit executes one unitchecker invocation: typecheck the package
+// described by the cfg from its listed sources and dependency export
+// files, read dependency facts from vetx, analyze, write merged facts
+// to VetxOutput, report diagnostics.
+func runUnit(cfgPath string, analyzers []*Analyzer) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		unitFatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		unitFatal(fmt.Errorf("parsing %s: %v", cfgPath, err))
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg, NewFacts())
+			os.Exit(0)
+		}
+		unitFatal(err)
+	}
+
+	// Facts: union of every dependency's vetx payload plus this
+	// package's own annotations.
+	facts := NewFacts()
+	for _, vetx := range cfg.PackageVetx {
+		if data, err := os.ReadFile(vetx); err == nil {
+			facts.AddAll(DecodeFacts(data))
+		}
+	}
+	facts.AddAll(PackageFacts(cfg.ImportPath, fset, files))
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, cfg.Compiler, lookup), FakeImportC: true}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg, facts)
+			os.Exit(0)
+		}
+		unitFatal(fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err))
+	}
+
+	writeVetx(cfg, facts)
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	var diags []Diagnostic
+	dirs := ScanDirectives(fset, files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       tpkg,
+			TypesInfo: info,
+			Dirs:      dirs,
+			Facts:     facts,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			unitFatal(fmt.Errorf("%s: %v", a.Name, err))
+		}
+	}
+	if len(diags) == 0 {
+		os.Exit(0)
+	}
+	sortDiagnostics(fset, diags)
+	printDiagnostics(fset, diags, false)
+	os.Exit(2)
+}
+
+func writeVetx(cfg vetConfig, facts *Facts) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	data, err := EncodeFacts(facts)
+	if err != nil {
+		unitFatal(err)
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+		unitFatal(err)
+	}
+}
+
+func unitFatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

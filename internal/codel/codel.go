@@ -48,6 +48,8 @@ type Vars struct {
 // controlLaw computes the next drop time: interval / sqrt(count), served
 // from the Newton-refined inverse-sqrt cache (see invsqrt.go) for the
 // counts that occur in practice.
+//
+//hj17:hotpath
 func controlLaw(t sim.Time, interval sim.Time, count uint32) sim.Time {
 	if count <= invSqrtCacheSize {
 		return t + sim.Time(float64(interval)*invSqrtTab[count])
@@ -57,6 +59,8 @@ func controlLaw(t sim.Time, interval sim.Time, count uint32) sim.Time {
 
 // shouldDrop updates the sojourn-tracking state for packet p dequeued at
 // now and reports whether the control law wants it dropped.
+//
+//hj17:hotpath
 func (v *Vars) shouldDrop(p *pkt.Packet, q *pkt.Queue, pa Params, now sim.Time) bool {
 	sojourn := now - p.Enqueued
 	if sojourn < pa.Target || q.Bytes() <= pa.MTU {
@@ -73,6 +77,8 @@ func (v *Vars) shouldDrop(p *pkt.Packet, q *pkt.Queue, pa Params, now sim.Time) 
 // Dequeue removes the next packet from q at virtual time now, applying the
 // CoDel drop law. Dropped packets are passed to drop (which must not
 // re-queue them). It returns nil when the queue is empty.
+//
+//hj17:hotpath
 func (v *Vars) Dequeue(q *pkt.Queue, pa Params, now sim.Time, drop func(*pkt.Packet)) *pkt.Packet {
 	p := q.Pop()
 	if p == nil {

@@ -62,6 +62,8 @@ func (s *Scheduler) Register(backlogged func() bool) *Entry {
 
 // Activate marks e as backlogged. Entries joining the rotation start with
 // one quantum of credit.
+//
+//hj17:hotpath
 func (s *Scheduler) Activate(e *Entry) {
 	if e.active {
 		return
@@ -77,6 +79,7 @@ func (s *Scheduler) Activate(e *Entry) {
 	s.tail = e
 }
 
+//hj17:hotpath
 func (s *Scheduler) pop() *Entry {
 	e := s.head
 	if e == nil {
@@ -90,6 +93,7 @@ func (s *Scheduler) pop() *Entry {
 	return e
 }
 
+//hj17:hotpath
 func (s *Scheduler) pushTail(e *Entry) {
 	e.next = nil
 	if s.tail == nil {
@@ -105,6 +109,8 @@ func (s *Scheduler) pushTail(e *Entry) {
 // backlogged entry is out of credit, balances are replenished in quantum
 // rounds until one becomes positive (computed in one step). Returns nil
 // when no entry is backlogged.
+//
+//hj17:hotpath
 func (s *Scheduler) Next() *Entry {
 	for tries := 0; tries < 2; tries++ {
 		// One full rotation.
@@ -146,6 +152,7 @@ func (s *Scheduler) Next() *Entry {
 	return nil
 }
 
+//hj17:hotpath
 func (s *Scheduler) pushFront(e *Entry) {
 	e.next = s.head
 	s.head = e

@@ -40,6 +40,12 @@ func (c *Config) fill() {
 	if c.Clock == nil {
 		panic("fqcodel: Config.Clock is required")
 	}
+	if c.DropHook == nil {
+		// A no-op hook keeps the drop path unconditional, so packet
+		// ownership is discharged on every branch (and pktown can prove
+		// it) without a nil check per drop.
+		c.DropHook = func(*pkt.Packet) {}
+	}
 }
 
 type flow struct {
@@ -116,6 +122,9 @@ type FQCoDel struct {
 	oldQ     flowList
 	len      int
 	drops    int
+	// codelDrop is the CoDel drop callback, built once at construction
+	// so Dequeue does not allocate a closure per call.
+	codelDrop func(*pkt.Packet)
 
 	// stats
 	codelDrops int
@@ -142,6 +151,11 @@ func New(cfg Config) *FQCoDel {
 		fq.flows[i].idx = i
 		fq.flows[i].occPos = -1
 	}
+	fq.codelDrop = func(dp *pkt.Packet) {
+		fq.len--
+		fq.codelDrops++
+		fq.drop(dp)
+	}
 	return fq
 }
 
@@ -160,16 +174,21 @@ func (fq *FQCoDel) OverlimitDrops() int { return fq.overDrops }
 // SparseDequeues reports packets served from the new-flow (sparse) list.
 func (fq *FQCoDel) SparseDequeues() int { return fq.sparseHits }
 
+// drop takes ownership of a packet leaving the discipline by drop and
+// hands it to the (always non-nil) DropHook for release.
+//
+//hj17:owns
+//hj17:hotpath
 func (fq *FQCoDel) drop(p *pkt.Packet) {
 	fq.drops++
-	if fq.cfg.DropHook != nil {
-		fq.cfg.DropHook(p)
-	}
+	fq.cfg.DropHook(p)
 }
 
 // occUpdate keeps f's membership in the occupied list in step with its
 // queue: flows enter when they gain their first byte and leave when they
 // drain. Call after any push or pop on f.q.
+//
+//hj17:hotpath
 func (fq *FQCoDel) occUpdate(f *flow) {
 	if b := f.q.Bytes(); b > 0 {
 		if f.occPos < 0 {
@@ -197,6 +216,8 @@ func (fq *FQCoDel) occUpdate(f *flow) {
 // longestFlow returns the flow with the most queued bytes. Only the
 // occupied list is scanned; ties resolve to the lowest flow index, which
 // is exactly what a first-longest-wins scan over all flows would pick.
+//
+//hj17:hotpath
 func (fq *FQCoDel) longestFlow() *flow {
 	if len(fq.occupied) == 0 {
 		return &fq.flows[0]
@@ -211,6 +232,8 @@ func (fq *FQCoDel) longestFlow() *flow {
 }
 
 // Enqueue implements qdisc.Qdisc.
+//
+//hj17:hotpath
 func (fq *FQCoDel) Enqueue(p *pkt.Packet) bool {
 	var f *flow
 	if fq.flowMask != 0 {
@@ -245,6 +268,8 @@ func (fq *FQCoDel) Enqueue(p *pkt.Packet) bool {
 }
 
 // Dequeue implements qdisc.Qdisc, applying the RFC 8290 scheduling loop.
+//
+//hj17:hotpath
 func (fq *FQCoDel) Dequeue() *pkt.Packet {
 	now := fq.cfg.Clock()
 	for {
@@ -268,11 +293,7 @@ func (fq *FQCoDel) Dequeue() *pkt.Packet {
 			fq.oldQ.pushTail(f, listOld)
 			continue
 		}
-		p := f.cv.Dequeue(&f.q, fq.cfg.Codel, now, func(dp *pkt.Packet) {
-			fq.len--
-			fq.codelDrops++
-			fq.drop(dp)
-		})
+		p := f.cv.Dequeue(&f.q, fq.cfg.Codel, now, fq.codelDrop)
 		fq.occUpdate(f)
 		if p == nil {
 			if fromNew {

@@ -128,6 +128,8 @@ func NewMedium(s *sim.Sim) *Medium {
 }
 
 // request registers q for channel access. Idempotent while contending.
+//
+//hj17:hotpath
 func (m *Medium) request(q *txq) {
 	if q.contending {
 		return
@@ -145,6 +147,8 @@ func (m *Medium) request(q *txq) {
 
 // unlist removes q from the contender set in O(1) by swapping the last
 // entry into its slot. The caller must hold q.contending == true.
+//
+//hj17:hotpath
 func (m *Medium) unlist(q *txq) {
 	last := len(m.contenders) - 1
 	if i := q.ci; i != last {
@@ -159,6 +163,8 @@ func (m *Medium) unlist(q *txq) {
 }
 
 // withdraw removes q from contention (its hardware queue emptied).
+//
+//hj17:hotpath
 func (m *Medium) withdraw(q *txq) {
 	if !q.contending {
 		return
@@ -169,6 +175,8 @@ func (m *Medium) withdraw(q *txq) {
 
 // creditSlots accounts backoff slots counted down since the idle period
 // began, so that a reschedule does not reset anyone's progress.
+//
+//hj17:hotpath
 func (m *Medium) creditSlots() {
 	if m.txActive {
 		return
@@ -191,6 +199,8 @@ func (m *Medium) creditSlots() {
 
 // refreshWait re-derives a contender's cached wait after its slot count
 // changed outside creditSlots.
+//
+//hj17:hotpath
 func (m *Medium) refreshWait(c *txq) {
 	if c.contending {
 		m.waits[c.ci] = c.aifs() + sim.Time(c.slots)*phy.TSlot
@@ -199,11 +209,15 @@ func (m *Medium) refreshWait(c *txq) {
 
 // readyAt returns when contender c could seize the channel, measured from
 // the current idle start.
+//
+//hj17:hotpath
 func (m *Medium) readyAt(c *txq) sim.Time {
 	return m.idleStart + m.waits[c.ci]
 }
 
 // reschedule recomputes the next channel-access event.
+//
+//hj17:hotpath
 func (m *Medium) reschedule() {
 	if m.accessEv.Valid() {
 		m.sim.Cancel(m.accessEv)
@@ -233,6 +247,8 @@ func (m *Medium) reschedule() {
 // — reproducing exactly the order a full scan of the historical
 // insertion-ordered contender list would have produced, which the
 // virtual-collision resolution and loser backoff redraws below consume.
+//
+//hj17:hotpath
 func (m *Medium) collectWinners(now sim.Time) []*txq {
 	winners := m.winners[:0]
 	cut := now - m.idleStart
@@ -252,6 +268,8 @@ func (m *Medium) collectWinners(now sim.Time) []*txq {
 
 // grant fires when the earliest contender's backoff expires: it resolves
 // winners, starts their transmissions and schedules completion.
+//
+//hj17:hotpath
 func (m *Medium) grant() {
 	m.accessEv = sim.EventRef{}
 	now := m.sim.Now()
@@ -376,6 +394,8 @@ func (m *Medium) grant() {
 
 // chargeBSS accounts channel time consumed by a transmitter of the given
 // BSS. A collision charges every colliding BSS its own occupancy.
+//
+//hj17:hotpath
 func (m *Medium) chargeBSS(bss int, d sim.Time) {
 	for len(m.bssBusy) <= bss {
 		m.bssBusy = append(m.bssBusy, 0)
@@ -402,6 +422,8 @@ func less(a, b *txq) bool {
 
 // complete finishes the in-flight transmissions, delivers their packets
 // and restarts contention.
+//
+//hj17:hotpath
 func (m *Medium) complete() {
 	m.txActive = false
 	m.idleStart = m.sim.Now()

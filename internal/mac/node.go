@@ -230,6 +230,9 @@ func NewNode(env *Env, id pkt.NodeID, name string, cfg Config) (*Node, error) {
 }
 
 // freePkt releases a packet the node terminated back to the world pool.
+//
+//hj17:owns
+//hj17:hotpath
 func (n *Node) freePkt(p *pkt.Packet) { n.pool.Put(p) }
 
 // tabFor returns the node's interned duration table for rate r.

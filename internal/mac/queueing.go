@@ -104,6 +104,7 @@ type fifoTIDQueue struct {
 
 func (s *qdiscQueueing) NewTID(pkt.AC) TIDQueue { return &fifoTIDQueue{s: s} }
 
+//hj17:hotpath
 func (s *qdiscQueueing) Enqueue(_ TIDQueue, p *pkt.Packet, _ sim.Time) {
 	ac, dst, size := p.AC, p.Dst, p.Size
 	if !s.qdiscs[ac].Enqueue(p) {
@@ -119,6 +120,8 @@ func (s *qdiscQueueing) Enqueue(_ TIDQueue, p *pkt.Packet, _ sim.Time) {
 
 // refillAC drains one AC's qdisc into the driver FIFOs while the shared
 // driver buffer has room, reporting the packets pulled.
+//
+//hj17:hotpath
 func (s *qdiscQueueing) refillAC(ac pkt.AC) int {
 	q := s.qdiscs[ac]
 	if q == nil {
@@ -218,6 +221,7 @@ func (s *integratedQueueing) NewTID(pkt.AC) TIDQueue {
 	return &fqTIDQueue{s: s, tid: s.fq.NewTID()}
 }
 
+//hj17:hotpath
 func (s *integratedQueueing) Enqueue(q TIDQueue, p *pkt.Packet, now sim.Time) {
 	dst, ac := p.Dst, p.AC // p may be dropped (and released) below
 	before := s.fq.Drops()

@@ -37,6 +37,12 @@ func (c *Config) fill() {
 	if c.Quantum <= 0 {
 		c.Quantum = 1514
 	}
+	if c.DropHook == nil {
+		// A no-op hook keeps the drop path unconditional, so packet
+		// ownership is discharged on every branch (and pktown can prove
+		// it) without a nil check per drop.
+		c.DropHook = func(*pkt.Packet) {}
+	}
 }
 
 type listID uint8
@@ -192,14 +198,23 @@ func (fq *Fq) NewTID() *TID {
 	t := &TID{fq: fq}
 	t.overflowQ = &queue{idx: len(fq.flows) + len(fq.overflow), occPos: -1}
 	fq.overflow = append(fq.overflow, t.overflowQ)
+	t.codelDrop = func(dp *pkt.Packet) {
+		fq.len--
+		t.len--
+		fq.codelDrops++
+		fq.drop(dp)
+	}
 	return t
 }
 
+// drop takes ownership of a packet leaving the structure by drop and
+// hands it to the (always non-nil) DropHook for release.
+//
+//hj17:owns
+//hj17:hotpath
 func (fq *Fq) drop(p *pkt.Packet) {
 	fq.drops++
-	if fq.cfg.DropHook != nil {
-		fq.cfg.DropHook(p)
-	}
+	fq.cfg.DropHook(p)
 }
 
 // occAbove reports whether a outranks b in the occupied heap: more
@@ -211,6 +226,7 @@ func occAbove(a, b *queue) bool {
 	return ab > bb || (ab == bb && a.idx < b.idx)
 }
 
+//hj17:hotpath
 func (fq *Fq) occSiftUp(i int) {
 	h := fq.occupied
 	for i > 0 {
@@ -224,6 +240,7 @@ func (fq *Fq) occSiftUp(i int) {
 	}
 }
 
+//hj17:hotpath
 func (fq *Fq) occSiftDown(i int) {
 	h := fq.occupied
 	for {
@@ -245,6 +262,8 @@ func (fq *Fq) occSiftDown(i int) {
 
 // occUpdate keeps q's membership and position in the occupied heap in
 // step with its byte count. Call after any push or pop on q.q.
+//
+//hj17:hotpath
 func (fq *Fq) occUpdate(q *queue) {
 	if q.q.Bytes() > 0 {
 		i := q.occPos
@@ -276,6 +295,8 @@ func (fq *Fq) occUpdate(q *queue) {
 // occDefer records that q's byte count changed, deferring the heap
 // maintenance until the next read. Only one queue may be pending, so a
 // change to a different queue flushes the previous one first.
+//
+//hj17:hotpath
 func (fq *Fq) occDefer(q *queue) {
 	if fq.pending == q {
 		return
@@ -287,6 +308,8 @@ func (fq *Fq) occDefer(q *queue) {
 }
 
 // occFlush settles the pending queue into the heap before a read.
+//
+//hj17:hotpath
 func (fq *Fq) occFlush() {
 	if fq.pending != nil {
 		fq.occUpdate(fq.pending)
@@ -297,6 +320,8 @@ func (fq *Fq) occFlush() {
 // longestQueue returns the queue (hash or overflow) holding the most
 // bytes — the occupied heap's root. Ties resolve to the lowest scan
 // position, matching a first-longest-wins scan over every queue.
+//
+//hj17:hotpath
 func (fq *Fq) longestQueue() *queue {
 	fq.occFlush()
 	if len(fq.occupied) == 0 {
@@ -308,6 +333,8 @@ func (fq *Fq) longestQueue() *queue {
 // dropFromLongest implements the global-limit policy: drop the head packet
 // of the globally longest queue (Algorithm 1 lines 2-4). It reports the
 // dropped packet.
+//
+//hj17:hotpath
 func (fq *Fq) dropFromLongest() *pkt.Packet {
 	victim := fq.longestQueue()
 	p := victim.q.Pop()
@@ -331,6 +358,9 @@ type TID struct {
 	newQ, oldQ queueList
 	overflowQ  *queue
 	len        int
+	// codelDrop is the CoDel drop callback, built once in NewTID so
+	// Dequeue does not allocate a closure per call.
+	codelDrop func(*pkt.Packet)
 }
 
 // Len reports packets queued for this TID.
@@ -343,6 +373,8 @@ func (t *TID) Backlogged() bool { return t.len > 0 }
 // CoDel, hashed to a queue (or the overflow queue on a cross-TID
 // collision) and the queue activated onto the new-queues list if needed.
 // It reports false if the global limit caused this very packet to drop.
+//
+//hj17:hotpath
 func (t *TID) Enqueue(p *pkt.Packet, now sim.Time) bool {
 	fq := t.fq
 	accepted := true
@@ -380,6 +412,8 @@ func (t *TID) Enqueue(p *pkt.Packet, now sim.Time) bool {
 
 // Dequeue implements Algorithm 2, pulling the next packet for this TID
 // under the supplied CoDel parameters (per-station, per §3.1.1).
+//
+//hj17:hotpath
 func (t *TID) Dequeue(now sim.Time, pa codel.Params) *pkt.Packet {
 	fq := t.fq
 	for {
@@ -403,12 +437,7 @@ func (t *TID) Dequeue(now sim.Time, pa codel.Params) *pkt.Packet {
 			t.oldQ.pushTail(q, listOld)
 			continue
 		}
-		p := q.cv.Dequeue(&q.q, pa, now, func(dp *pkt.Packet) {
-			fq.len--
-			t.len--
-			fq.codelDrops++
-			fq.drop(dp)
-		})
+		p := q.cv.Dequeue(&q.q, pa, now, t.codelDrop)
 		fq.occDefer(q)
 		if p == nil {
 			if fromNew {

@@ -200,7 +200,10 @@ func (q *Queue) Bytes() int { return q.bytes }
 // Empty reports whether the queue holds no packets.
 func (q *Queue) Empty() bool { return q.len == 0 }
 
-// Push appends p.
+// Push appends p. The queue takes ownership: the packet is released by
+// whoever pops or drains the queue.
+//
+//hj17:owns
 func (q *Queue) Push(p *Packet) {
 	if p.next != nil || q.tail == p {
 		panic("pkt: packet already queued")
@@ -219,7 +222,9 @@ func (q *Queue) Push(p *Packet) {
 }
 
 // PushFront prepends p (used to return MPDUs to the head after a failed
-// transmission).
+// transmission). The queue takes ownership, as with Push.
+//
+//hj17:owns
 func (q *Queue) PushFront(p *Packet) {
 	if p.next != nil || q.tail == p {
 		panic("pkt: packet already queued")

@@ -45,6 +45,8 @@ func NewPFIFO(limit int) *PFIFO {
 }
 
 // Enqueue implements Qdisc.
+//
+//hj17:hotpath
 func (f *PFIFO) Enqueue(p *pkt.Packet) bool {
 	if f.q.Len() >= f.limit {
 		f.drops++
@@ -55,6 +57,8 @@ func (f *PFIFO) Enqueue(p *pkt.Packet) bool {
 }
 
 // Dequeue implements Qdisc.
+//
+//hj17:hotpath
 func (f *PFIFO) Dequeue() *pkt.Packet { return f.q.Pop() }
 
 // Len implements Qdisc.

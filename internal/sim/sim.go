@@ -189,6 +189,8 @@ func (s *Sim) Allocator() any { return s.alloc }
 func (s *Sim) SetAllocator(v any) { s.alloc = v }
 
 // getEvent pops a recycled event or allocates a fresh one.
+//
+//hj17:hotpath
 func (s *Sim) getEvent() *Event {
 	if n := len(s.free); n > 0 {
 		e := s.free[n-1]
@@ -202,6 +204,8 @@ func (s *Sim) getEvent() *Event {
 
 // recycle invalidates every outstanding ref to e and returns it to the
 // free list.
+//
+//hj17:hotpath
 func (s *Sim) recycle(e *Event) {
 	e.gen++
 	e.fn = nil
@@ -215,6 +219,8 @@ func (s *Sim) recycle(e *Event) {
 }
 
 // push inserts e into the 4-ary heap (sift-up).
+//
+//hj17:hotpath
 func (s *Sim) push(e *Event) {
 	sl := slot{at: e.at, seq: e.seq, e: e}
 	h := s.events
@@ -234,6 +240,8 @@ func (s *Sim) push(e *Event) {
 
 // pop removes and returns the heap minimum (sift-down). The heap must not
 // be empty.
+//
+//hj17:hotpath
 func (s *Sim) pop() *Event {
 	h := s.events
 	top := h[0].e
@@ -272,6 +280,8 @@ func (s *Sim) pop() *Event {
 }
 
 // schedule enqueues a prepared event at absolute time at.
+//
+//hj17:hotpath
 func (s *Sim) schedule(e *Event, at Time) EventRef {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
@@ -293,6 +303,8 @@ func (s *Sim) schedule(e *Event, at Time) EventRef {
 
 // At schedules fn to run at absolute time at. Scheduling in the past
 // panics: it always indicates a model bug.
+//
+//hj17:hotpath
 func (s *Sim) At(at Time, fn func()) EventRef {
 	e := s.getEvent()
 	e.fn = fn
@@ -300,6 +312,8 @@ func (s *Sim) At(at Time, fn func()) EventRef {
 }
 
 // After schedules fn to run d after the current time.
+//
+//hj17:hotpath
 func (s *Sim) After(d Time, fn func()) EventRef {
 	if d < 0 {
 		d = 0
@@ -310,6 +324,8 @@ func (s *Sim) After(d Time, fn func()) EventRef {
 // AtCall schedules fn(arg) at absolute time at. Unlike At with a closure
 // over arg, a shared fn plus a pointer-shaped arg allocates nothing —
 // this is the form the per-packet hot paths use.
+//
+//hj17:hotpath
 func (s *Sim) AtCall(at Time, fn func(any), arg any) EventRef {
 	e := s.getEvent()
 	e.fnArg = fn
@@ -318,6 +334,8 @@ func (s *Sim) AtCall(at Time, fn func(any), arg any) EventRef {
 }
 
 // AfterCall schedules fn(arg) d after the current time.
+//
+//hj17:hotpath
 func (s *Sim) AfterCall(d Time, fn func(any), arg any) EventRef {
 	if d < 0 {
 		d = 0
@@ -330,6 +348,8 @@ func (s *Sim) AfterCall(d Time, fn func(any), arg any) EventRef {
 //
 // Cancellation is lazy and O(1): the event is only marked dead. It keeps
 // its place in the queue and is recycled when it reaches the front.
+//
+//hj17:hotpath
 func (s *Sim) Cancel(r EventRef) {
 	e := r.e
 	if e == nil || e.gen != r.gen || e.dead {
@@ -345,6 +365,8 @@ func (s *Sim) Cancel(r EventRef) {
 // exec fires e: the event is recycled first (so refs to it are stale
 // during its own callback, and the callback may immediately reuse the
 // object via a new schedule), then its function runs.
+//
+//hj17:hotpath
 func (s *Sim) exec(e *Event) {
 	s.nRun++
 	s.live--
@@ -366,6 +388,8 @@ func (s *Sim) exec(e *Event) {
 // flushed whenever the heap top does not come strictly before the
 // slot's window start, so by the time a candidate time is returned,
 // every remaining wheel event is strictly later than it.
+//
+//hj17:hotpath
 func (s *Sim) next() (t Time, ok bool) {
 	for {
 		for len(s.events) > 0 {
@@ -395,6 +419,8 @@ func (s *Sim) next() (t Time, ok bool) {
 
 // Step runs the next event, advancing the clock. It reports false when no
 // events remain.
+//
+//hj17:hotpath
 func (s *Sim) Step() bool {
 	if _, ok := s.next(); !ok {
 		return false
@@ -412,6 +438,8 @@ func (s *Sim) Step() bool {
 // scheduled for t. It returns false when maxEvents (if non-zero) was
 // exhausted mid-instant; the un-fired remainder is pushed back onto the
 // heap so a later run resumes in exact order.
+//
+//hj17:hotpath
 func (s *Sim) runInstant(t Time, maxEvents uint64) bool {
 	s.now = t
 	s.draining = true

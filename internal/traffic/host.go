@@ -48,6 +48,9 @@ func (h *Host) Register(flow uint64, fn func(*pkt.Packet)) {
 // the node's receive hook. The host is every packet's final owner: once
 // the matching handler (or the ICMP responder) has run, the packet is
 // released back to the world's pool.
+//
+//hj17:owns
+//hj17:hotpath
 func (h *Host) Deliver(p *pkt.Packet) {
 	if p.Proto == pkt.ProtoICMP {
 		h.icmp(p)
