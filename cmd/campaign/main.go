@@ -14,6 +14,8 @@
 //	campaign run  -journal c.journal -resume  # replay it, run the rest
 //	campaign serve -listen :8080              # HTTP shard worker
 //	campaign run  -remote http://hostA:8080 -remote http://hostB:8080 ...
+//	campaign run  -chaos "seed=7,cache,journal" ...  # fault-injected run
+//	campaign serve -chaos "seed=7,serve" ...         # fault-injected worker
 //
 // describe prints a scenario's declarative composition — its stations,
 // workloads, probes, parameter axes and emitted metric names — from
@@ -31,15 +33,29 @@
 // -cache-dir relocates the store, and -fingerprint overrides the code
 // fingerprint for development builds that go vcs-stamping cannot tell
 // apart.
+//
+// SIGINT interrupts a run gracefully: in-flight cells drain into the
+// -journal checkpoint stream and the process exits with status 130 and
+// a resume hint — rerun with -resume to pick up where it stopped.
+//
+// -chaos enables deterministic fault injection (package chaos) for
+// hardening runs: a seeded plan tears cache entries, drops journal
+// appends, resets or stalls shard requests, and crashes workers, while
+// the resilience layers above must still converge on artifacts
+// byte-identical to a fault-free run. CI's chaos gate enforces exactly
+// that.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -47,6 +63,7 @@ import (
 	"repro/internal/campaign/cache"
 	"repro/internal/campaign/journal"
 	"repro/internal/campaign/wire"
+	"repro/internal/chaos"
 	"repro/internal/exp"
 	"repro/internal/mac"
 	"repro/internal/sim"
@@ -222,6 +239,9 @@ type options struct {
 	remotes     stringList
 	shardSize   int
 	statsOut    string
+	reqTimeout  time.Duration
+	stallTO     time.Duration
+	chaosSpec   string
 }
 
 func executeFlags(o *options) *flag.FlagSet {
@@ -245,6 +265,9 @@ func executeFlags(o *options) *flag.FlagSet {
 	fs.Var(&o.remotes, "remote", "shard-worker base URL, e.g. http://host:8080 (repeatable)")
 	fs.IntVar(&o.shardSize, "shard-size", 0, "cells per remote shard request (0 = default)")
 	fs.StringVar(&o.statsOut, "stats-out", "", "write execution stats JSON (cache hits, wall time) to this path")
+	fs.DurationVar(&o.reqTimeout, "request-timeout", 0, "cap on one remote shard attempt end to end (0 = 15m default)")
+	fs.DurationVar(&o.stallTO, "stall-timeout", 0, "cap on remote-worker silence between result lines (0 = 2m default)")
+	fs.StringVar(&o.chaosSpec, "chaos", "", `fault-injection spec, e.g. "seed=7,rate=300,limit=8,cache,journal,http"`)
 	return fs
 }
 
@@ -258,6 +281,21 @@ func execute(reg *campaign.Registry, cmd string, args []string) {
 	}
 	checkScenarios(reg, o.scenarios)
 
+	var chaosPlan *chaos.Plan
+	if o.chaosSpec != "" {
+		p, err := chaos.Parse(o.chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+			os.Exit(2)
+		}
+		chaosPlan = p
+	}
+
+	// SIGINT interrupts the campaign gracefully: in-flight cells drain
+	// into the journal and the process exits resumable.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+
 	plan := campaign.Plan{
 		Scenarios:   o.scenarios,
 		Overrides:   o.axes,
@@ -267,6 +305,7 @@ func execute(reg *campaign.Registry, cmd string, args []string) {
 		BaseSeed:    o.seed,
 		Workers:     o.workers,
 		Fingerprint: o.fingerprint,
+		Context:     ctx,
 	}
 
 	if !o.noCache {
@@ -284,7 +323,7 @@ func execute(reg *campaign.Registry, cmd string, args []string) {
 			fmt.Fprintf(os.Stderr, "campaign: opening cache %s: %v\n", dir, err)
 			os.Exit(1)
 		}
-		plan.Cache = store
+		plan.Cache = chaosPlan.WrapStore(store)
 	}
 
 	if o.resume {
@@ -302,21 +341,29 @@ func execute(reg *campaign.Registry, cmd string, args []string) {
 			fmt.Fprintf(os.Stderr, "resuming: %d completed cells replayed from %s\n", n, o.journalPath)
 		}
 	}
+	var jw *journal.Writer
 	if o.journalPath != "" {
 		w, err := journal.Create(o.journalPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campaign: opening journal %s: %v\n", o.journalPath, err)
 			os.Exit(1)
 		}
+		jw = w
 		defer w.Close()
-		plan.Journal = w
+		plan.Journal = chaosPlan.WrapJournal(w, w.Path())
 	}
 	if len(o.remotes) > 0 {
-		plan.Dispatch = &wire.Client{
-			Workers:     o.remotes,
-			Fingerprint: plan.Fingerprint, // Execute fills "" the same way
-			ShardSize:   o.shardSize,
+		client := &wire.Client{
+			Workers:      o.remotes,
+			Fingerprint:  plan.Fingerprint, // Execute fills "" the same way
+			ShardSize:    o.shardSize,
+			Timeout:      o.reqTimeout,
+			StallTimeout: o.stallTO,
 		}
+		if chaosPlan != nil {
+			client.HTTP = &http.Client{Transport: chaosPlan.Transport(nil)}
+		}
+		plan.Dispatch = client
 	}
 
 	start := time.Now()
@@ -326,10 +373,25 @@ func execute(reg *campaign.Registry, cmd string, args []string) {
 
 	res, err := reg.Execute(plan)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "%v\n", err)
+		fmt.Fprintf(os.Stderr, "\n%v\n", err)
+		// os.Exit skips defers — flush the checkpoint stream explicitly
+		// so every drained cell survives to the resume.
+		if jw != nil {
+			jw.Close()
+		}
+		if errors.Is(err, campaign.ErrInterrupted) {
+			if o.journalPath != "" {
+				fmt.Fprintf(os.Stderr, "campaign: resume with: campaign %s -journal %s -resume ...\n",
+					cmd, o.journalPath)
+			}
+			os.Exit(130) // conventional SIGINT exit status
+		}
 		os.Exit(1)
 	}
 	wall := time.Since(start)
+	if chaosPlan != nil && !o.quiet {
+		fmt.Fprintf(os.Stderr, "chaos: faults injected per site: %s\n", chaosPlan)
+	}
 	if !o.quiet {
 		fmt.Fprintf(os.Stderr, "%d runs (%d cells × %d reps; %d cached, %d simulated) in %.1fs\n",
 			res.Runs, len(res.Cells), res.Reps,
@@ -407,15 +469,27 @@ func serve(reg *campaign.Registry, args []string) {
 	listen := fs.String("listen", ":8080", "address to listen on")
 	fingerprint := fs.String("fingerprint", "", "override the code fingerprint offered to clients")
 	workers := fs.Int("workers", 0, "worker goroutines per shard (0 = GOMAXPROCS)")
+	chaosSpec := fs.String("chaos", "", `worker-side fault-injection spec, e.g. "seed=7,serve"`)
 	fs.Parse(args)
+
+	var chaosPlan *chaos.Plan
+	if *chaosSpec != "" {
+		p, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign serve: %v\n", err)
+			os.Exit(2)
+		}
+		chaosPlan = p
+	}
 
 	fp := *fingerprint
 	if fp == "" {
 		fp = campaign.BuildFingerprint()
 	}
 	srv := &wire.Server{Registry: reg, Fingerprint: fp, Workers: *workers}
+	handler := chaosPlan.Middleware(srv.Handler())
 	fmt.Fprintf(os.Stderr, "campaign serve: listening on %s (fingerprint %s)\n", *listen, fp)
-	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+	if err := http.ListenAndServe(*listen, handler); err != nil {
 		fmt.Fprintf(os.Stderr, "campaign serve: %v\n", err)
 		os.Exit(1)
 	}

@@ -48,6 +48,10 @@ var (
 		// sleeps; artifact determinism there is carried by whole-shard
 		// delivery, not ordering.
 		"repro/internal/campaign/wire",
+		// The fault-injection harness deliberately lives on wall time
+		// (injected delays, stalls, crash timing); it is test
+		// infrastructure around the simulator, not simulation code.
+		"repro/internal/chaos",
 		// The analyzer suite itself is not simulation code.
 		"repro/internal/analysis",
 	}

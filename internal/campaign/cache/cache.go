@@ -17,6 +17,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 )
 
 // entryMagic tags (and versions) cache entry files.
@@ -29,11 +30,15 @@ var entryMagic = []byte("HJC1")
 type Store struct {
 	dir string
 
-	// Drops counts entries discarded for corruption, for tests and
-	// diagnostics. Not synchronized beyond the OS-level operations —
-	// treat as advisory.
-	Drops int
+	// drops counts entries discarded for corruption; concurrent readers
+	// may each detect (and count) the same bad entry, so treat the total
+	// as at-least-once diagnostics, not an exact census.
+	drops atomic.Int64
 }
+
+// Drops reports how many entries have been discarded for corruption,
+// for tests and diagnostics.
+func (s *Store) Drops() int { return int(s.drops.Load()) }
 
 // Open creates (if needed) and returns the store rooted at dir.
 func Open(dir string) (*Store, error) {
@@ -54,6 +59,13 @@ func DefaultDir() (string, error) {
 
 // Dir reports the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// EntryPath reports the file a key's entry lives at (whether or not it
+// exists yet), and whether the key is well formed. Fault-injection
+// harnesses use it to corrupt entries at the file level — below the
+// CRC frame — so recovery of torn and bit-flipped entries is exercised
+// end to end.
+func (s *Store) EntryPath(key string) (string, bool) { return s.path(key) }
 
 // path maps a key to its entry file, rejecting anything that is not a
 // plain lower-case hex digest — keys never traverse paths.
@@ -84,7 +96,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	}
 	blob, err := decodeEntry(raw)
 	if err != nil {
-		s.Drops++
+		s.drops.Add(1)
 		os.Remove(p)
 		return nil, false
 	}

@@ -82,8 +82,8 @@ func TestCorruptionIsAMiss(t *testing.T) {
 			t.Fatalf("corruption %d: bad entry not removed", i)
 		}
 	}
-	if s.Drops != len(corruptions) {
-		t.Fatalf("drops = %d, want %d", s.Drops, len(corruptions))
+	if s.Drops() != len(corruptions) {
+		t.Fatalf("drops = %d, want %d", s.Drops(), len(corruptions))
 	}
 }
 

@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -69,8 +71,17 @@ type Plan struct {
 
 	// Dispatch, if set, executes the simulated jobs remotely instead of
 	// on the local worker pool (cache and resume hits are still
-	// resolved locally).
+	// resolved locally). A Dispatch error matching ErrDegraded does not
+	// fail the campaign: the jobs it never delivered run on the local
+	// pool instead.
 	Dispatch Dispatcher
+
+	// Context, if set, bounds the campaign: when it is cancelled the
+	// engine stops scheduling new jobs, drains the ones in flight
+	// (journaling them as usual) and returns an error matching
+	// ErrInterrupted — the campaign is resumable from its journal. Nil
+	// means context.Background().
+	Context context.Context
 }
 
 func (p *Plan) fill() {
@@ -91,6 +102,9 @@ func (p *Plan) fill() {
 	}
 	if p.Fingerprint == "" && (p.Cache != nil || p.Journal != nil || len(p.Resume) > 0) {
 		p.Fingerprint = BuildFingerprint()
+	}
+	if p.Context == nil {
+		p.Context = context.Background()
 	}
 }
 
@@ -295,38 +309,23 @@ func (r *Registry) Execute(p Plan) (*Result, error) {
 		progress()
 	}
 
-	switch {
-	case len(miss) == 0:
-		// Everything came from the cache or the journal.
-	case p.Dispatch != nil:
-		// Fan the remaining jobs out to remote shard workers.
-		specs := make([]JobSpec, len(miss))
-		for k, i := range miss {
-			specs[k] = jobs[i].spec
+	// runLocal shards a job-index list across the local pool. Results
+	// land in a slice indexed by job position, so completion order is
+	// irrelevant. A failed job stops further dispatch (in-flight runs
+	// drain) — a long campaign should not burn every core before
+	// reporting a broken cell. Context cancellation likewise stops
+	// scheduling and drains, so every finished cell reaches the journal.
+	ctx := p.Context
+	runLocal := func(indices []int) {
+		if len(indices) == 0 {
+			return
 		}
-		err := p.Dispatch.Dispatch(specs, func(k int, blob []byte) error {
-			m, derr := DecodeMetrics(blob)
-			if derr != nil {
-				return fmt.Errorf("job %s: %w", specs[k].Label(), derr)
-			}
-			complete(miss[k], m, nil)
-			return nil
-		})
-		if err != nil {
-			return nil, fmt.Errorf("campaign: remote dispatch: %w", err)
-		}
-	default:
-		// Shard the remainder across the local pool. Results land in a
-		// slice indexed by job position, so completion order is
-		// irrelevant. A failed job stops further dispatch (in-flight
-		// runs drain) — a long campaign should not burn every core
-		// before reporting a broken cell.
 		var failed atomic.Bool
 		next := make(chan int)
 		var wg sync.WaitGroup
 		workers := p.Workers
-		if workers > len(miss) {
-			workers = len(miss)
+		if workers > len(indices) {
+			workers = len(indices)
 		}
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -341,18 +340,67 @@ func (r *Registry) Execute(p Plan) (*Result, error) {
 				}
 			}()
 		}
-		for _, i := range miss {
+	feed:
+		for _, i := range indices {
 			if failed.Load() {
 				break
 			}
-			next <- i
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(next)
 		wg.Wait()
 	}
 
+	switch {
+	case len(miss) == 0:
+		// Everything came from the cache or the journal.
+	case p.Dispatch != nil:
+		// Fan the remaining jobs out to remote shard workers.
+		specs := make([]JobSpec, len(miss))
+		for k, i := range miss {
+			specs[k] = jobs[i].spec
+		}
+		err := p.Dispatch.Dispatch(ctx, specs, func(k int, blob []byte) error {
+			m, derr := DecodeMetrics(blob)
+			if derr != nil {
+				return fmt.Errorf("job %s: %w", specs[k].Label(), derr)
+			}
+			complete(miss[k], m, nil)
+			return nil
+		})
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrDegraded) && ctx.Err() == nil:
+			// Every remote worker is unhealthy but the abandoned jobs
+			// were never delivered — run them locally rather than
+			// failing a campaign the machine at hand can finish.
+			mu.Lock()
+			var left []int
+			for _, i := range miss {
+				if outs[i] == nil && errs[i] == nil {
+					left = append(left, i)
+				}
+			}
+			mu.Unlock()
+			runLocal(left)
+		case ctx.Err() != nil:
+			return nil, fmt.Errorf("campaign: %w (completed cells are journaled; rerun with -resume)", ErrInterrupted)
+		default:
+			return nil, fmt.Errorf("campaign: remote dispatch: %w", err)
+		}
+	default:
+		runLocal(miss)
+	}
+
 	if journalErr != nil {
 		return nil, fmt.Errorf("campaign: journal: %w", journalErr)
+	}
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("campaign: %w (completed cells are journaled; rerun with -resume)", ErrInterrupted)
 	}
 	for i, err := range errs {
 		if err != nil {

@@ -1,8 +1,10 @@
 package campaign
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -103,14 +105,29 @@ type JournalWriter interface {
 }
 
 // Dispatcher executes jobs somewhere other than the local worker pool —
-// e.g. fanned out over remote shard workers. Deliver is called once per
-// completed job with the job's index into the jobs slice and its
-// encoded Metrics blob; calls are serialized by the dispatcher.
-// Dispatch returns after every job has been delivered or a job has
-// failed permanently.
+// e.g. fanned out over remote shard workers. Deliver is called at most
+// once per job with the job's index into the jobs slice and its encoded
+// Metrics blob; calls are serialized by the dispatcher. Dispatch
+// returns after every job has been delivered, when a job has failed
+// permanently, when ctx is cancelled, or — with an error matching
+// ErrDegraded — when some jobs could not be delivered because every
+// worker is unhealthy; the engine then falls back to executing the
+// undelivered jobs locally instead of failing the campaign.
 type Dispatcher interface {
-	Dispatch(jobs []JobSpec, deliver func(i int, blob []byte) error) error
+	Dispatch(ctx context.Context, jobs []JobSpec, deliver func(i int, blob []byte) error) error
 }
+
+// ErrDegraded marks a Dispatch error that abandoned jobs recoverably:
+// the jobs were never delivered (so no result is lost or duplicated)
+// and the engine may execute them on the local worker pool. Dispatchers
+// wrap it with fmt.Errorf("...: %w", ErrDegraded).
+var ErrDegraded = errors.New("remote execution degraded")
+
+// ErrInterrupted marks a campaign stopped by Plan.Context cancellation
+// (e.g. SIGINT). Every cell completed before the interrupt has been
+// journaled, so the campaign is resumable; the partial matrix is not
+// aggregated into a Result.
+var ErrInterrupted = errors.New("campaign interrupted")
 
 // ProgressInfo is a campaign progress snapshot: how much of the matrix
 // is done, and how it got done — cells served from the cache (or a

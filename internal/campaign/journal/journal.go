@@ -29,9 +29,10 @@ const recMagic = 0xA7
 // concurrent use — the campaign engine calls it from worker
 // completions.
 type Writer struct {
-	mu sync.Mutex
-	f  *os.File
-	bw *bufio.Writer
+	mu   sync.Mutex
+	f    *os.File
+	bw   *bufio.Writer
+	path string
 }
 
 // Create opens path for appending, creating it if missing.
@@ -40,8 +41,13 @@ func Create(path string) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	return &Writer{f: f, bw: bufio.NewWriter(f)}, nil
+	return &Writer{f: f, bw: bufio.NewWriter(f), path: path}, nil
 }
+
+// Path reports the file the writer appends to. Fault-injection
+// harnesses use it to tear the tail at the file level, below the CRC
+// framing.
+func (w *Writer) Path() string { return w.path }
 
 // Append writes one completed-cell record and flushes it to the OS, so
 // a crash of this process cannot lose an acknowledged cell.

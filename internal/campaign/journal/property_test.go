@@ -1,0 +1,110 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// buildJournal writes n records of varying sizes and returns the raw
+// file bytes, the records in append order, and each record's end offset
+// in the file.
+func buildJournal(t *testing.T, path string, n int) (raw []byte, keys []string, blobs [][]byte, ends []int64) {
+	t.Helper()
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("cell-%02d", i)
+		v := bytes.Repeat([]byte{byte(i + 1)}, 3+i*11)
+		if err := w.Append(k, v); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+		blobs = append(blobs, v)
+		ends = append(ends, fi.Size())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, keys, blobs, ends
+}
+
+// checkPrefix asserts that Replay(path) returned exactly the first want
+// original records, byte-for-byte.
+func checkPrefix(t *testing.T, got map[string][]byte, n, want int, keys []string, blobs [][]byte, label string) {
+	t.Helper()
+	if n != want {
+		t.Fatalf("%s: replayed %d records, want %d", label, n, want)
+	}
+	if len(got) != want {
+		t.Fatalf("%s: %d keys for %d records", label, len(got), n)
+	}
+	for i := 0; i < want; i++ {
+		if !bytes.Equal(got[keys[i]], blobs[i]) {
+			t.Fatalf("%s: record %d damaged in salvage", label, i)
+		}
+	}
+}
+
+// recordsBefore counts the records lying entirely before offset.
+func recordsBefore(ends []int64, offset int64) int {
+	return sort.Search(len(ends), func(i int) bool { return ends[i] > offset })
+}
+
+// TestReplayTruncationProperty truncates the journal at *every* byte
+// offset: replay must recover exactly the records that lie entirely
+// before the cut — never fewer, never garbage.
+func TestReplayTruncationProperty(t *testing.T) {
+	dir := t.TempDir()
+	raw, keys, blobs, ends := buildJournal(t, filepath.Join(dir, "whole.journal"), 6)
+	path := filepath.Join(dir, "cut.journal")
+	for off := 0; off <= len(raw); off++ {
+		if err := os.WriteFile(path, raw[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, n, err := Replay(path)
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		want := recordsBefore(ends, int64(off))
+		checkPrefix(t, got, n, want, keys, blobs, fmt.Sprintf("truncate@%d", off))
+	}
+}
+
+// TestReplayBitFlipProperty flips every byte of the journal in turn:
+// the CRC framing must stop replay at the damaged record, recovering
+// exactly the intact prefix before it.
+func TestReplayBitFlipProperty(t *testing.T) {
+	dir := t.TempDir()
+	raw, keys, blobs, ends := buildJournal(t, filepath.Join(dir, "whole.journal"), 6)
+	path := filepath.Join(dir, "flip.journal")
+	damaged := make([]byte, len(raw))
+	for off := 0; off < len(raw); off++ {
+		copy(damaged, raw)
+		damaged[off] ^= 0xFF
+		if err := os.WriteFile(path, damaged, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, n, err := Replay(path)
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		// The record containing the flipped byte is the first damaged
+		// one; everything before it must survive intact.
+		want := recordsBefore(ends, int64(off))
+		checkPrefix(t, got, n, want, keys, blobs, fmt.Sprintf("flip@%d", off))
+	}
+}

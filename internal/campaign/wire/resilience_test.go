@@ -1,0 +1,313 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// fastClient returns a client tuned for test-scale failure handling:
+// millisecond backoffs and sub-second stall detection.
+func fastClient(workers ...string) *Client {
+	return &Client{
+		Workers:      workers,
+		Fingerprint:  "test-fp",
+		ShardSize:    2,
+		Backoff:      time.Millisecond,
+		MaxBackoff:   20 * time.Millisecond,
+		Timeout:      5 * time.Second,
+		StallTimeout: 200 * time.Millisecond,
+	}
+}
+
+// stallHandler accepts the connection, reads the request, and never
+// responds — the failure mode the pre-hardening client
+// (http.DefaultClient, no timeout) would hang on forever. The body
+// must be drained for net/http to start the background read that
+// cancels r.Context() on client disconnect, which releases the handler
+// goroutine as soon as the client gives up.
+func stallHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	})
+}
+
+// TestStalledWorkerDoesNotHangDispatch is the regression test for the
+// unbounded-hang bug: one worker accepts and never responds, the other
+// is healthy. The campaign must complete in bounded time with the
+// byte-identical artifact — every shard the stalled worker eats times
+// out and lands on the healthy one.
+func TestStalledWorkerDoesNotHangDispatch(t *testing.T) {
+	local, err := testRegistry().Execute(plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := artifact(t, local)
+
+	stalled := httptest.NewServer(stallHandler())
+	defer stalled.Close()
+	good := httptest.NewServer((&Server{Registry: testRegistry(), Fingerprint: "test-fp"}).Handler())
+	defer good.Close()
+
+	p := plan()
+	p.Dispatch = fastClient(stalled.URL, good.URL)
+
+	done := make(chan struct{})
+	var res *campaign.Result
+	var execErr error
+	go func() {
+		res, execErr = testRegistry().Execute(p)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Dispatch wedged behind a stalled worker")
+	}
+	if execErr != nil {
+		t.Fatalf("campaign failed despite a healthy worker: %v", execErr)
+	}
+	if got := artifact(t, res); !bytes.Equal(got, want) {
+		t.Fatal("artifact differs after stalled-worker timeouts")
+	}
+}
+
+// TestOnlyStalledWorkersDegradeToLocal: with every worker stalled, the
+// deadline layer bounds each attempt, the shards exhaust their
+// attempts, and the engine finishes locally — still byte-identical.
+func TestOnlyStalledWorkersDegradeToLocal(t *testing.T) {
+	local, err := testRegistry().Execute(plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := artifact(t, local)
+
+	stalled := httptest.NewServer(stallHandler())
+	defer stalled.Close()
+
+	p := plan()
+	c := fastClient(stalled.URL)
+	c.Attempts = 2 // exhaust quickly; degradation covers the rest
+	p.Dispatch = c
+
+	start := time.Now()
+	res, err := testRegistry().Execute(p)
+	if err != nil {
+		t.Fatalf("campaign failed instead of degrading: %v", err)
+	}
+	if wall := time.Since(start); wall > 30*time.Second {
+		t.Fatalf("degradation took %v — stall deadlines not bounding attempts", wall)
+	}
+	if got := artifact(t, res); !bytes.Equal(got, want) {
+		t.Fatal("degraded artifact differs from local run")
+	}
+}
+
+// TestRequeueShutdownRace is the -race regression for the old
+// dispatcher's requeue/shutdown hole (a retried shard could be dropped
+// when `closed` flipped concurrently, and backoff sleeps delayed
+// worker exit after close). Three flaky workers fail every other
+// shard; every job must still be delivered exactly once, promptly.
+func TestRequeueShutdownRace(t *testing.T) {
+	reg := testRegistry()
+	var flip atomic.Int64
+	flaky := func() *httptest.Server {
+		inner := (&Server{Registry: reg, Fingerprint: "test-fp"}).Handler()
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if flip.Add(1)%2 == 0 {
+				http.Error(w, "flaky", http.StatusInternalServerError)
+				return
+			}
+			inner.ServeHTTP(w, r)
+		}))
+	}
+	w1, w2, w3 := flaky(), flaky(), flaky()
+	defer w1.Close()
+	defer w2.Close()
+	defer w3.Close()
+
+	jobs := make([]campaign.JobSpec, 40)
+	for i := range jobs {
+		jobs[i] = campaign.JobSpec{
+			Scenario: "alpha",
+			Params: []campaign.Param{
+				{Name: "scheme", Value: "a"}, {Name: "rate", Value: "10"},
+			},
+			Rep: i, Seed: uint64(1000 + i),
+			Duration: plan().Duration, Warmup: plan().Warmup,
+		}
+	}
+	c := fastClient(w1.URL, w2.URL, w3.URL)
+	c.ShardSize = 1
+	c.Attempts = 100 // flakiness must never exhaust a shard
+
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	start := time.Now()
+	err := c.Dispatch(context.Background(), jobs, func(i int, blob []byte) error {
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start); wall > 60*time.Second {
+		t.Fatalf("dispatch of 40 flaky shards took %v", wall)
+	}
+	for i := range jobs {
+		if seen[i] != 1 {
+			t.Fatalf("job %d delivered %d times, want exactly once", i, seen[i])
+		}
+	}
+}
+
+// TestHedgeDeliversExactlyOnce: a straggler worker that eventually
+// answers races its hedge on the fast worker. Whichever wins, every job
+// is delivered exactly once and the artifact matches the local run.
+func TestHedgeDeliversExactlyOnce(t *testing.T) {
+	local, err := testRegistry().Execute(plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := artifact(t, local)
+
+	reg := testRegistry()
+	inner := (&Server{Registry: reg, Fingerprint: "test-fp"}).Handler()
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(50 * time.Millisecond) // straggle, then answer
+		inner.ServeHTTP(w, r)
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer((&Server{Registry: reg, Fingerprint: "test-fp"}).Handler())
+	defer fast.Close()
+
+	p := plan()
+	c := fastClient(slow.URL, fast.URL)
+	c.StallTimeout = 5 * time.Second // stragglers answer within the deadline
+	p.Dispatch = c
+	res, err := testRegistry().Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := artifact(t, res); !bytes.Equal(got, want) {
+		t.Fatal("artifact differs under hedged dispatch")
+	}
+	// Exactly-once delivery shows up in the engine's books: one
+	// simulated completion per run, despite duplicated shard execution.
+	if res.Stats.Simulated != local.Runs {
+		t.Fatalf("simulated %d, want %d — a hedge double-delivered", res.Stats.Simulated, local.Runs)
+	}
+}
+
+// TestDispatchHonoursContextCancel: cancelling the campaign context
+// unwedges Dispatch even while every worker stalls, and the error is
+// the context's, not a shard failure.
+func TestDispatchHonoursContextCancel(t *testing.T) {
+	stalled := httptest.NewServer(stallHandler())
+	defer stalled.Close()
+
+	c := fastClient(stalled.URL)
+	c.StallTimeout = time.Minute // only the cancel can end this
+	c.Timeout = time.Minute
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	jobs := []campaign.JobSpec{{Scenario: "alpha", Seed: 1}}
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Dispatch(ctx, jobs, func(i int, blob []byte) error { return nil })
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Dispatch ignored context cancellation")
+	}
+}
+
+// TestBreakerParksDeadWorker: after the breaker threshold, a dead
+// worker's cooldown grows exponentially, so the healthy worker serves
+// nearly all traffic — the dead one sees a bounded trickle of probes,
+// not one failed attempt per shard.
+func TestBreakerParksDeadWorker(t *testing.T) {
+	var deadHits atomic.Int64
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		deadHits.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+	good := httptest.NewServer((&Server{Registry: testRegistry(), Fingerprint: "test-fp"}).Handler())
+	defer good.Close()
+
+	jobs := make([]campaign.JobSpec, 30)
+	for i := range jobs {
+		jobs[i] = campaign.JobSpec{
+			Scenario: "alpha",
+			Params: []campaign.Param{
+				{Name: "scheme", Value: "b"}, {Name: "rate", Value: "50"},
+			},
+			Rep: i, Seed: uint64(2000 + i),
+			Duration: plan().Duration, Warmup: plan().Warmup,
+		}
+	}
+	c := fastClient(dead.URL, good.URL)
+	c.ShardSize = 1
+	c.NoHedge = true // hedges would legitimately probe the dead worker
+	c.Backoff = 5 * time.Millisecond
+	c.MaxBackoff = time.Second
+	c.Attempts = 100
+	if err := c.Dispatch(context.Background(), jobs, func(i int, blob []byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Without a breaker the dead worker would absorb ~one failure per
+	// shard (30+). With exponential cooldown it gets the initial streak
+	// plus a handful of half-open probes.
+	if hits := deadHits.Load(); hits > 15 {
+		t.Fatalf("dead worker hit %d times — breaker not parking it", hits)
+	}
+}
+
+// TestDeterministicJitter: the backoff jitter is a pure function of
+// (seed, worker, streak) — two clients with equal seeds see equal
+// cooldown sequences.
+func TestDeterministicJitter(t *testing.T) {
+	seq := func(seed uint64) []time.Duration {
+		c := &Client{Backoff: 10 * time.Millisecond, MaxBackoff: time.Second, Seed: seed}
+		w := &worker{idx: 3, rng: splitmix64Seed(seed, 3)}
+		var out []time.Duration
+		for i := 0; i < 8; i++ {
+			w.streak++
+			out = append(out, c.backoffFor(w))
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter diverged at step %d: %v != %v", i, a[i], b[i])
+		}
+		if a[i] <= 0 {
+			t.Fatalf("non-positive backoff %v at step %d", a[i], i)
+		}
+	}
+	if c := seq(8); fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}

@@ -1,8 +1,8 @@
 // Package wire is the shard protocol behind `campaign serve`: an HTTP
 // worker that executes batches of campaign cells and streams their
 // encoded Metrics blobs back, plus the client-side dispatcher that fans
-// a campaign's jobs out across such workers with retry on worker
-// failure.
+// a campaign's jobs out across such workers with retry, health
+// tracking, hedging and graceful degradation.
 //
 // Protocol: POST /shard with a JSON ShardRequest (code fingerprint +
 // JobSpec batch). The worker refuses a mismatched fingerprint with 409
@@ -12,12 +12,46 @@
 // order. The blob payload is the same stable Metrics encoding the
 // result cache stores, so remote execution is byte-identical to local
 // by construction.
+//
+// # Failure model
+//
+// The dispatcher assumes workers fail arbitrarily: they may refuse
+// connections, return 5xx, stall before or mid-stream, cut streams
+// short, or crash mid-shard. Its defenses, in order:
+//
+//   - Deadlines. Every shard request carries a context with an overall
+//     timeout plus a stall watchdog that fires when no result line
+//     arrives for StallTimeout — a worker that accepts the connection
+//     and never responds can delay a shard, never wedge Dispatch.
+//   - Retry with exponential backoff. A worker that fails a shard is
+//     ineligible for new work until a deterministic-jittered backoff
+//     (Backoff·2^streak, capped at MaxBackoff) elapses; the shard
+//     requeues for whichever healthy worker frees up first.
+//   - Circuit breaking. The backoff doubles with the worker's
+//     consecutive-failure streak, so a dead worker's cooldown grows
+//     until it is effectively parked; each cooldown expiry admits one
+//     half-open probe shard, and a single success closes the breaker
+//     (streak resets to zero).
+//   - Hedged re-dispatch. An idle healthy worker with nothing pending
+//     re-issues an in-flight shard elsewhere; whole-shard delivery
+//     makes first-result-wins exactly-once — the losing copy is
+//     discarded before any of its jobs are delivered.
+//   - Graceful degradation. A shard that exhausts its attempts is
+//     abandoned, not fatal: Dispatch finishes the rest and returns an
+//     error matching campaign.ErrDegraded, and the engine executes the
+//     abandoned (never-delivered) jobs on the local worker pool.
+//
+// Fingerprint mismatches, job-level scenario errors and delivery errors
+// are permanent — retrying or degrading cannot help, so they fail the
+// campaign loudly.
 package wire
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -115,7 +149,8 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 }
 
 // Client fans campaign jobs out across remote shard workers. It
-// implements campaign.Dispatcher.
+// implements campaign.Dispatcher. The zero value of every tuning field
+// selects a production default; tests shrink the timeouts.
 type Client struct {
 	// Workers are the base URLs of the shard workers, e.g.
 	// "http://host:8080".
@@ -130,33 +165,134 @@ type Client struct {
 	// the HTTP round trip over several simulations.
 	ShardSize int
 
-	// Attempts bounds how many times one shard may be tried before the
-	// campaign fails (default 2×workers+2, so a healthy worker gets a
-	// chance even when every other worker is down).
+	// Attempts bounds how many times one shard may be tried before it
+	// is abandoned to local execution (default 2×workers+2, so a
+	// healthy worker gets a chance even when every other worker is
+	// down).
 	Attempts int
 
-	// HTTP overrides the transport (default http.DefaultClient, no
-	// timeout — simulations legitimately run for minutes).
+	// HTTP overrides the transport. The default client carries no
+	// timeout of its own — per-request deadlines below bound every
+	// attempt instead.
 	HTTP *http.Client
 
-	// Backoff is the pause a worker goroutine takes after a failed
-	// shard before pulling the next one, so a dead worker does not
-	// starve healthy ones of retries (default 100ms).
+	// Timeout caps one shard attempt end to end (default 15 minutes —
+	// simulations legitimately run for minutes, but no single shard
+	// may run forever).
+	Timeout time.Duration
+
+	// StallTimeout caps the silence between result lines (and before
+	// the response header). A worker that accepts the connection and
+	// never produces output fails the attempt after this long (default
+	// 2 minutes).
+	StallTimeout time.Duration
+
+	// Backoff is the base of the per-worker exponential backoff after a
+	// failed shard (default 100ms, doubling per consecutive failure).
 	Backoff time.Duration
+
+	// MaxBackoff caps the exponential backoff (default 5s).
+	MaxBackoff time.Duration
+
+	// NoHedge disables hedged re-dispatch of in-flight shards by idle
+	// workers. Hedging is on by default: it turns a straggling worker
+	// into a latency blip instead of a campaign-long tail.
+	NoHedge bool
+
+	// Seed feeds the deterministic backoff jitter (default 1). Two
+	// clients with the same seed and the same failure sequence back off
+	// identically.
+	Seed uint64
 }
 
+const (
+	defaultTimeout      = 15 * time.Minute
+	defaultStallTimeout = 2 * time.Minute
+	defaultBackoff      = 100 * time.Millisecond
+	defaultMaxBackoff   = 5 * time.Second
+	breakerAfter        = 3 // consecutive failures before the cooldown is "open"
+	maxInflightCopies   = 2 // a shard plus at most one hedge
+)
+
+// permanentError marks failures that retrying on another worker cannot
+// fix: fingerprint mismatches, job-level scenario errors, delivery
+// errors. They fail the campaign instead of burning attempts.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+func isPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// shard is one unit of dispatch: a contiguous job slice plus its
+// scheduling state, all guarded by the dispatcher mutex.
 type shard struct {
 	base     int // index of the shard's first job in the dispatch slice
 	jobs     []campaign.JobSpec
-	attempts int
+	attempts int   // failed attempts with no other copy in flight
+	inflight int   // copies currently running (primary + hedges)
+	runners  []int // worker indices currently running a copy
+	done     bool  // delivered or abandoned — no further scheduling
 }
 
-// Dispatch implements campaign.Dispatcher: it splits jobs into shards,
-// runs one puller goroutine per worker, and retries failed shards on
-// whichever worker frees up next. A shard's results are delivered only
-// after the whole shard succeeds, so a retried shard never delivers a
-// job twice; deliver calls are serialized.
-func (c *Client) Dispatch(jobs []campaign.JobSpec, deliver func(i int, blob []byte) error) error {
+// worker is the per-URL health record: the consecutive-failure streak
+// drives the exponential cooldown that doubles as a circuit breaker.
+type worker struct {
+	idx       int
+	url       string
+	streak    int       // consecutive failures
+	notBefore time.Time // ineligible until (backoff / breaker cooldown)
+	rng       uint64    // deterministic jitter state
+}
+
+// dispatchState is everything the puller goroutines share.
+type dispatchState struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	shards  []*shard // the whole matrix, for hedge scans
+	pending []*shard // ready to (re)run, FIFO
+	head    int
+
+	remaining int // shards neither delivered nor abandoned
+	abandoned int // shards that exhausted their attempts
+	lastErr   error
+	firstErr  error // permanent failure — stop everything
+	stopped   bool  // context cancelled
+
+	timers []*time.Timer
+}
+
+func (st *dispatchState) wakeAfter(d time.Duration) {
+	st.timers = append(st.timers, time.AfterFunc(d, st.cond.Broadcast))
+}
+
+func (st *dispatchState) finished() bool {
+	return st.remaining == 0 || st.firstErr != nil || st.stopped
+}
+
+// popPending returns the next queued shard, or nil.
+func (st *dispatchState) popPending() *shard {
+	for st.head < len(st.pending) {
+		sh := st.pending[st.head]
+		st.pending[st.head] = nil
+		st.head++
+		if !sh.done {
+			return sh
+		}
+	}
+	return nil
+}
+
+// Dispatch implements campaign.Dispatcher: it splits jobs into shards
+// and runs one puller goroutine per worker against a shared scheduling
+// state. A shard's results are delivered only after the whole shard
+// succeeds, so a retried or hedged shard never delivers a job twice;
+// deliver calls are serialized. See the package comment for the
+// failure model.
+func (c *Client) Dispatch(ctx context.Context, jobs []campaign.JobSpec, deliver func(i int, blob []byte) error) error {
 	if len(c.Workers) == 0 {
 		return fmt.Errorf("wire: no workers configured")
 	}
@@ -171,10 +307,6 @@ func (c *Client) Dispatch(jobs []campaign.JobSpec, deliver func(i int, blob []by
 	if attempts <= 0 {
 		attempts = 2*len(c.Workers) + 2
 	}
-	backoff := c.Backoff
-	if backoff <= 0 {
-		backoff = 100 * time.Millisecond
-	}
 
 	var shards []*shard
 	for base := 0; base < len(jobs); base += size {
@@ -185,100 +317,276 @@ func (c *Client) Dispatch(jobs []campaign.JobSpec, deliver func(i int, blob []by
 		shards = append(shards, &shard{base: base, jobs: jobs[base:end]})
 	}
 
-	// The queue is buffered for every possible attempt, so requeueing a
-	// failed shard never blocks a worker goroutine.
-	queue := make(chan *shard, len(shards)*attempts)
-	for _, sh := range shards {
-		queue <- sh
-	}
-	var (
-		mu        sync.Mutex // guards everything below, and serializes deliver
-		remaining = len(shards)
-		firstErr  error
-		closed    bool
-	)
-	closeQueue := func() {
-		if !closed {
-			closed = true
-			close(queue)
-		}
-	}
+	st := &dispatchState{shards: shards, pending: append([]*shard(nil), shards...), remaining: len(shards)}
+	st.cond = sync.NewCond(&st.mu)
 
+	// Everything in flight shares one cancellable context: a permanent
+	// failure, completion of the whole matrix, or cancellation of the
+	// parent aborts the in-flight HTTP attempts so Dispatch returns
+	// promptly instead of draining a 15-minute timeout.
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stopWatch := context.AfterFunc(ctx, func() {
+		st.mu.Lock()
+		st.stopped = true
+		st.mu.Unlock()
+		st.cond.Broadcast()
+	})
+	defer stopWatch()
+
+	seed := c.Seed
+	if seed == 0 {
+		seed = 1
+	}
 	var wg sync.WaitGroup
-	for _, url := range c.Workers {
+	for i, url := range c.Workers {
+		w := &worker{idx: i, url: url, rng: splitmix64Seed(seed, uint64(i))}
 		wg.Add(1)
-		go func(url string) {
+		go func() {
 			defer wg.Done()
-			for sh := range queue {
-				blobs, err := c.runShard(url, sh)
-				mu.Lock()
-				switch {
-				case err == nil:
-					for k, blob := range blobs {
-						if derr := deliver(sh.base+k, blob); derr != nil {
-							// A delivery error is deterministic (bad blob,
-							// full disk) — retrying elsewhere cannot help.
-							if firstErr == nil {
-								firstErr = derr
-							}
-							closeQueue()
-							break
-						}
-					}
-					remaining--
-					if remaining == 0 {
-						closeQueue()
-					}
-					mu.Unlock()
-				case sh.attempts+1 >= attempts:
-					if firstErr == nil {
-						firstErr = fmt.Errorf("shard at job %d failed %d times, last on %s: %w",
-							sh.base, sh.attempts+1, url, err)
-					}
-					closeQueue()
-					mu.Unlock()
-				default:
-					sh.attempts++
-					if !closed {
-						queue <- sh // retry on whichever worker frees up
-					}
-					mu.Unlock()
-					time.Sleep(backoff) // let healthier workers grab the retry
+			for {
+				sh := c.next(st, w)
+				if sh == nil {
+					return
 				}
+				blobs, err := c.runShard(rctx, w.url, sh)
+				c.complete(st, w, sh, attempts, blobs, err, deliver, cancel)
 			}
-		}(url)
+		}()
 	}
 	wg.Wait()
-	return firstErr
+
+	st.mu.Lock()
+	for _, t := range st.timers {
+		t.Stop()
+	}
+	firstErr, abandoned, lastErr := st.firstErr, st.abandoned, st.lastErr
+	st.mu.Unlock()
+
+	switch {
+	case firstErr != nil:
+		return firstErr
+	case ctx.Err() != nil:
+		return fmt.Errorf("wire: %w", ctx.Err())
+	case abandoned > 0:
+		return fmt.Errorf("wire: %d/%d shards abandoned after %d attempts each (last error: %v): %w",
+			abandoned, len(shards), attempts, lastErr, campaign.ErrDegraded)
+	}
+	return nil
+}
+
+// next blocks until the worker has something to do: a pending shard, a
+// hedge of an in-flight shard, or nothing ever again (nil return). A
+// worker inside its backoff cooldown waits it out — the timer broadcast
+// wakes it for the half-open probe.
+func (c *Client) next(st *dispatchState, w *worker) *shard {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		if st.finished() {
+			return nil
+		}
+		if d := time.Until(w.notBefore); d > 0 {
+			st.wakeAfter(d)
+			st.cond.Wait()
+			continue
+		}
+		if sh := st.popPending(); sh != nil {
+			sh.inflight++
+			sh.runners = append(sh.runners, w.idx)
+			return sh
+		}
+		if !c.NoHedge {
+			if sh := hedgeCandidate(st, w); sh != nil {
+				sh.inflight++
+				sh.runners = append(sh.runners, w.idx)
+				return sh
+			}
+		}
+		st.cond.Wait()
+	}
+}
+
+// hedgeCandidate picks an in-flight shard this worker may duplicate:
+// not done, below the copy cap, and not already being run by this
+// worker. Among candidates the least-duplicated wins.
+func hedgeCandidate(st *dispatchState, w *worker) *shard {
+	var best *shard
+	// The pending queue is empty here (popPending ran first), so every
+	// live shard is in flight; scan for the least-duplicated one.
+	for _, sh := range st.shards {
+		if sh.done || sh.inflight == 0 || sh.inflight >= maxInflightCopies {
+			continue
+		}
+		mine := false
+		for _, r := range sh.runners {
+			if r == w.idx {
+				mine = true
+				break
+			}
+		}
+		if mine {
+			continue
+		}
+		if best == nil || sh.inflight < best.inflight {
+			best = sh
+		}
+	}
+	return best
+}
+
+// complete folds one attempt's outcome into the shared state. Exactly
+// one copy of a shard delivers; the rest are discarded before touching
+// deliver.
+func (c *Client) complete(st *dispatchState, w *worker, sh *shard, attempts int,
+	blobs [][]byte, err error, deliver func(i int, blob []byte) error, cancel context.CancelFunc) {
+	st.mu.Lock()
+	defer func() {
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	}()
+
+	sh.inflight--
+	for k, r := range sh.runners {
+		if r == w.idx {
+			sh.runners = append(sh.runners[:k], sh.runners[k+1:]...)
+			break
+		}
+	}
+	if sh.done || st.firstErr != nil || st.stopped {
+		return // hedge lost, or the dispatch is already over
+	}
+
+	if err == nil {
+		sh.done = true
+		st.remaining--
+		w.streak = 0
+		w.notBefore = time.Time{}
+		for k, blob := range blobs {
+			if derr := deliver(sh.base+k, blob); derr != nil {
+				// A delivery error is deterministic (bad blob, full
+				// disk) — retrying elsewhere cannot help.
+				st.firstErr = derr
+				break
+			}
+		}
+		if st.finished() {
+			cancel() // release any in-flight hedges
+		}
+		return
+	}
+
+	if isPermanent(err) {
+		st.firstErr = err
+		cancel()
+		return
+	}
+
+	// Retryable failure: grow this worker's cooldown (its circuit
+	// breaker) and decide the shard's fate. Attempts only count when no
+	// other copy is still running — a dead hedger must not abandon a
+	// shard a healthy worker is mid-way through.
+	st.lastErr = err
+	w.streak++
+	w.notBefore = time.Now().Add(c.backoffFor(w))
+	if sh.inflight > 0 {
+		return // the surviving copy owns the shard now
+	}
+	sh.attempts++
+	if sh.attempts >= attempts {
+		sh.done = true
+		st.abandoned++
+		st.remaining--
+		if st.finished() {
+			cancel()
+		}
+		return
+	}
+	st.pending = append(st.pending, sh)
+}
+
+// backoffFor derives the worker's current cooldown: exponential in its
+// failure streak, capped, with deterministic jitter in [½·b, b) so
+// several workers failing in lockstep don't retry in lockstep.
+func (c *Client) backoffFor(w *worker) time.Duration {
+	base := c.Backoff
+	if base <= 0 {
+		base = defaultBackoff
+	}
+	max := c.MaxBackoff
+	if max <= 0 {
+		max = defaultMaxBackoff
+	}
+	b := base
+	for i := 1; i < w.streak && b < max; i++ {
+		b *= 2
+	}
+	if b > max {
+		b = max
+	}
+	if b <= 1 {
+		return b
+	}
+	w.rng = splitmix64(w.rng)
+	half := b / 2
+	return half + time.Duration(w.rng%uint64(half))
 }
 
 // runShard posts one shard to one worker and collects its results,
 // positionally. Any transport error, non-200 status, malformed line,
 // job-level error, or short response fails the whole shard — partial
 // results are discarded, so a retry on another worker starts clean.
-func (c *Client) runShard(url string, sh *shard) ([][]byte, error) {
+// The attempt is bounded twice over: an overall timeout, and a stall
+// watchdog that cancels the request when no result line arrives for
+// StallTimeout.
+func (c *Client) runShard(ctx context.Context, url string, sh *shard) ([][]byte, error) {
 	body, err := json.Marshal(ShardRequest{Fingerprint: c.Fingerprint, Jobs: sh.jobs})
 	if err != nil {
 		return nil, err
 	}
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = defaultTimeout
+	}
+	stall := c.StallTimeout
+	if stall <= 0 {
+		stall = defaultStallTimeout
+	}
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	watchdog := time.AfterFunc(stall, cancel)
+	defer watchdog.Stop()
+
 	httpc := c.HTTP
 	if httpc == nil {
 		httpc = http.DefaultClient
 	}
-	resp, err := httpc.Post(url+"/shard", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, url+"/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := httpc.Do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
+	watchdog.Reset(stall)
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("worker %s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+		werr := fmt.Errorf("worker %s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+		if resp.StatusCode == http.StatusConflict {
+			// Fingerprint mismatch: a configuration error, not a flake.
+			return nil, &permanentError{werr}
+		}
+		return nil, werr
 	}
 	blobs := make([][]byte, len(sh.jobs))
 	got := 0
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
 	for sc.Scan() {
+		watchdog.Reset(stall)
 		line := sc.Bytes()
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
@@ -291,7 +599,7 @@ func (c *Client) runShard(url string, sh *shard) ([][]byte, error) {
 			return nil, fmt.Errorf("worker %s: bogus result index %d", url, res.Index)
 		}
 		if res.Err != "" {
-			return nil, fmt.Errorf("job %s: %s", sh.jobs[res.Index].Label(), res.Err)
+			return nil, &permanentError{fmt.Errorf("job %s: %s", sh.jobs[res.Index].Label(), res.Err)}
 		}
 		blobs[res.Index] = res.Blob
 		got++
@@ -303,4 +611,20 @@ func (c *Client) runShard(url string, sh *shard) ([][]byte, error) {
 		return nil, fmt.Errorf("worker %s: %d/%d results before stream ended", url, got, len(sh.jobs))
 	}
 	return blobs, nil
+}
+
+// splitmix64Seed derives an independent jitter stream per worker from
+// the client seed.
+func splitmix64Seed(seed, idx uint64) uint64 {
+	return splitmix64(seed ^ (idx+1)*0x9E3779B97F4A7C15)
+}
+
+// splitmix64 is the standard 64-bit mixer — tiny, seedable and
+// deterministic, so backoff jitter never depends on ambient randomness.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
 }

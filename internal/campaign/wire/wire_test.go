@@ -2,6 +2,8 @@ package wire
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -138,9 +140,17 @@ func TestRetryOnWorkerFailure(t *testing.T) {
 	}
 }
 
-// TestAllWorkersDownFails: when no worker can serve, Dispatch reports
-// the failure instead of hanging.
-func TestAllWorkersDownFails(t *testing.T) {
+// TestAllWorkersDownDegradesToLocal: when no worker can serve, the
+// dispatcher abandons the shards with ErrDegraded and the engine
+// finishes the campaign on the local pool — byte-identical to a local
+// run, not a failure.
+func TestAllWorkersDownDegradesToLocal(t *testing.T) {
+	local, err := testRegistry().Execute(plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := artifact(t, local)
+
 	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "nope", http.StatusInternalServerError)
 	}))
@@ -148,8 +158,38 @@ func TestAllWorkersDownFails(t *testing.T) {
 
 	p := plan()
 	p.Dispatch = &Client{Workers: []string{dead.URL}, Fingerprint: "test-fp", Backoff: 1}
-	if _, err := testRegistry().Execute(p); err == nil {
-		t.Fatal("campaign succeeded with no live workers")
+	res, err := testRegistry().Execute(p)
+	if err != nil {
+		t.Fatalf("campaign failed instead of degrading to local execution: %v", err)
+	}
+	if got := artifact(t, res); !bytes.Equal(got, want) {
+		t.Fatal("degraded artifact differs from local run")
+	}
+	if res.Stats.Simulated != local.Runs {
+		t.Fatalf("simulated %d runs after degradation, want %d", res.Stats.Simulated, local.Runs)
+	}
+}
+
+// TestDispatchAloneReturnsErrDegraded: the raw Dispatcher contract —
+// with every worker down, Dispatch returns an error matching
+// campaign.ErrDegraded without delivering anything, so the caller knows
+// the jobs are intact and locally runnable.
+func TestDispatchAloneReturnsErrDegraded(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+
+	c := &Client{Workers: []string{dead.URL}, Fingerprint: "test-fp", Backoff: 1, ShardSize: 1}
+	jobs := []campaign.JobSpec{{Scenario: "alpha", Seed: 1}, {Scenario: "alpha", Seed: 2}}
+	delivered := 0
+	err := c.Dispatch(context.Background(), jobs, func(i int, blob []byte) error {
+		delivered++
+		return nil
+	})
+	if !errors.Is(err, campaign.ErrDegraded) {
+		t.Fatalf("err = %v, want ErrDegraded", err)
+	}
+	if delivered != 0 {
+		t.Fatalf("%d jobs delivered by a dispatcher with no live workers", delivered)
 	}
 }
 

@@ -1,0 +1,268 @@
+// Package chaos is the deterministic fault-injection layer behind the
+// campaign stack's chaos gate. A Plan — derived from a single seed —
+// wraps the three campaign.Execute seams (BlobStore, JournalWriter,
+// Dispatcher), the client-side HTTP transport, and the serve-side
+// worker handler, injecting the failure classes the stack claims to
+// survive:
+//
+//	seam      classes                         realized as
+//	cache     torn, flip, drop, enospc, miss  file-level truncation / bit
+//	                                          flips below the CRC frame,
+//	                                          silently dropped writes,
+//	                                          Put errors, spurious misses
+//	journal   tear, skip                      torn tails below the CRC
+//	                                          framing, lost appends
+//	http      reset, delay, stall, 500, cut   transport errors, latency,
+//	                                          requests that never return,
+//	                                          5xx storms, mid-stream cuts
+//	serve     500, stall, cut, crash          worker-side storms, hangs,
+//	                                          aborted streams, crashes
+//	dispatch  delay, hold, degrade            slow / out-of-order / given-
+//	                                          up delivery at the engine
+//	                                          seam
+//
+// Every fault is *survivable by construction*: injection at each site
+// stops after Limit faults, faults only ever destroy or delay work
+// (never silently alter a result — corruption always lands below a CRC
+// or a structural check that turns it into a recompute), and the
+// resilient layers above (cache recompute, journal prefix salvage,
+// wire retry/degrade) must therefore converge on artifacts
+// byte-identical to a fault-free run. That identity is the chaos gate
+// CI enforces.
+//
+// Determinism: each site draws from its own splitmix64 stream seeded
+// from (Plan.Seed, site name), so the *sequence* of fault decisions at
+// a site is a pure function of the seed. Under concurrency the
+// assignment of the n-th decision to a particular operation follows
+// the scheduler, which is exactly the regime the byte-identity
+// contract must hold in.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Plan is a seeded fault-injection campaign: which seams inject, how
+// often, and how much. The zero Plan injects nothing.
+type Plan struct {
+	// Seed derives every site's fault stream. Two runs with equal
+	// seeds inject identical fault sequences at every site.
+	Seed uint64
+
+	// Rate is the per-mille probability that one operation at an
+	// enabled site draws a fault (default 250 — one operation in four).
+	Rate int
+
+	// Limit caps the faults injected per site (default 6). The cap is
+	// what makes every plan survivable: after it, the site is quiet and
+	// retries/recomputes must converge.
+	Limit int
+
+	// MaxDelay bounds injected delays (default 100ms).
+	MaxDelay time.Duration
+
+	// Sites enables seams by name: "cache", "journal", "http",
+	// "serve", "dispatch".
+	Sites map[string]bool
+
+	mu    sync.Mutex
+	sites map[string]*injector
+}
+
+// Parse builds a Plan from a comma-separated spec, e.g.
+//
+//	seed=7,rate=300,limit=8,maxdelay=50ms,cache,journal
+//	seed=3,http
+//	seed=5,serve
+//
+// Bare words enable seams; key=value pairs tune the plan.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{Sites: map[string]bool{}}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if key, val, ok := strings.Cut(tok, "="); ok {
+			switch key {
+			case "seed":
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("chaos: bad seed %q: %v", val, err)
+				}
+				p.Seed = n
+			case "rate":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 || n > 1000 {
+					return nil, fmt.Errorf("chaos: rate must be 0..1000 per-mille, got %q", val)
+				}
+				p.Rate = n
+			case "limit":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("chaos: bad limit %q", val)
+				}
+				p.Limit = n
+			case "maxdelay":
+				d, err := time.ParseDuration(val)
+				if err != nil {
+					return nil, fmt.Errorf("chaos: bad maxdelay %q: %v", val, err)
+				}
+				p.MaxDelay = d
+			default:
+				return nil, fmt.Errorf("chaos: unknown option %q", key)
+			}
+			continue
+		}
+		switch tok {
+		case "cache", "journal", "http", "serve", "dispatch":
+			p.Sites[tok] = true
+		default:
+			return nil, fmt.Errorf("chaos: unknown seam %q (have cache, journal, http, serve, dispatch)", tok)
+		}
+	}
+	return p, nil
+}
+
+func (p *Plan) rate() int {
+	if p.Rate <= 0 {
+		return 250
+	}
+	return p.Rate
+}
+
+func (p *Plan) limit() int {
+	if p.Limit <= 0 {
+		return 6
+	}
+	return p.Limit
+}
+
+func (p *Plan) maxDelay() time.Duration {
+	if p.MaxDelay <= 0 {
+		return 100 * time.Millisecond
+	}
+	return p.MaxDelay
+}
+
+// enabled reports whether a seam injects under this plan. A nil plan
+// injects nothing, so wrappers can be applied unconditionally.
+func (p *Plan) enabled(seam string) bool {
+	return p != nil && p.Sites[seam]
+}
+
+// site returns (creating on first use) the named seam's injector.
+func (p *Plan) site(name string) *injector {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.sites == nil {
+		p.sites = map[string]*injector{}
+	}
+	in := p.sites[name]
+	if in == nil {
+		in = &injector{
+			rng:   splitmix64(p.Seed ^ hashString(name)),
+			rate:  p.rate(),
+			limit: p.limit(),
+		}
+		p.sites[name] = in
+	}
+	return in
+}
+
+// Report summarises injected-fault counts per site, for logging and
+// for tests asserting faults actually fired.
+func (p *Plan) Report() map[string]int {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int, len(p.sites))
+	for name, in := range p.sites {
+		in.mu.Lock()
+		out[name] = in.injected
+		in.mu.Unlock()
+	}
+	return out
+}
+
+// String renders the report compactly ("cache:4 http:6"), sorted.
+func (p *Plan) String() string {
+	rep := p.Report()
+	names := make([]string, 0, len(rep))
+	for n := range rep {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s:%d", n, rep[n])
+	}
+	return strings.Join(parts, " ")
+}
+
+// injector is one seam's deterministic fault stream.
+type injector struct {
+	mu       sync.Mutex
+	rng      uint64
+	rate     int
+	limit    int
+	injected int
+}
+
+// draw decides whether the next operation at this site faults and, if
+// so, which class (an index into the caller's class list). The decision
+// sequence is a pure function of the plan seed and site name.
+func (in *injector) draw(classes int) (int, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.injected >= in.limit {
+		return 0, false
+	}
+	in.rng = splitmix64(in.rng)
+	if int(in.rng%1000) >= in.rate {
+		return 0, false
+	}
+	in.rng = splitmix64(in.rng)
+	in.injected++
+	return int(in.rng % uint64(classes)), true
+}
+
+// amount returns a deterministic value in [1, max] for sizing a fault
+// (delay length, cut position, torn bytes).
+func (in *injector) amount(max int64) int64 {
+	if max <= 1 {
+		return 1
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rng = splitmix64(in.rng)
+	return 1 + int64(in.rng%uint64(max))
+}
+
+// hashString is FNV-1a, inlined so the fault streams don't depend on
+// hash/fnv internals staying stable.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix64 is the standard 64-bit mixer: tiny, seedable, and free of
+// global state, so fault decisions never consult ambient randomness.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParse(t *testing.T) {
+	p, err := Parse("seed=7,rate=300,limit=8,maxdelay=50ms,cache,journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.Rate != 300 || p.Limit != 8 || p.MaxDelay != 50*time.Millisecond {
+		t.Fatalf("parsed plan = %+v", p)
+	}
+	if !p.Sites["cache"] || !p.Sites["journal"] || p.Sites["http"] {
+		t.Fatalf("sites = %v", p.Sites)
+	}
+
+	for _, bad := range []string{
+		"seed=x", "rate=1500", "rate=-1", "limit=x", "maxdelay=fast",
+		"bogus-seam", "wat=1",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+
+	empty, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.enabled("cache") || empty.enabled("http") {
+		t.Fatal("empty spec enabled a seam")
+	}
+}
+
+// TestDrawDeterminism: two plans with the same seed produce identical
+// fault-decision sequences at every site; a different seed diverges.
+func TestDrawDeterminism(t *testing.T) {
+	seq := func(seed uint64, site string, n int) []int {
+		p := &Plan{Seed: seed, Limit: n, Sites: map[string]bool{site: true}}
+		in := p.site(site)
+		out := make([]int, 0, n)
+		for i := 0; i < 4*n; i++ {
+			class, ok := in.draw(5)
+			if !ok {
+				class = -1
+			}
+			out = append(out, class)
+		}
+		return out
+	}
+	a := seq(11, "cache", 32)
+	b := seq(11, "cache", 32)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := seq(12, "cache", 32)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical draw sequences")
+	}
+	// Different sites under one seed must not share a stream either.
+	d := seq(11, "journal", 32)
+	same = true
+	for i := range a {
+		if a[i] != d[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different sites share one fault stream")
+	}
+}
+
+// TestLimitCapsInjection: a site stops injecting after Limit faults —
+// the property that makes every plan survivable.
+func TestLimitCapsInjection(t *testing.T) {
+	p := &Plan{Seed: 3, Rate: 1000, Limit: 4, Sites: map[string]bool{"cache": true}}
+	in := p.site("cache")
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		if _, ok := in.draw(3); ok {
+			fired++
+		}
+	}
+	if fired != 4 {
+		t.Fatalf("injected %d faults with Limit=4", fired)
+	}
+	if got := p.Report()["cache"]; got != 4 {
+		t.Fatalf("Report says %d, want 4", got)
+	}
+}
+
+// TestNilPlanIsInert: every wrapper applied through a nil plan must be
+// the identity, so call sites can wrap unconditionally.
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if p.enabled("cache") {
+		t.Fatal("nil plan enabled a seam")
+	}
+	if p.Report() != nil {
+		t.Fatal("nil plan reported sites")
+	}
+	if p.WrapStore(nil) != nil {
+		t.Fatal("nil plan wrapped a nil store into something")
+	}
+	if p.WrapJournal(nil, "") != nil {
+		t.Fatal("nil plan wrapped a nil journal into something")
+	}
+}
+
+func TestAmountBounds(t *testing.T) {
+	p := &Plan{Seed: 9}
+	in := p.site("x")
+	for i := 0; i < 1000; i++ {
+		v := in.amount(37)
+		if v < 1 || v > 37 {
+			t.Fatalf("amount(37) = %d out of [1,37]", v)
+		}
+	}
+	if v := in.amount(1); v != 1 {
+		t.Fatalf("amount(1) = %d", v)
+	}
+	if v := in.amount(0); v != 1 {
+		t.Fatalf("amount(0) = %d", v)
+	}
+}
+
+func TestString(t *testing.T) {
+	p := &Plan{Seed: 1, Rate: 1000, Limit: 2,
+		Sites: map[string]bool{"cache": true, "journal": true}}
+	p.site("cache").draw(2)
+	p.site("journal").draw(2)
+	got := p.String()
+	if got != "cache:1 journal:1" {
+		t.Fatalf("String() = %q", got)
+	}
+}

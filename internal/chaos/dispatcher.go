@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// Dispatcher is a campaign.Dispatcher that executes jobs locally and
+// sequentially while injecting delivery-seam faults: slow deliveries,
+// out-of-order deliveries, and mid-campaign degradation. It exercises
+// the engine's dispatch seam without any network, so the engine's
+// ordering and fallback contracts can be tested in isolation.
+type Dispatcher struct {
+	Registry *campaign.Registry
+	Plan     *Plan
+}
+
+// Dispatch fault classes.
+const (
+	dispatchDelay   = iota // delivery delayed
+	dispatchHold           // delivery buffered and flushed out of order
+	dispatchDegrade        // dispatcher gives up; remaining jobs undelivered
+	dispatchClasses
+)
+
+func (d *Dispatcher) Dispatch(ctx context.Context, jobs []campaign.JobSpec, deliver func(i int, blob []byte) error) error {
+	var in *injector
+	var maxDelay time.Duration
+	if d.Plan.enabled("dispatch") {
+		in = d.Plan.site("dispatch")
+		maxDelay = d.Plan.maxDelay()
+	}
+	type held struct {
+		i    int
+		blob []byte
+	}
+	var holds []held
+	flush := func() error {
+		// Reverse order: the engine must accept deliveries in any order.
+		for k := len(holds) - 1; k >= 0; k-- {
+			if err := deliver(holds[k].i, holds[k].blob); err != nil {
+				return err
+			}
+		}
+		holds = nil
+		return nil
+	}
+	for i, job := range jobs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		class := -1
+		if in != nil {
+			if c, ok := in.draw(dispatchClasses); ok {
+				class = c
+			}
+		}
+		if class == dispatchDegrade {
+			return fmt.Errorf("chaos: dispatcher gave up with %d jobs undelivered: %w",
+				len(jobs)-i, campaign.ErrDegraded)
+		}
+		if class == dispatchDelay {
+			d := time.Duration(in.amount(int64(maxDelay)))
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		m, err := d.Registry.RunJob(job)
+		if err != nil {
+			return fmt.Errorf("chaos dispatcher: job %d: %w", i, err)
+		}
+		blob, err := campaign.EncodeMetrics(m)
+		if err != nil {
+			return fmt.Errorf("chaos dispatcher: job %d: %w", i, err)
+		}
+		if class == dispatchHold {
+			holds = append(holds, held{i: i, blob: blob})
+			continue
+		}
+		if err := deliver(i, blob); err != nil {
+			return fmt.Errorf("chaos dispatcher: deliver %d: %w", i, err)
+		}
+	}
+	return flush()
+}

@@ -1,0 +1,232 @@
+package chaos
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/campaign/cache"
+	"repro/internal/campaign/journal"
+	"repro/internal/campaign/wire"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// The gate tests are the chaos contract in miniature: a campaign run
+// under any survivable seeded fault plan must produce artifacts
+// byte-identical to a fault-free run. CI runs the same check end to end
+// through cmd/campaign.
+
+func testRegistry() *campaign.Registry {
+	r := campaign.NewRegistry()
+	r.Register(&campaign.Scenario{
+		Name: "alpha",
+		Desc: "seed-dependent scalar and distribution",
+		Axes: []campaign.Axis{
+			{Name: "scheme", Values: []string{"a", "b"}},
+			{Name: "rate", Values: []string{"10", "50"}},
+		},
+		Run: func(ctx campaign.Ctx) (*campaign.Metrics, error) {
+			rate, err := strconv.Atoi(ctx.Param("rate"))
+			if err != nil {
+				return nil, err
+			}
+			m := campaign.NewMetrics()
+			m.Add("seed-lo", float64(ctx.Seed%1000))
+			m.Add("rate-x2", float64(2*rate))
+			var s stats.Sample
+			x := ctx.Seed
+			for i := 0; i < 40; i++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				s.Add(float64(x % 1009))
+			}
+			m.AddSample("dist", &s)
+			return m, nil
+		},
+	})
+	return r
+}
+
+func basePlan() campaign.Plan {
+	return campaign.Plan{
+		Reps: 3, Duration: 2 * sim.Second, Warmup: sim.Second,
+		BaseSeed: 9, Workers: 4, Fingerprint: "test-fp",
+	}
+}
+
+func artifact(t *testing.T, res *campaign.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func faultFree(t *testing.T) []byte {
+	t.Helper()
+	res, err := testRegistry().Execute(basePlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return artifact(t, res)
+}
+
+// TestCacheChaosGate: torn, flipped, dropped and unwritable cache
+// entries never change the artifact — cold run, then a warm run over
+// the (possibly corrupted) cache directory, both byte-identical to the
+// fault-free run.
+func TestCacheChaosGate(t *testing.T) {
+	want := faultFree(t)
+	dir := t.TempDir()
+	for round, seed := range []uint64{1, 2} {
+		store, err := cache.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chaosPlan := &Plan{Seed: seed, Rate: 700, Limit: 10,
+			Sites: map[string]bool{"cache": true}}
+		p := basePlan()
+		p.Cache = chaosPlan.WrapStore(store)
+		res, err := testRegistry().Execute(p)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got := artifact(t, res); !bytes.Equal(got, want) {
+			t.Fatalf("round %d: artifact differs under cache chaos (%s)", round, chaosPlan)
+		}
+		if chaosPlan.Report()["cache"] == 0 {
+			t.Fatalf("round %d: no cache faults fired — gate vacuous", round)
+		}
+	}
+}
+
+// TestJournalChaosGate: torn tails and lost appends in the checkpoint
+// stream cost only re-execution — the interrupted-and-resumed campaign
+// still produces the fault-free artifact.
+func TestJournalChaosGate(t *testing.T) {
+	want := faultFree(t)
+	path := filepath.Join(t.TempDir(), "chaos.journal")
+	w, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaosPlan := &Plan{Seed: 4, Rate: 600, Limit: 8,
+		Sites: map[string]bool{"journal": true}}
+	p := basePlan()
+	p.Journal = chaosPlan.WrapJournal(w, w.Path())
+	res, err := testRegistry().Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := artifact(t, res); !bytes.Equal(got, want) {
+		t.Fatal("artifact differs when the journal is faulted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if chaosPlan.Report()["journal"] == 0 {
+		t.Fatal("no journal faults fired — gate vacuous")
+	}
+
+	// The damaged journal must replay to a valid prefix, and resuming
+	// from it must converge on the same artifact.
+	resume, n, err := journal.Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > res.Runs {
+		t.Fatalf("replayed %d records from %d runs", n, res.Runs)
+	}
+	rp := basePlan()
+	rp.Resume = resume
+	rres, err := testRegistry().Execute(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := artifact(t, rres); !bytes.Equal(got, want) {
+		t.Fatal("resumed artifact differs from fault-free run")
+	}
+}
+
+// TestDispatcherChaosGate: delayed, out-of-order and abandoned
+// deliveries at the engine's dispatch seam never change the artifact.
+// Several seeds make sure the degrade class (engine falls back to local
+// execution mid-campaign) is exercised.
+func TestDispatcherChaosGate(t *testing.T) {
+	want := faultFree(t)
+	degraded := false
+	for seed := uint64(1); seed <= 6; seed++ {
+		chaosPlan := &Plan{Seed: seed, Rate: 500, Limit: 6,
+			MaxDelay: 5 * time.Millisecond,
+			Sites:    map[string]bool{"dispatch": true}}
+		p := basePlan()
+		p.Dispatch = &Dispatcher{Registry: testRegistry(), Plan: chaosPlan}
+		res, err := testRegistry().Execute(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := artifact(t, res); !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: artifact differs under dispatch chaos (%s)", seed, chaosPlan)
+		}
+		if res.Stats.Simulated != res.Runs {
+			t.Fatalf("seed %d: %d of %d runs simulated", seed, res.Stats.Simulated, res.Runs)
+		}
+		if chaosPlan.Report()["dispatch"] > 0 {
+			degraded = true
+		}
+	}
+	if !degraded {
+		t.Fatal("no dispatch faults fired across any seed — gate vacuous")
+	}
+}
+
+// TestWireChaosGate: the full remote stack under wire chaos on both
+// sides — client transport faults (resets, delays, stalls, 5xx, cut
+// bodies) and worker-side faults (5xx, stalls, cut streams, crashes) —
+// still converges on the fault-free artifact via the dispatcher's
+// retry, breaker and degradation machinery.
+func TestWireChaosGate(t *testing.T) {
+	want := faultFree(t)
+	for seed := uint64(1); seed <= 3; seed++ {
+		chaosPlan := &Plan{Seed: seed, Rate: 400, Limit: 8,
+			MaxDelay: 10 * time.Millisecond,
+			Sites:    map[string]bool{"http": true, "serve": true}}
+
+		srv := &wire.Server{Registry: testRegistry(), Fingerprint: "test-fp", Workers: 2}
+		w1 := httptest.NewServer(chaosPlan.Middleware(srv.Handler()))
+		w2 := httptest.NewServer(chaosPlan.Middleware(srv.Handler()))
+
+		p := basePlan()
+		p.Dispatch = &wire.Client{
+			Workers:      []string{w1.URL, w2.URL},
+			Fingerprint:  "test-fp",
+			ShardSize:    2,
+			Backoff:      time.Millisecond,
+			MaxBackoff:   20 * time.Millisecond,
+			Timeout:      10 * time.Second,
+			StallTimeout: 300 * time.Millisecond,
+			HTTP:         &http.Client{Transport: chaosPlan.Transport(nil)},
+		}
+		res, err := testRegistry().Execute(p)
+		w1.Close()
+		w2.Close()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := artifact(t, res); !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: artifact differs under wire chaos (%s)", seed, chaosPlan)
+		}
+		rep := chaosPlan.Report()
+		if rep["http"]+rep["serve"] == 0 {
+			t.Fatalf("seed %d: no wire faults fired — gate vacuous", seed)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package chaos
+
+import (
+	"os"
+
+	"repro/internal/campaign"
+)
+
+// journalWriter injects checkpoint-stream faults around an inner
+// JournalWriter writing to path.
+type journalWriter struct {
+	inner campaign.JournalWriter
+	path  string
+	in    *injector
+}
+
+// Journal fault classes.
+const (
+	journalTear = iota // record's tail torn off (crash mid-append)
+	journalSkip        // append lost entirely (crash before append)
+	journalClasses
+)
+
+// WrapJournal returns w with the plan's journal faults injected, or w
+// unchanged when the plan does not enable the journal seam. Faults
+// only destroy records (torn tails, lost appends) — the CRC framing
+// turns both into a shorter valid prefix at replay, and the affected
+// cells simply re-run on resume.
+func (p *Plan) WrapJournal(w campaign.JournalWriter, path string) campaign.JournalWriter {
+	if !p.enabled("journal") {
+		return w
+	}
+	return &journalWriter{inner: w, path: path, in: p.site("journal")}
+}
+
+func (j *journalWriter) Append(key string, blob []byte) error {
+	class, ok := j.in.draw(journalClasses)
+	if !ok {
+		return j.inner.Append(key, blob)
+	}
+	switch class {
+	case journalSkip:
+		return nil
+	case journalTear:
+		if err := j.inner.Append(key, blob); err != nil {
+			return err
+		}
+		if fi, err := os.Stat(j.path); err == nil && fi.Size() > 0 {
+			cut := j.in.amount(8)
+			if cut > fi.Size() {
+				cut = fi.Size()
+			}
+			os.Truncate(j.path, fi.Size()-cut)
+		}
+		return nil
+	}
+	return j.inner.Append(key, blob)
+}

@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Serve-side fault classes.
+const (
+	serve500   = iota // handler answers 500 without doing the work
+	serveStall        // handler accepts, then goes silent
+	serveCut          // response stream severed mid-shard
+	serveCrash        // worker "crashes" mid-request (connection aborted)
+	serveClasses
+)
+
+// stallCap backstops injected serve-side stalls so a client with no
+// deadline cannot wedge a chaos worker forever.
+const stallCap = 30 * time.Second
+
+// Middleware wraps a worker handler with the plan's serve-side faults,
+// or returns h unchanged when the plan does not enable the serve seam.
+// Only /shard requests inject — health probes stay truthful so process
+// supervision keeps working under chaos.
+func (p *Plan) Middleware(h http.Handler) http.Handler {
+	if !p.enabled("serve") {
+		return h
+	}
+	in := p.site("serve")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/shard" {
+			h.ServeHTTP(w, r)
+			return
+		}
+		class, ok := in.draw(serveClasses)
+		if !ok {
+			h.ServeHTTP(w, r)
+			return
+		}
+		switch class {
+		case serve500:
+			http.Error(w, "chaos: injected worker 500", http.StatusInternalServerError)
+		case serveStall:
+			// Drain the body first: net/http only watches for client
+			// disconnect (and cancels r.Context) once the request body
+			// has been consumed.
+			io.Copy(io.Discard, r.Body)
+			select {
+			case <-r.Context().Done():
+			case <-time.After(stallCap):
+			}
+		case serveCrash:
+			// net/http recognises ErrAbortHandler: the connection is
+			// severed and no stack trace is logged. From the client this
+			// is indistinguishable from the worker process dying.
+			panic(http.ErrAbortHandler)
+		case serveCut:
+			cw := &cutWriter{inner: w, remaining: in.amount(4096)}
+			h.ServeHTTP(cw, r)
+			cw.sever()
+		}
+	})
+}
+
+// cutWriter lets the inner handler stream until a byte budget runs out,
+// then severs the underlying connection. It must never panic — the
+// shard handler writes from campaign.Map worker goroutines, where a
+// panic would kill the whole process rather than abort one request.
+type cutWriter struct {
+	inner     http.ResponseWriter
+	mu        sync.Mutex
+	remaining int64
+	severed   bool
+}
+
+func (c *cutWriter) Header() http.Header { return c.inner.Header() }
+
+func (c *cutWriter) WriteHeader(code int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.severed {
+		c.inner.WriteHeader(code)
+	}
+}
+
+func (c *cutWriter) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.severed {
+		return 0, io.ErrClosedPipe
+	}
+	if int64(len(b)) >= c.remaining {
+		n, _ := c.inner.Write(b[:c.remaining])
+		c.severLocked()
+		return n, io.ErrClosedPipe
+	}
+	n, err := c.inner.Write(b)
+	c.remaining -= int64(n)
+	return n, err
+}
+
+func (c *cutWriter) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.severed {
+		return
+	}
+	if f, ok := c.inner.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// sever cuts the connection if the byte budget never ran out mid-write
+// (e.g. the shard response was shorter than the budget): the fault was
+// drawn, so the stream must still end severed, not clean.
+func (c *cutWriter) sever() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.severLocked()
+}
+
+func (c *cutWriter) severLocked() {
+	if c.severed {
+		return
+	}
+	c.severed = true
+	if f, ok := c.inner.(http.Flusher); ok {
+		f.Flush()
+	}
+	if hj, ok := c.inner.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			conn.Close()
+		}
+	}
+}

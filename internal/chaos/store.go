@@ -1,0 +1,117 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/campaign"
+)
+
+// entryFiler is the file-level corruption hook a disk-backed BlobStore
+// may offer (cache.Store does): the path a key's entry lives at. With
+// it, torn writes and bit flips land *below* the store's CRC frame, so
+// the store's own corruption detection is what recovers them.
+type entryFiler interface {
+	EntryPath(key string) (string, bool)
+}
+
+// store injects cache faults around an inner BlobStore.
+type store struct {
+	inner campaign.BlobStore
+	files entryFiler // nil when the inner store is not disk-backed
+	in    *injector
+}
+
+// Cache fault classes. Order matters — it is the draw index.
+const (
+	cacheTorn = iota // entry truncated mid-write
+	cacheFlip        // a byte of the entry flipped
+	cacheDrop        // write silently lost (crash before write)
+	cacheENOSPC
+	cacheMiss // read sees nothing (unreadable entry)
+	cacheClasses
+)
+
+// WrapStore returns s with the plan's cache faults injected, or s
+// unchanged when the plan does not enable the cache seam. Every
+// injected fault is survivable: corruption lands below the store's CRC
+// (or truncates the blob so decoding fails structurally), so a faulted
+// entry always reads as a miss and recomputes — never as a wrong
+// result.
+func (p *Plan) WrapStore(s campaign.BlobStore) campaign.BlobStore {
+	if !p.enabled("cache") {
+		return s
+	}
+	files, _ := s.(entryFiler)
+	return &store{inner: s, files: files, in: p.site("cache")}
+}
+
+func (s *store) Get(key string) ([]byte, bool) {
+	if class, ok := s.in.draw(cacheClasses); ok && class == cacheMiss {
+		return nil, false
+	}
+	return s.inner.Get(key)
+}
+
+func (s *store) Put(key string, blob []byte) error {
+	class, ok := s.in.draw(cacheClasses)
+	if !ok {
+		return s.inner.Put(key, blob)
+	}
+	switch class {
+	case cacheDrop, cacheMiss: // miss on Put behaves like a lost write
+		return nil
+	case cacheENOSPC:
+		return fmt.Errorf("chaos: injected ENOSPC writing %s", key)
+	case cacheTorn:
+		if s.files != nil {
+			if err := s.inner.Put(key, blob); err != nil {
+				return err
+			}
+			return s.tearFile(key)
+		}
+		// No file access: store a truncated blob behind a valid frame —
+		// decoding fails structurally, which is the same miss.
+		return s.inner.Put(key, blob[:len(blob)/2])
+	case cacheFlip:
+		if s.files != nil {
+			if err := s.inner.Put(key, blob); err != nil {
+				return err
+			}
+			return s.flipFile(key)
+		}
+		// Without file-level access a blob-level flip could decode into
+		// a silently wrong result — fall back to tearing instead.
+		return s.inner.Put(key, blob[:len(blob)/2])
+	}
+	return s.inner.Put(key, blob)
+}
+
+// tearFile truncates the entry file mid-way, as an interrupted write
+// would.
+func (s *store) tearFile(key string) error {
+	path, ok := s.files.EntryPath(key)
+	if !ok {
+		return nil
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil // already gone — nothing to tear
+	}
+	return os.Truncate(path, fi.Size()/2)
+}
+
+// flipFile XORs one byte of the entry file — bit rot the CRC must
+// catch.
+func (s *store) flipFile(key string) error {
+	path, ok := s.files.EntryPath(key)
+	if !ok {
+		return nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil || len(raw) == 0 {
+		return nil
+	}
+	raw[int(s.in.amount(int64(len(raw))))-1] ^= 0xFF
+	return os.WriteFile(path, raw, 0o644)
+}

@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// transport injects wire faults on the client side of the shard
+// protocol, below the dispatcher's retry/backoff/breaker stack.
+type transport struct {
+	base     http.RoundTripper
+	in       *injector
+	maxDelay time.Duration
+}
+
+// HTTP (client transport) fault classes.
+const (
+	httpReset = iota // connection reset before any response
+	httpDelay        // response delayed, then served
+	httpStall        // no response until the request context dies
+	http500          // synthesized 500
+	httpCut          // response body cut mid-stream
+	httpClasses
+)
+
+// Transport wraps base (nil means http.DefaultTransport) with the
+// plan's client-side wire faults, or returns base unchanged when the
+// plan does not enable the http seam.
+func (p *Plan) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if !p.enabled("http") {
+		return base
+	}
+	return &transport{base: base, in: p.site("http"), maxDelay: p.maxDelay()}
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	class, ok := t.in.draw(httpClasses)
+	if !ok {
+		return t.base.RoundTrip(req)
+	}
+	switch class {
+	case httpReset:
+		return nil, errors.New("chaos: connection reset by peer")
+	case httpDelay:
+		d := time.Duration(t.in.amount(int64(t.maxDelay)))
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.base.RoundTrip(req)
+	case httpStall:
+		// The worker accepted and went silent: nothing happens until
+		// the caller's deadline machinery gives up.
+		<-req.Context().Done()
+		return nil, fmt.Errorf("chaos: stalled request: %w", req.Context().Err())
+	case http500:
+		return &http.Response{
+			StatusCode: http.StatusInternalServerError,
+			Status:     "500 chaos injected",
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"text/plain"}},
+			Body:    io.NopCloser(bytes.NewReader([]byte("chaos: injected 500\n"))),
+			Request: req,
+		}, nil
+	case httpCut:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		resp.Body = &cutReader{rc: resp.Body, remaining: t.in.amount(4096)}
+		return resp, nil
+	}
+	return t.base.RoundTrip(req)
+}
+
+// cutReader serves the first remaining bytes of a response, then fails
+// as a severed connection would.
+type cutReader struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (c *cutReader) Read(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.rc.Read(p)
+	c.remaining -= int64(n)
+	if err == nil && c.remaining <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (c *cutReader) Close() error { return c.rc.Close() }
